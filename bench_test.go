@@ -1,0 +1,486 @@
+// Benchmarks regenerating the paper's evaluation (Table 1) and the design
+// ablations called out in DESIGN.md. One benchmark family per experiment:
+//
+//   - BenchmarkTable1Metrics — trace generation + the metric columns.
+//   - BenchmarkDetect/<row>/<algo> — detection time per technique per row
+//     (Table 1 columns 9–16), at 1/4 scale so a full -bench=. run stays
+//     laptop-sized; cmd/table1 runs the full-scale table.
+//   - BenchmarkQuickCheck — the QC column.
+//   - BenchmarkWindowSweep — RV detection across window sizes (the
+//     windowing strategy of Section 4).
+//   - BenchmarkAblation* — merged-vs-adjacent race encoding, ≺-pruning
+//     on/off, quick-check filter on/off.
+//   - BenchmarkSAT/BenchmarkIDL/BenchmarkSMT — solver substrate (the IDL
+//     pair demonstrates the trace-position seeding win).
+//   - BenchmarkMinilang / BenchmarkTracefile — workload substrates.
+//   - BenchmarkParallelDetect — window-parallel RV detection.
+//   - BenchmarkDeadlockDetect / BenchmarkAtomicityDetect — the §2.5
+//     extension analyses.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/deadlock"
+	"repro/internal/hb"
+	"repro/internal/idl"
+	"repro/internal/lockset"
+	"repro/internal/race"
+	"repro/internal/said"
+	"repro/internal/sat"
+	"repro/internal/smt"
+	"repro/internal/tracefile"
+	"repro/internal/workloads"
+	"repro/minilang"
+	"repro/trace"
+)
+
+// benchScale shrinks rows so a full -bench=. sweep is laptop-sized.
+const benchScale = 4
+
+var (
+	rowOnce   sync.Once
+	rowTraces map[string]*trace.Trace
+	rowSpecs  map[string]workloads.Spec
+)
+
+func rows() (map[string]*trace.Trace, map[string]workloads.Spec) {
+	rowOnce.Do(func() {
+		rowTraces = make(map[string]*trace.Trace)
+		rowSpecs = make(map[string]workloads.Spec)
+		for _, spec := range workloads.Rows() {
+			spec.Events /= benchScale
+			tr, _ := workloads.Build(spec)
+			rowTraces[spec.Name] = tr
+			rowSpecs[spec.Name] = spec
+		}
+		ex, _ := workloads.Example()
+		rowTraces["example"] = ex
+		rowSpecs["example"] = workloads.Spec{Name: "example", Window: 10000}
+	})
+	return rowTraces, rowSpecs
+}
+
+// benchRows is the subset of rows benchmarked per detector; it covers every
+// benchmark family of Table 1 (example, IBM Contest, Java Grande, real
+// systems) while keeping the default sweep short.
+var benchRows = []string{"example", "bufwriter", "bubblesort", "moldyn",
+	"raytracer", "ftpserver", "derby", "eclipse"}
+
+func BenchmarkTable1Metrics(b *testing.B) {
+	for _, spec := range workloads.Rows() {
+		spec.Events /= benchScale
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, _ := workloads.Build(spec)
+				st := tr.ComputeStats()
+				if st.Events == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	traces, specs := rows()
+	for _, name := range benchRows {
+		tr := traces[name]
+		window := specs[name].Window
+		b.Run(name+"/RV", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(core.Options{WindowSize: window,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+		})
+		b.Run(name+"/Said", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				said.New(said.Options{WindowSize: window,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+		})
+		b.Run(name+"/CP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cp.New(cp.Options{WindowSize: window}).Detect(tr)
+			}
+		})
+		b.Run(name+"/HB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hb.New(hb.Options{WindowSize: window}).Detect(tr)
+			}
+		})
+	}
+}
+
+func BenchmarkQuickCheck(b *testing.B) {
+	traces, specs := rows()
+	for _, name := range []string{"bufwriter", "derby"} {
+		tr := traces[name]
+		window := specs[name].Window
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lockset.New(lockset.Options{WindowSize: window}).Detect(tr)
+			}
+		})
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	spec := workloads.Spec{
+		Name: "sweep", Workers: 8, Events: 30000, Window: 1000, Seed: 99,
+		Motifs: workloads.MotifCounts{Plain: 4, CP: 4, Said: 4, RVRegion: 8},
+	}
+	tr, _ := workloads.Build(spec)
+	for _, w := range []int{1000, 2000, 5000, 10000, 30000} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(core.Options{WindowSize: w,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRaceEncoding(b *testing.B) {
+	traces, specs := rows()
+	tr := traces["ftpserver"]
+	window := specs["ftpserver"].Window
+	b.Run("adjacent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+	b.Run("merged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window, MergeRaceVars: true,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+}
+
+func BenchmarkAblationPruning(b *testing.B) {
+	traces, specs := rows()
+	tr := traces["moldyn"]
+	window := specs["moldyn"].Window
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window, NoPruning: true,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+}
+
+func BenchmarkAblationQuickCheck(b *testing.B) {
+	traces, specs := rows()
+	tr := traces["bufwriter"]
+	window := specs["bufwriter"].Window
+	b.Run("filtered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+	b.Run("unfiltered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window, NoQuickCheck: true,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+}
+
+func BenchmarkSAT(b *testing.B) {
+	// A satisfiable random 3-SAT instance near the easy side of the phase
+	// transition, rebuilt per iteration.
+	b.Run("random3sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(7))
+			s := sat.New(nil)
+			const n = 120
+			for v := 0; v < n; v++ {
+				s.NewVar()
+			}
+			for c := 0; c < 3*n; c++ {
+				s.AddClause(
+					sat.MkLit(sat.Var(rng.Intn(n)), rng.Intn(2) == 0),
+					sat.MkLit(sat.Var(rng.Intn(n)), rng.Intn(2) == 0),
+					sat.MkLit(sat.Var(rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			s.Solve()
+		}
+	})
+	b.Run("pigeonhole7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.New(nil)
+			const n = 7
+			vars := make([][]sat.Var, n+1)
+			for p := range vars {
+				vars[p] = make([]sat.Var, n)
+				for h := range vars[p] {
+					vars[p][h] = s.NewVar()
+				}
+			}
+			for p := 0; p <= n; p++ {
+				lits := make([]sat.Lit, n)
+				for h := 0; h < n; h++ {
+					lits[h] = sat.MkLit(vars[p][h], true)
+				}
+				s.AddClause(lits...)
+			}
+			for h := 0; h < n; h++ {
+				for p1 := 0; p1 <= n; p1++ {
+					for p2 := p1 + 1; p2 <= n; p2++ {
+						s.AddClause(sat.MkLit(vars[p1][h], false),
+							sat.MkLit(vars[p2][h], false))
+					}
+				}
+			}
+			if s.Solve() != sat.Unsat {
+				b.Fatal("PHP(7) must be unsat")
+			}
+		}
+	})
+}
+
+func BenchmarkIDL(b *testing.B) {
+	// An order chain asserted first-to-last: with zero-initialised
+	// potentials every assert cascades a repair down the whole prefix
+	// (quadratic); seeding with trace positions (what the encoders do)
+	// makes each assert O(1) — the ablation pair below shows why.
+	b.Run("chain-assert-unseeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := idl.New()
+			const n = 2000
+			vars := make([]idl.VarID, n)
+			for j := range vars {
+				vars[j] = s.NewVar()
+			}
+			for j := 0; j+1 < n; j++ {
+				if s.Assert(vars[j], vars[j+1], -1, idl.Tag(j)) != nil {
+					b.Fatal("chain must be sat")
+				}
+			}
+		}
+	})
+	b.Run("chain-assert-seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := idl.New()
+			const n = 2000
+			vars := make([]idl.VarID, n)
+			for j := range vars {
+				vars[j] = s.NewVarAt(int64(j))
+			}
+			for j := 0; j+1 < n; j++ {
+				if s.Assert(vars[j], vars[j+1], -1, idl.Tag(j)) != nil {
+					b.Fatal("chain must be sat")
+				}
+			}
+		}
+	})
+	b.Run("conflict-detect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := idl.New()
+			const n = 500
+			vars := make([]idl.VarID, n)
+			for j := range vars {
+				vars[j] = s.NewVar()
+			}
+			for j := 0; j+1 < n; j++ {
+				s.Assert(vars[j], vars[j+1], -1, idl.Tag(j))
+			}
+			if s.Assert(vars[n-1], vars[0], -1, 999) == nil {
+				b.Fatal("cycle must conflict")
+			}
+		}
+	})
+}
+
+func BenchmarkSMT(b *testing.B) {
+	// Ordering disjunctions like Φ_lock: n sections, pairwise either-or.
+	b.Run("lock-disjunctions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := smt.NewSolver()
+			const n = 40
+			acq := make([]smt.IntVar, n)
+			rel := make([]smt.IntVar, n)
+			for j := 0; j < n; j++ {
+				acq[j] = s.IntVar()
+				rel[j] = s.IntVar()
+				s.Assert(smt.Less(acq[j], rel[j]))
+			}
+			for j := 0; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					s.Assert(smt.Or(smt.Less(rel[j], acq[k]), smt.Less(rel[k], acq[j])))
+				}
+			}
+			if s.Solve() != sat.Sat {
+				b.Fatal("sections are serialisable")
+			}
+		}
+	})
+}
+
+func BenchmarkMinilang(b *testing.B) {
+	src := `shared x, total;
+lock m;
+thread main {
+  fork w1;
+  fork w2;
+  join w1;
+  join w2;
+}
+thread w1 {
+  i = 0;
+  while (i < 200) {
+    lock m; total = total + 1; unlock m;
+    x = i;
+    i = i + 1;
+  }
+}
+thread w2 {
+  i = 0;
+  while (i < 200) {
+    lock m; total = total + 1; unlock m;
+    i = i + 1;
+  }
+}`
+	prog, err := minilang.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interpret", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			tr, err := prog.Run(minilang.RunOptions{Scheduler: &minilang.Random{Seed: int64(i)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = tr.Len()
+		}
+		b.ReportMetric(float64(events), "events/run")
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minilang.Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTracefile(b *testing.B) {
+	traces, _ := rows()
+	tr := traces["moldyn"]
+	var buf bytes.Buffer
+	if err := tracefile.Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			var out bytes.Buffer
+			if err := tracefile.Encode(&out, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := tracefile.Decode(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCOPEnumeration measures candidate-pair enumeration, the
+// pre-filter stage shared by every detector.
+func BenchmarkCOPEnumeration(b *testing.B) {
+	traces, _ := rows()
+	tr := traces["derby"]
+	for i := 0; i < b.N; i++ {
+		race.Windows(tr, 10000, func(w *trace.Trace, _ int) {
+			race.EnumerateCOPs(w)
+		})
+	}
+}
+
+func BenchmarkParallelDetect(b *testing.B) {
+	traces, specs := rows()
+	tr := traces["derby"]
+	window := specs["derby"].Window
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(core.Options{WindowSize: window, Parallelism: par,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+		})
+	}
+}
+
+func BenchmarkDeadlockDetect(b *testing.B) {
+	// Dining-philosophers-style inversions planted in branch-heavy filler.
+	bld := trace.NewBuilder()
+	for i := 0; i < 40; i++ {
+		a := trace.Addr(100 + 2*i)
+		c := trace.Addr(101 + 2*i)
+		bld.At(trace.Loc(4*i+1)).Acquire(1, a)
+		bld.At(trace.Loc(4*i+2)).Acquire(1, c)
+		bld.Release(1, c)
+		bld.Release(1, a)
+		bld.At(trace.Loc(4*i+3)).Acquire(2, c)
+		bld.At(trace.Loc(4*i+4)).Acquire(2, a)
+		bld.Release(2, a)
+		bld.Release(2, c)
+		for j := 0; j < 10; j++ {
+			bld.Branch(3)
+		}
+	}
+	tr := bld.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := deadlock.New(deadlock.Options{SolveTimeout: time.Minute}).Detect(tr)
+		if len(res.Deadlocks) == 0 {
+			b.Fatal("expected deadlocks")
+		}
+	}
+}
+
+func BenchmarkAtomicityDetect(b *testing.B) {
+	bld := trace.NewBuilder()
+	for i := 0; i < 40; i++ {
+		bal := trace.Addr(10 + i)
+		l := trace.Addr(500 + i)
+		bld.At(trace.Loc(3*i+1)).Acquire(1, l)
+		bld.At(trace.Loc(3*i+2)).Read(1, bal)
+		bld.At(trace.Loc(3*i+2)).Write(1, bal, int64(i))
+		bld.Release(1, l)
+		bld.At(trace.Loc(3*i+3)).Write(2, bal, 99)
+	}
+	tr := bld.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := atomicity.New(atomicity.Options{SolveTimeout: time.Minute}).Detect(tr)
+		if len(res.Violations) == 0 {
+			b.Fatal("expected violations")
+		}
+	}
+}

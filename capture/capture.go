@@ -1,0 +1,325 @@
+// Package capture records execution traces from real Go programs, playing
+// the role RVPredict's bytecode instrumentation plays for Java (Section 4,
+// "trace collection"): programs use the package's instrumented primitives —
+// Mutex, Shared variables, Go/Wait for forking, Branch for control-flow
+// decisions — and every operation is appended to a trace.Trace that the
+// repro/rvpredict detectors analyse afterwards.
+//
+// A single recorder mutex serialises event recording, so the recorded
+// order is a real, sequentially consistent interleaving of the program:
+// each recorded operation (a shared read/write together with its event)
+// executes atomically with respect to all other recorded operations. That
+// makes the trace consistent by construction (asserted in tests via
+// trace.Validate) at the cost of serialising the instrumented operations —
+// the usual probe effect of dynamic race detectors, which the analysis
+// compensates for by exploring reorderings.
+//
+//	rec := capture.NewRecorder()
+//	bal := capture.NewShared(rec, "balance")
+//	mu := capture.NewMutex(rec, "mu")
+//	h := rec.Go(func(t *capture.Thread) {
+//	    mu.Lock(t)
+//	    bal.Store(t, bal.Load(t)+100)
+//	    mu.Unlock(t)
+//	})
+//	bal.Store(rec.Main(), 0) // races with the goroutine's access
+//	h.Join(rec.Main())
+//	report := rvpredict.Detect(rec.Trace(), rvpredict.Options{})
+package capture
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/trace"
+)
+
+// Recorder accumulates the trace of one instrumented execution. Create it
+// with NewRecorder; the calling goroutine becomes thread 0 (Main).
+type Recorder struct {
+	mu     sync.Mutex
+	b      *trace.Builder
+	nextID trace.TID
+	main   *Thread
+	nextA  trace.Addr
+	nextL  trace.Loc
+	locs   map[string]trace.Loc
+}
+
+// Thread identifies one instrumented goroutine. Every operation takes the
+// Thread of the goroutine performing it; passing another goroutine's
+// Thread corrupts the trace (the same contract as the JVM tool's
+// thread-local event attribution).
+type Thread struct {
+	rec *Recorder
+	id  trace.TID
+}
+
+// NewRecorder starts a new recording. The caller is thread 0.
+func NewRecorder() *Recorder {
+	r := &Recorder{
+		b:     trace.NewBuilder(),
+		nextA: 1,
+		locs:  make(map[string]trace.Loc),
+	}
+	r.main = &Thread{rec: r, id: 0}
+	r.nextID = 1
+	return r
+}
+
+// Main returns the recording goroutine's Thread.
+func (r *Recorder) Main() *Thread { return r.main }
+
+// Trace returns the recorded trace. Call it only after every forked
+// goroutine has been joined.
+func (r *Recorder) Trace() *trace.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.b.Trace()
+}
+
+// loc interns a source label as a trace location.
+func (r *Recorder) loc(label string) trace.Loc {
+	if label == "" {
+		return trace.NoLoc
+	}
+	if l, ok := r.locs[label]; ok {
+		return l
+	}
+	r.nextL++
+	l := r.nextL
+	r.locs[label] = l
+	r.b.AtNamed(l, label)
+	return l
+}
+
+// record runs f under the recorder lock with the builder positioned at
+// label's location.
+func (r *Recorder) record(label string, f func(b *trace.Builder)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.b.At(r.loc(label))
+	f(r.b)
+}
+
+// Handle joins a forked goroutine.
+type Handle struct {
+	t    *Thread
+	done chan struct{}
+}
+
+// Go forks an instrumented goroutine: a fork event is recorded for the
+// caller (thread 0 if called on the Recorder), the new goroutine records
+// begin/end around fn, and the returned Handle's Join records the join
+// event after waiting for completion.
+func (r *Recorder) Go(fn func(t *Thread)) *Handle {
+	return r.main.Go(fn)
+}
+
+// Go forks an instrumented goroutine from t.
+func (t *Thread) Go(fn func(t *Thread)) *Handle {
+	r := t.rec
+	r.mu.Lock()
+	child := &Thread{rec: r, id: r.nextID}
+	r.nextID++
+	r.b.At(trace.NoLoc).Fork(t.id, child.id)
+	r.mu.Unlock()
+
+	h := &Handle{t: child, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		r.record("", func(b *trace.Builder) { b.Begin(child.id) })
+		fn(child)
+		r.record("", func(b *trace.Builder) { b.End(child.id) })
+	}()
+	return h
+}
+
+// Join waits for the goroutine and records the join event.
+func (h *Handle) Join(t *Thread) {
+	<-h.done
+	t.rec.record("", func(b *trace.Builder) { b.Join(t.id, h.t.id) })
+}
+
+// Branch records a control-flow decision by t — call it at every branch
+// whose condition involves shared state, exactly like the paper's
+// instrumented branch events.
+func (t *Thread) Branch(label string) {
+	t.rec.record(label, func(b *trace.Builder) { b.Branch(t.id) })
+}
+
+// Shared is an instrumented shared variable holding an int64.
+type Shared struct {
+	rec  *Recorder
+	addr trace.Addr
+	name string
+	val  int64
+}
+
+// NewShared allocates a shared variable (initial value 0).
+func NewShared(r *Recorder, name string) *Shared {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Shared{rec: r, addr: r.nextA, name: name}
+	r.nextA++
+	return s
+}
+
+// Load reads the variable, recording a read event at the given label.
+func (s *Shared) LoadAt(t *Thread, label string) int64 {
+	var v int64
+	s.rec.record(label, func(b *trace.Builder) {
+		v = s.val
+		b.ReadV(t.id, s.addr, v)
+	})
+	return v
+}
+
+// Load reads the variable with the variable's name as the location label.
+func (s *Shared) Load(t *Thread) int64 { return s.LoadAt(t, s.name+".load") }
+
+// StoreAt writes the variable, recording a write event at the given label.
+func (s *Shared) StoreAt(t *Thread, label string, v int64) {
+	s.rec.record(label, func(b *trace.Builder) {
+		s.val = v
+		b.Write(t.id, s.addr, v)
+	})
+}
+
+// Store writes the variable with the variable's name as the location label.
+func (s *Shared) Store(t *Thread, v int64) { s.StoreAt(t, s.name+".store", v) }
+
+// Mutex is an instrumented non-reentrant mutex.
+type Mutex struct {
+	rec  *Recorder
+	addr trace.Addr
+	name string
+	mu   sync.Mutex
+
+	// signalled holds waits woken under this mutex whose notify links
+	// await the signaller's release event (see Cond).
+	signalled []*pendingWait
+}
+
+// NewMutex allocates an instrumented mutex.
+func NewMutex(r *Recorder, name string) *Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := &Mutex{rec: r, addr: r.nextA, name: name}
+	r.nextA++
+	return m
+}
+
+// Lock acquires the mutex and records the acquire event (after the real
+// lock is held, so the recorded order matches the acquisition order).
+func (m *Mutex) Lock(t *Thread) {
+	m.mu.Lock()
+	m.rec.record(m.name+".Lock", func(b *trace.Builder) { b.Acquire(t.id, m.addr) })
+}
+
+// Unlock records the release event and releases the mutex. If the holder
+// signalled a condition variable, the woken waits' notify links are
+// attributed to this release.
+func (m *Mutex) Unlock(t *Thread) {
+	m.rec.mu.Lock()
+	rel := m.rec.b.Trace().Len()
+	m.rec.b.At(m.rec.loc(m.name+".Unlock")).Release(t.id, m.addr)
+	for _, pw := range m.signalled {
+		if pw.notifyIdx < 0 {
+			pw.notifyIdx = rel
+		}
+	}
+	m.signalled = m.signalled[:0]
+	m.rec.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// String identifies the thread in diagnostics.
+func (t *Thread) String() string { return fmt.Sprintf("t%d", t.id) }
+
+// Cond is an instrumented condition variable associated with a Mutex,
+// mirroring Java's monitor wait/notify: Wait atomically releases the mutex
+// and parks until a Signal, then re-acquires it; the recorded events are
+// the release/acquire pair linked to the signaller's release, exactly the
+// lowering the paper's Section 4 describes.
+type Cond struct {
+	mu *Mutex
+	c  *sync.Cond
+	// pending tracks woken-but-not-yet-resumed waits: each carries the
+	// wait's release index, filled with the notifier's release index when
+	// the signaller unlocks.
+	pending []*pendingWait
+}
+
+type pendingWait struct {
+	relIdx    int
+	notifyIdx int // -1 until the signaller's release is recorded
+	woken     bool
+}
+
+// NewCond returns a condition variable bound to mu.
+func NewCond(mu *Mutex) *Cond {
+	return &Cond{mu: mu, c: sync.NewCond(&mu.mu)}
+}
+
+// Wait releases the mutex, parks until signalled, and re-acquires it.
+// The caller must hold the mutex.
+func (c *Cond) Wait(t *Thread) {
+	r := c.mu.rec
+	pw := &pendingWait{notifyIdx: -1}
+	r.mu.Lock()
+	pw.relIdx = r.b.Trace().Len()
+	r.b.At(trace.NoLoc).Release(t.id, c.mu.addr)
+	// This release also stands in as the "notify" position for any waits
+	// the caller signalled before waiting itself.
+	for _, other := range c.mu.signalled {
+		if other.notifyIdx < 0 {
+			other.notifyIdx = pw.relIdx
+		}
+	}
+	c.mu.signalled = c.mu.signalled[:0]
+	c.pending = append(c.pending, pw)
+	r.mu.Unlock()
+
+	for !pw.woken {
+		c.c.Wait() // releases c.mu.mu while parked
+	}
+	// We hold the real mutex again; record the wake-up acquire and link.
+	r.mu.Lock()
+	acq := r.b.Trace().Len()
+	r.b.At(trace.NoLoc).Acquire(t.id, c.mu.addr)
+	if pw.notifyIdx >= 0 {
+		r.b.Trace().AddNotifyLink(pw.notifyIdx, pw.relIdx, acq)
+	}
+	r.mu.Unlock()
+}
+
+// Signal wakes one waiter. The caller must hold the mutex; the woken
+// waiter's notify link is attributed to the caller's next Unlock.
+func (c *Cond) Signal(t *Thread) {
+	r := c.mu.rec
+	r.mu.Lock()
+	for _, pw := range c.pending {
+		if !pw.woken {
+			pw.woken = true
+			c.mu.signalled = append(c.mu.signalled, pw)
+			break
+		}
+	}
+	r.mu.Unlock()
+	c.c.Broadcast() // woken flags decide who proceeds
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast(t *Thread) {
+	r := c.mu.rec
+	r.mu.Lock()
+	for _, pw := range c.pending {
+		if !pw.woken {
+			pw.woken = true
+			c.mu.signalled = append(c.mu.signalled, pw)
+		}
+	}
+	r.mu.Unlock()
+	c.c.Broadcast()
+}

@@ -1,0 +1,132 @@
+// Command minirun executes a minilang program, optionally recording its
+// trace and running race prediction on it — the end-to-end pipeline of the
+// paper on a single source file.
+//
+// Usage:
+//
+//	minirun [flags] program.ml
+//
+// Example:
+//
+//	minirun -sched seq -detect rv -witness figure1.ml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/race"
+	"repro/internal/tracefile"
+	"repro/minilang"
+	"repro/rvpredict"
+)
+
+func main() {
+	var (
+		sched    = flag.String("sched", "rr", "scheduler: rr, seq or random")
+		quantum  = flag.Int("quantum", 1, "round-robin quantum")
+		seed     = flag.Int64("seed", 1, "random scheduler seed")
+		maxSteps = flag.Int("maxsteps", 1<<20, "interpreter step budget")
+		traceOut = flag.String("trace", "", "write the trace to this file")
+		format   = flag.Bool("fmt", false, "print the formatted program and exit")
+		detect   = flag.String("detect", "", "run detection: rv, said, cp, hb, qc or all")
+		witness  = flag.Bool("witness", false, "print witnesses for detected races")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minirun [flags] program.ml")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := minilang.Compile(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
+	}
+
+	if *format {
+		fmt.Print(minilang.Format(prog))
+		return
+	}
+
+	var scheduler minilang.Scheduler
+	switch *sched {
+	case "rr":
+		scheduler = &minilang.RoundRobin{Quantum: *quantum}
+	case "seq":
+		scheduler = minilang.Sequential{}
+	case "random":
+		scheduler = &minilang.Random{Seed: *seed}
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	}
+
+	tr, err := prog.Run(minilang.RunOptions{
+		Scheduler: scheduler,
+		MaxSteps:  *maxSteps,
+		Out:       os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	s := tr.ComputeStats()
+	fmt.Printf("executed: %d events, %d threads, %d r/w, %d sync, %d branch\n",
+		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracefile.Encode(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("trace written to", *traceOut)
+	}
+
+	if *detect == "" {
+		return
+	}
+	algos := map[string]rvpredict.Algorithm{
+		"rv": rvpredict.MaximalCF, "said": rvpredict.SaidEtAl,
+		"cp": rvpredict.CausallyPrecedes, "hb": rvpredict.HappensBefore,
+		"qc": rvpredict.QuickCheck,
+	}
+	var run []rvpredict.Algorithm
+	if *detect == "all" {
+		run = []rvpredict.Algorithm{rvpredict.MaximalCF, rvpredict.SaidEtAl,
+			rvpredict.CausallyPrecedes, rvpredict.HappensBefore, rvpredict.QuickCheck}
+	} else {
+		a, ok := algos[strings.ToLower(*detect)]
+		if !ok {
+			fatal(fmt.Errorf("unknown algorithm %q", *detect))
+		}
+		run = []rvpredict.Algorithm{a}
+	}
+	for _, a := range run {
+		rep := rvpredict.Detect(tr, rvpredict.Options{Algorithm: a, Witness: *witness})
+		fmt.Printf("%-4s: %d race(s) in %v\n", rep.Algorithm, len(rep.Races),
+			rep.Elapsed.Round(time.Millisecond))
+		for _, r := range rep.Races {
+			fmt.Printf("      %s\n", r.Description)
+			if *witness && r.Witness != nil {
+				fmt.Print(race.RenderWitness(tr, r.Witness))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minirun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command rvpredict runs predictive race detection on a recorded trace
+// file (see cmd/tracegen and cmd/minirun for producers).
+//
+// Usage:
+//
+//	rvpredict [flags] trace.rvpt
+//
+// The default algorithm is the paper's maximal control-flow-aware
+// technique; -algo selects a baseline for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/race"
+	"repro/internal/tracefile"
+	"repro/rvpredict"
+)
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "rv", "algorithm: rv, said, cp, hb or qc")
+		window    = flag.Int("window", 10000, "window size in events (0 = whole trace)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-pair solver timeout")
+		witness   = flag.Bool("witness", false, "print a witness schedule per race")
+		dump      = flag.Bool("dump", false, "dump the trace instead of analysing it")
+		deadlocks = flag.Bool("deadlock", false, "predict lock-inversion deadlocks instead of races")
+		atomicity = flag.Bool("atomicity", false, "predict atomicity violations instead of races")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvpredict [flags] trace.rvpt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := tracefile.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump {
+		if err := tracefile.Dump(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *deadlocks {
+		ws := *window
+		if ws == 0 {
+			ws = -1
+		}
+		rep := rvpredict.DetectDeadlocks(tr, rvpredict.Options{
+			WindowSize:   ws,
+			SolveTimeout: *timeout,
+			Witness:      *witness,
+		})
+		fmt.Printf("deadlocks: %d (of %d candidate inversions) in %v\n",
+			len(rep.Deadlocks), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
+		for i, d := range rep.Deadlocks {
+			fmt.Printf("  #%d %s\n", i+1, d.Description)
+			if *witness && d.Witness != nil {
+				fmt.Printf("     witness prefix:")
+				for _, idx := range d.Witness {
+					fmt.Printf(" %d", idx)
+				}
+				fmt.Println()
+			}
+		}
+		return
+	}
+
+	if *atomicity {
+		ws := *window
+		if ws == 0 {
+			ws = -1
+		}
+		rep := rvpredict.DetectAtomicityViolations(tr, rvpredict.Options{
+			WindowSize:   ws,
+			SolveTimeout: *timeout,
+			Witness:      *witness,
+		})
+		fmt.Printf("atomicity violations: %d (of %d candidates) in %v\n",
+			len(rep.Violations), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
+		for i, v := range rep.Violations {
+			fmt.Printf("  #%d %s\n", i+1, v.Description)
+		}
+		return
+	}
+
+	var algo rvpredict.Algorithm
+	switch strings.ToLower(*algoName) {
+	case "rv":
+		algo = rvpredict.MaximalCF
+	case "said":
+		algo = rvpredict.SaidEtAl
+	case "cp":
+		algo = rvpredict.CausallyPrecedes
+	case "hb":
+		algo = rvpredict.HappensBefore
+	case "qc":
+		algo = rvpredict.QuickCheck
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	ws := *window
+	if ws == 0 {
+		ws = -1 // whole trace
+	}
+	rep := rvpredict.Detect(tr, rvpredict.Options{
+		Algorithm:    algo,
+		WindowSize:   ws,
+		SolveTimeout: *timeout,
+		Witness:      *witness,
+	})
+
+	s := rep.Stats
+	fmt.Printf("trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
+		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
+	fmt.Printf("%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
+		rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
+		rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
+	for i, r := range rep.Races {
+		fmt.Printf("  #%d %s\n", i+1, r.Description)
+		if *witness && r.Witness != nil {
+			fmt.Print(race.RenderWitness(tr, r.Witness))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvpredict:", err)
+	os.Exit(1)
+}

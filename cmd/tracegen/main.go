@@ -1,0 +1,107 @@
+// Command tracegen generates the synthetic benchmark traces of the
+// evaluation (Table 1 rows) and writes them as trace files for
+// cmd/rvpredict.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -row derby -out derby.rvpt
+//	tracegen -row ftpserver -events 20000 -out ftp.rvpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tracefile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available benchmark rows")
+		row    = flag.String("row", "", "benchmark row to generate")
+		out    = flag.String("out", "", "output file (default <row>.rvpt)")
+		events = flag.Int("events", 0, "override the row's event count")
+		seed   = flag.Int64("seed", 0, "override the row's random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %8s %7s  planted races (QC/HB/CP/Said/RV)\n", "row", "events", "threads")
+		tr, exp := workloads.Example()
+		fmt.Printf("%-12s %8d %7d  %d/%d/%d/%d/%d\n", "example",
+			tr.Len(), tr.ComputeStats().Threads, exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
+		for _, spec := range workloads.Rows() {
+			_, exp := workloads.Build(specScaled(spec, 0, 0))
+			fmt.Printf("%-12s %8d %7d  %d/%d/%d/%d/%d\n", spec.Name,
+				spec.Events, spec.Workers+1, exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
+		}
+		return
+	}
+
+	if *row == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracegen -row <name> [-out file] (or -list)")
+		os.Exit(2)
+	}
+	var (
+		trc any
+		err error
+	)
+	_ = trc
+	_ = err
+	if *row == "example" {
+		tr, _ := workloads.Example()
+		write(outName(*out, *row), func(f *os.File) error { return tracefile.Encode(f, tr) })
+		return
+	}
+	for _, spec := range workloads.Rows() {
+		if spec.Name == *row {
+			tr, exp := workloads.Build(specScaled(spec, *events, *seed))
+			fmt.Printf("%s: %d events, planted QC=%d HB=%d CP=%d Said=%d RV=%d\n",
+				spec.Name, tr.Len(), exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
+			write(outName(*out, *row), func(f *os.File) error { return tracefile.Encode(f, tr) })
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: unknown row %q (try -list)\n", *row)
+	os.Exit(1)
+}
+
+func specScaled(spec workloads.Spec, events int, seed int64) workloads.Spec {
+	if events > 0 {
+		spec.Events = events
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	return spec
+}
+
+func outName(out, row string) string {
+	if out != "" {
+		return out
+	}
+	return row + ".rvpt"
+}
+
+func write(path string, enc func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

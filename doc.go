@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Maximal Sound
+// Predictive Race Detection with Control Flow Abstraction" (Huang, Meredith
+// and Roșu, PLDI 2014) — the RV-Predict algorithm — together with every
+// substrate it needs and the three sound baselines it is evaluated against.
+//
+// Public packages:
+//
+//   - repro/trace: the execution-trace model (events, consistency axioms,
+//     builder, windowing slices).
+//   - repro/minilang: a small concurrent language whose interpreter emits
+//     paper-shaped traces (the evaluation's workload source).
+//   - repro/rvpredict: the detection API — the maximal control-flow-aware
+//     technique plus the Said et al., causally-precedes, happens-before and
+//     quick-check baselines.
+//
+// Internal packages implement the machinery: a CDCL SAT solver
+// (internal/sat), an incremental Integer Difference Logic theory
+// (internal/idl), a DPLL(T) SMT layer (internal/smt), the Section 3.2
+// constraint encodings (internal/encode), the detectors (internal/core,
+// internal/said, internal/cp, internal/hb, internal/lockset) and the
+// Table 1 benchmark generators (internal/workloads).
+//
+// The benchmark suite in bench_test.go regenerates every experiment;
+// cmd/table1 prints the full Table 1 reproduction. See DESIGN.md for the
+// architecture and EXPERIMENTS.md for paper-versus-measured results.
+package repro

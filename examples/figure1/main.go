@@ -1,0 +1,84 @@
+// Figure 1 of the paper, end to end: the example program is written in
+// minilang, executed to obtain the trace of Figure 4, and analysed with
+// all five techniques. Only the maximal control-flow-aware detector finds
+// the race between x = 1 (line 6) and r2 = x (line 19); the pairs on y and
+// z are proved impossible rather than heuristically skipped.
+//
+//	go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/minilang"
+	"repro/rvpredict"
+)
+
+// The program of Figure 1. Line numbers in this source string are the race
+// report locations: x = 1 is line 6, r2 = x is line 19.
+const figure1 = `shared x, y, z;
+lock l;
+thread t1 {
+  fork t2;
+  lock l;
+  x = 1;
+  y = 1;
+  unlock l;
+  join t2;
+  r3 = z;
+  if (r3 == 0) {
+    skip; // ERROR: authentication failed
+  }
+}
+thread t2 {
+  lock l;
+  r1 = y;
+  unlock l;
+  r2 = x;
+  if (r1 == r2) {
+    z = 1; // authorise resource z
+  }
+}`
+
+func main() {
+	prog, err := minilang.Compile(figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Execute in the order of the paper's Figure 4 (t1 first, then t2).
+	tr, err := prog.Run(minilang.RunOptions{Scheduler: minilang.Sequential{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("observed trace:")
+	for i := 0; i < tr.Len(); i++ {
+		fmt.Printf("  %2d: %s\n", i, tr.Event(i))
+	}
+
+	fmt.Println("\ndetection (the paper's comparison, Section 1):")
+	for _, algo := range []rvpredict.Algorithm{
+		rvpredict.MaximalCF, rvpredict.SaidEtAl,
+		rvpredict.CausallyPrecedes, rvpredict.HappensBefore,
+		rvpredict.QuickCheck,
+	} {
+		rep := rvpredict.Detect(tr, rvpredict.Options{Algorithm: algo, Witness: true})
+		fmt.Printf("  %-4s: %d race(s)\n", algo, len(rep.Races))
+		for _, r := range rep.Races {
+			fmt.Printf("        %s\n", r.Description)
+			if r.Witness != nil {
+				fmt.Printf("        witness: ")
+				for _, idx := range r.Witness {
+					fmt.Printf("%d ", idx)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	fmt.Println("\nThe maximal detector finds the (x=1, r2=x) race that HB and CP")
+	fmt.Println("miss (the lock regions conflict on y) and Said et al. misses (the")
+	fmt.Println("read of y is pinned by whole-trace consistency); the (y) and (z)")
+	fmt.Println("pairs are proved non-races by lock mutual exclusion and fork/join")
+	fmt.Println("order. The unsound quick check cannot tell these cases apart.")
+}

@@ -1,0 +1,29 @@
+// The program of Figure 1 from the paper, as a minilang source file for
+// cmd/minirun:
+//
+//   go run ./cmd/minirun -sched seq -detect all -witness examples/figure1/program.ml
+//
+// The race is between "x = 1" and "r2 = x".
+shared x, y, z;
+lock l;
+thread t1 {
+  fork t2;
+  lock l;
+  x = 1;
+  y = 1;
+  unlock l;
+  join t2;
+  r3 = z;
+  if (r3 == 0) {
+    skip; // ERROR: authentication failed
+  }
+}
+thread t2 {
+  lock l;
+  r1 = y;
+  unlock l;
+  r2 = x;
+  if (r1 == r2) {
+    z = 1; // authorise resource z
+  }
+}

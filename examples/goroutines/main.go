@@ -1,0 +1,65 @@
+// Goroutines: trace collection from a real Go program. The capture package
+// plays the role RVPredict's bytecode instrumentation plays for Java — the
+// program below runs with genuine goroutine scheduling, every instrumented
+// operation is recorded, and the resulting trace is analysed predictively:
+// even if this particular run interleaves harmlessly, the detector explores
+// the reorderings the observed run proves possible.
+//
+//	go run ./examples/goroutines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/capture"
+	"repro/rvpredict"
+)
+
+func main() {
+	rec := capture.NewRecorder()
+
+	hits := capture.NewShared(rec, "hits")         // protected by mu
+	shutdown := capture.NewShared(rec, "shutdown") // written without mu: bug
+	mu := capture.NewMutex(rec, "mu")
+
+	var handles []*capture.Handle
+	for i := 0; i < 3; i++ {
+		handles = append(handles, rec.Go(func(t *capture.Thread) {
+			for j := 0; j < 5; j++ {
+				mu.Lock(t)
+				hits.Store(t, hits.Load(t)+1)
+				mu.Unlock(t)
+			}
+			if shutdown.LoadAt(t, "worker:check-shutdown") == 1 {
+				t.Branch("worker:shutdown-branch")
+			} else {
+				t.Branch("worker:shutdown-branch")
+			}
+		}))
+	}
+
+	shutdown.StoreAt(rec.Main(), "main:set-shutdown", 1)
+	for _, h := range handles {
+		h.Join(rec.Main())
+	}
+
+	tr := rec.Trace()
+	if err := tr.Validate(); err != nil {
+		log.Fatal("recorded trace inconsistent: ", err)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("captured %d events from %d goroutines (%d r/w, %d sync, %d branch)\n",
+		st.Events, st.Threads, st.Accesses, st.Syncs, st.Branches)
+	fmt.Printf("final hits: %d\n\n", hits.Load(rec.Main()))
+
+	rep := rvpredict.Detect(tr, rvpredict.Options{Witness: true})
+	fmt.Printf("races: %d\n", len(rep.Races))
+	for _, r := range rep.Races {
+		fmt.Println("  ", r.Description)
+	}
+	fmt.Println()
+	fmt.Println("expected: the unprotected shutdown flag races between main's")
+	fmt.Println("write and each worker's check; the mu-protected hits counter is")
+	fmt.Println("proved race-free, not merely unobserved.")
+}

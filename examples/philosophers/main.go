@@ -1,0 +1,115 @@
+// Philosophers: predictive deadlock detection on the maximal causal model
+// (the paper's Section 2.5 generalisation to concurrency properties beyond
+// races). Three dining philosophers run once without deadlocking; the
+// detector predicts from that innocent trace which fork orders can
+// deadlock, and proves the gate-protected variant safe.
+//
+//	go run ./examples/philosophers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/minilang"
+	"repro/rvpredict"
+)
+
+// Three philosophers; the first two pick up their forks in opposite
+// orders (a real deadlock); the third follows a global order.
+const unsafeTable = `lock f1, f2, f3;
+shared meals;
+thread table {
+  fork p1;
+  fork p2;
+  fork p3;
+  join p1;
+  join p2;
+  join p3;
+  print meals;
+}
+thread p1 {
+  lock f1;
+  lock f2;
+  meals = meals + 1;
+  unlock f2;
+  unlock f1;
+}
+thread p2 {
+  lock f2;
+  lock f1;
+  meals = meals + 1;
+  unlock f1;
+  unlock f2;
+}
+thread p3 {
+  lock f2;
+  lock f3;
+  meals = meals + 1;
+  unlock f3;
+  unlock f2;
+}`
+
+// The same table with a waiter: every philosopher asks permission (a gate
+// lock) before picking up forks, which prevents the inversion from ever
+// deadlocking — a classic lockset-style false positive that the
+// constraint-based detector proves safe.
+const waiterTable = `lock f1, f2, waiter;
+shared meals;
+thread table {
+  fork p1;
+  fork p2;
+  join p1;
+  join p2;
+  print meals;
+}
+thread p1 {
+  lock waiter;
+  lock f1;
+  lock f2;
+  meals = meals + 1;
+  unlock f2;
+  unlock f1;
+  unlock waiter;
+}
+thread p2 {
+  lock waiter;
+  lock f2;
+  lock f1;
+  meals = meals + 1;
+  unlock f1;
+  unlock f2;
+  unlock waiter;
+}`
+
+func analyse(name, src string) {
+	prog, err := minilang.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The sequential scheduler serialises the philosophers, so the
+	// observed run always completes.
+	tr, err := prog.Run(minilang.RunOptions{Scheduler: minilang.Sequential{}})
+	if err != nil {
+		log.Fatalf("%s: the observed run must complete: %v", name, err)
+	}
+	rep := rvpredict.DetectDeadlocks(tr, rvpredict.Options{Witness: true})
+	fmt.Printf("%s: %d candidate inversion(s), %d real deadlock(s)\n",
+		name, rep.Candidates, len(rep.Deadlocks))
+	for _, d := range rep.Deadlocks {
+		fmt.Println("  ", d.Description)
+		fmt.Print("   witness prefix:")
+		for _, idx := range d.Witness {
+			fmt.Printf(" %d", idx)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Predictive deadlock detection from non-deadlocking runs.")
+	fmt.Println()
+	analyse("opposite fork orders", unsafeTable)
+	analyse("with a waiter (gate lock)", waiterTable)
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a trace with the public API, run the maximal detector,
+// and print the race with its witness schedule.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rvpredict"
+	"repro/trace"
+)
+
+func main() {
+	// Record an execution by hand: two threads touch the shared counter
+	// without synchronisation, while a lock-protected flag is handled
+	// correctly. Location IDs (via At/AtNamed) identify source lines.
+	const (
+		counter trace.Addr = 1
+		flag    trace.Addr = 2
+		mu      trace.Addr = 100
+	)
+	b := trace.NewBuilder()
+	b.AtNamed(1, "worker.go:10").Write(1, counter, 41)
+
+	b.AtNamed(2, "worker.go:20").Acquire(1, mu)
+	b.AtNamed(3, "worker.go:21").Write(1, flag, 1)
+	b.AtNamed(4, "worker.go:22").Release(1, mu)
+
+	b.AtNamed(5, "poller.go:7").Acquire(2, mu)
+	b.AtNamed(6, "poller.go:8").Read(2, flag)
+	b.AtNamed(7, "poller.go:9").Release(2, mu)
+
+	b.AtNamed(8, "poller.go:12").Read(2, counter) // races with worker.go:10
+	tr := b.Trace()
+
+	// Sanity: the recorded trace must be sequentially consistent.
+	if err := tr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	report := rvpredict.Detect(tr, rvpredict.Options{Witness: true})
+	fmt.Printf("checked %d conflicting pairs in %d window(s)\n",
+		report.PairsChecked, report.Windows)
+	for _, r := range report.Races {
+		fmt.Println("RACE:", r.Description)
+		if err := rvpredict.CheckWitness(tr, r.Witness, r.First, r.Second); err != nil {
+			log.Fatal("invalid witness: ", err)
+		}
+		fmt.Println("  witness schedule that makes the accesses adjacent:")
+		for _, idx := range r.Witness {
+			fmt.Printf("    %-24s %s\n", tr.Event(idx), tr.LocName(tr.Event(idx).Loc))
+		}
+	}
+	if len(report.Races) == 0 {
+		fmt.Println("no races detected")
+	}
+
+	// The flag accesses are lock-protected: even though the two critical
+	// sections could be reordered, no reordering makes the two flag
+	// accesses adjacent — the detector proves this, rather than relying on
+	// a lockset heuristic.
+	for _, r := range report.Races {
+		if r.Locations[0] == "worker.go:21" {
+			log.Fatal("the protected flag must not be reported")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Server: a larger simulated workload in the style of the paper's real
+// systems — a request-dispatching server written in minilang with a
+// connection counter, a lock-protected session table, a racy statistics
+// field, and a shutdown flag read without synchronisation. The trace runs
+// to thousands of events and is analysed with windowing, demonstrating the
+// full pipeline at a realistic (if scaled-down) size.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/minilang"
+	"repro/rvpredict"
+)
+
+// A worker template: each worker loops over requests, updating the
+// protected session table and the UNPROTECTED stats counter (the planted
+// race), then checks the shutdown flag (second planted race: the main
+// thread writes it without holding the lock).
+const workerTemplate = `thread w%d {
+  i = 0;
+  while (i < %d) {
+    lock tbl;
+    sessions = sessions + 1;
+    unlock tbl;
+    stats = stats + 1;
+    i = i + 1;
+  }
+  r = shutdown;
+  if (r == 1) {
+    skip;
+  }
+}`
+
+func main() {
+	const workers = 4
+	const requests = 40
+
+	var sb strings.Builder
+	sb.WriteString("shared sessions, stats, shutdown;\nlock tbl;\n")
+	sb.WriteString("thread main {\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, "  fork w%d;\n", i)
+	}
+	sb.WriteString("  shutdown = 1;\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, "  join w%d;\n", i)
+	}
+	fmt.Fprintf(&sb, "  print sessions;\n  print stats;\n}\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, workerTemplate+"\n", i, requests)
+	}
+
+	prog, err := minilang.Compile(sb.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prog.Run(minilang.RunOptions{
+		Scheduler: &minilang.Random{Seed: 42},
+		MaxSteps:  1 << 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("server run: %d events (%d r/w, %d sync, %d branch), %d threads\n",
+		st.Events, st.Accesses, st.Syncs, st.Branches, st.Threads)
+
+	// Analyse twice: with small windows (fast, but the early shutdown
+	// write and the late worker reads land in different windows, so that
+	// race is invisible — the paper's windowing limitation) and with the
+	// whole trace as one window.
+	for _, cfg := range []struct {
+		label  string
+		window int
+	}{
+		{"window=500 ", 500},
+		{"whole trace", -1},
+	} {
+		fmt.Printf("\n--- %s ---\n", cfg.label)
+		for _, algo := range []rvpredict.Algorithm{
+			rvpredict.MaximalCF, rvpredict.CausallyPrecedes, rvpredict.HappensBefore,
+		} {
+			rep := rvpredict.Detect(tr, rvpredict.Options{
+				Algorithm:  algo,
+				WindowSize: cfg.window,
+			})
+			fmt.Printf("%-4s: %d race signature(s) in %v across %d window(s)\n",
+				rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond), rep.Windows)
+			for _, r := range rep.Races {
+				fmt.Printf("      between %s and %s\n", r.Locations[0], r.Locations[1])
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("expected: the stats counter races with itself across workers")
+	fmt.Println("(read-modify-write under no lock) in every configuration; the")
+	fmt.Println("shutdown write races with the workers' final reads but only the")
+	fmt.Println("whole-trace run can see it (the pair straddles windows); the")
+	fmt.Println("lock-protected sessions table is proved race-free everywhere.")
+}

@@ -1,0 +1,347 @@
+// Package core implements the paper's contribution: maximal sound
+// predictive race detection with control flow abstraction (Section 3).
+//
+// For each conflicting operation pair (a, b) surviving the hybrid quick
+// check, the detector builds the formula
+//
+//	Φ = Φ_mhb ∧ Φ_lock ∧ Φ_race,   Φ_race = (O_a = O_b) ∧ ⟨cf⟩(a) ∧ ⟨cf⟩(b)
+//
+// over per-event order variables and decides it with the DPLL(T) solver in
+// internal/smt. ⟨cf⟩(e) reduces the data-abstract feasibility of a race
+// access to the concrete feasibility of the last branch event of every
+// thread that must happen before e (the set B_e); cf of a branch or write
+// conjoins cf of all earlier reads of its thread (local determinism,
+// Section 2.3); and cf of a read is the disjunction over candidate writes
+// of the same value, each feasible, ordered before the read, and not
+// interfered with — built by internal/encode.
+//
+// The cf definitions are mutually recursive and may be cyclic across
+// threads; the encoder allocates one definition literal per event and ties
+// the knot with references (see smt.Ref). Cyclic justifications are
+// automatically excluded: any read-from cycle alternates O_w < O_r atoms
+// with program-order atoms O_r < O_w' and is therefore contradictory in
+// the order theory.
+//
+// Satisfiable ⇒ the COP is a real race, with the model yielding a witness
+// schedule (Theorem 3, soundness); unsatisfiable ⇒ no sound detector can
+// report it from this trace (Theorem 3, maximality).
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/encode"
+	"repro/internal/lockset"
+	"repro/internal/race"
+	"repro/internal/sat"
+	"repro/internal/smt"
+	"repro/internal/vc"
+	"repro/trace"
+)
+
+// Options configures the detector.
+type Options struct {
+	// WindowSize splits the trace into fixed-size windows (Section 4);
+	// ≤ 0 analyses the whole trace at once. The paper's default is 10000.
+	WindowSize int
+	// SolveTimeout bounds each COP's solver run (the paper defaults to one
+	// minute); 0 means no wall-clock bound.
+	SolveTimeout time.Duration
+	// MaxConflicts bounds each COP's CDCL search; 0 means unbounded.
+	MaxConflicts int64
+	// Witness requests witness schedules on detected races.
+	Witness bool
+	// NoQuickCheck disables the hybrid lockset/weak-HB prefilter, sending
+	// every COP to the solver (ablation knob; the result set is unchanged
+	// because quick-check failures are unsatisfiable encodings).
+	NoQuickCheck bool
+	// NoPruning disables the ≺-based constraint reductions of Section 3.2
+	// (ablation knob; results are unchanged, formulas grow).
+	NoPruning bool
+	// MaxAttemptsPerSig bounds how many COPs of one signature are solved
+	// before giving up on that signature (0 = unlimited, the paper's
+	// behaviour).
+	MaxAttemptsPerSig int
+	// MergeRaceVars uses the paper's variable-merging race encoding
+	// (O_a := O_b) instead of the default explicit adjacency
+	// |O_a − O_b| = 1 (ablation knob; merging degenerates the atoms
+	// between the two racing events, see encode.Encoder).
+	MergeRaceVars bool
+	// Parallelism > 1 analyses windows concurrently with that many
+	// workers. The reported signature set always equals the sequential
+	// run's; which COP instance represents a signature (and COPsChecked)
+	// may vary between runs, because workers share signature verdicts to
+	// skip redundant solving. MaxAttemptsPerSig is enforced per window in
+	// parallel mode.
+	Parallelism int
+	// BranchDepWindow, when > 0, assumes each branch and write depends
+	// only on the last K reads of its thread instead of its entire read
+	// history — the weaker-axiom variant sketched in the paper's
+	// Section 2.3 Discussion ("a preceding window of events for each write
+	// and branch in which the read values matter"). It is sound only for
+	// programs whose branch conditions genuinely use bounded read history;
+	// with it the detector may report additional races that the
+	// conservative full-history axioms cannot justify. 0 (default) keeps
+	// the paper's conservative semantics.
+	BranchDepWindow int
+}
+
+// Detector is the paper's maximal race detector ("RV" in Table 1).
+type Detector struct {
+	opt Options
+
+	// skipSig/foundSig, when set, share signature verdicts across the
+	// parallel window workers (see detectParallel).
+	skipSig  func(race.Signature) bool
+	foundSig func(race.Signature)
+}
+
+// New returns a detector with the given options.
+func New(opt Options) *Detector { return &Detector{opt: opt} }
+
+// Name implements race.Detector.
+func (*Detector) Name() string { return "RV" }
+
+// Detect runs maximal race detection over tr.
+func (d *Detector) Detect(tr *trace.Trace) race.Result {
+	if d.opt.Parallelism > 1 {
+		return d.detectParallel(tr)
+	}
+	start := time.Now()
+	var res race.Result
+	seen := make(map[race.Signature]bool)
+	attempts := make(map[race.Signature]int)
+	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		var (
+			sets   *lockset.Sets
+			mhb    *vc.MHB
+			shared *windowSolver
+		)
+		for _, cop := range race.EnumerateCOPs(w) {
+			sig := race.SigOf(w, cop.A, cop.B)
+			if seen[sig] {
+				continue
+			}
+			if d.skipSig != nil && d.skipSig(sig) {
+				continue
+			}
+			if d.opt.MaxAttemptsPerSig > 0 && attempts[sig] >= d.opt.MaxAttemptsPerSig {
+				continue
+			}
+			if mhb == nil {
+				mhb = vc.ComputeMHB(w)
+				if !d.opt.NoQuickCheck {
+					sets = lockset.Compute(w)
+				}
+			}
+			if sets != nil && !sets.Pass(cop.A, cop.B) {
+				continue
+			}
+			res.COPsChecked++
+			attempts[sig]++
+			var (
+				isRace  bool
+				witness []int
+				aborted bool
+			)
+			if d.opt.MergeRaceVars {
+				// Merging fuses the pair onto one order variable, so the
+				// encoding is rebuilt per COP (the ablation path).
+				isRace, witness, aborted = d.checkMerged(w, mhb, cop)
+			} else {
+				if shared == nil {
+					shared = d.newWindowSolver(w, mhb)
+				}
+				isRace, witness, aborted = shared.check(d, cop)
+			}
+			if aborted {
+				res.SolverAborts++
+			}
+			if isRace {
+				seen[sig] = true
+				if d.foundSig != nil {
+					d.foundSig(sig)
+				}
+				r := race.Race{
+					COP: race.COP{A: cop.A + offset, B: cop.B + offset},
+					Sig: sig,
+				}
+				if witness != nil {
+					r.Witness = rebase(witness, offset)
+				}
+				res.Races = append(res.Races, r)
+			}
+		}
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// detectParallel fans the windows out over Parallelism workers. Each
+// window is detected independently (its own solver, quick check and
+// per-window signature budget); the per-window results are merged in
+// window order with cross-window signature deduplication, so the final
+// report is deterministic and equals the sequential report up to which
+// COP instance represents a signature.
+func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
+	start := time.Now()
+	slices := race.WindowSlices(tr, d.opt.WindowSize)
+	perWindow := make([]race.Result, len(slices))
+
+	// Best-effort cross-window deduplication: once any worker proves a
+	// signature racy, other workers skip further instances. This only
+	// suppresses redundant solver calls — the final merge below still
+	// deduplicates deterministically — so the race set is unchanged while
+	// COPsChecked may vary run to run.
+	var sharedSeen sync.Map
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, d.opt.Parallelism)
+	single := *d
+	single.opt.Parallelism = 0
+	single.opt.WindowSize = 0 // each slice is exactly one window
+	single.skipSig = func(sig race.Signature) bool {
+		_, ok := sharedSeen.Load(sig)
+		return ok
+	}
+	single.foundSig = func(sig race.Signature) {
+		sharedSeen.Store(sig, true)
+	}
+	for i := range slices {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perWindow[i] = single.Detect(slices[i].Trace)
+		}(i)
+	}
+	wg.Wait()
+
+	res := race.Result{Windows: len(slices)}
+	seen := make(map[race.Signature]bool)
+	for i, wres := range perWindow {
+		offset := slices[i].Offset
+		res.COPsChecked += wres.COPsChecked
+		res.SolverAborts += wres.SolverAborts
+		for _, r := range wres.Races {
+			if seen[r.Sig] {
+				continue
+			}
+			seen[r.Sig] = true
+			r.A += offset
+			r.B += offset
+			if r.Witness != nil {
+				r.Witness = rebase(r.Witness, offset)
+			}
+			res.Races = append(res.Races, r)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// windowSolver is the long-lived solver of one analysis window: Φ_mhb and
+// Φ_lock are asserted once, cf(e) definitions are memoised across queries,
+// and each COP adds only a guard-conditional race constraint, decided with
+// the guard assumed (sat.SolveAssuming). Learned clauses accumulate across
+// the window's queries.
+type windowSolver struct {
+	s   *smt.Solver
+	enc *encode.Encoder
+	cf  *encode.CF
+	bad bool // window constraints themselves unsatisfiable
+}
+
+func (d *Detector) newWindowSolver(w *trace.Trace, mhb *vc.MHB) *windowSolver {
+	s := smt.NewSolver()
+	enc := encode.New(w, s, mhb, -1, -1)
+	enc.Pruning = !d.opt.NoPruning
+	ws := &windowSolver{s: s, enc: enc, cf: encode.NewCF(enc, s, d.opt.BranchDepWindow)}
+	if err := enc.AssertMHB(); err != nil {
+		ws.bad = true
+	}
+	if err := enc.AssertLocks(); err != nil {
+		ws.bad = true
+	}
+	return ws
+}
+
+// check decides one COP on the shared window solver.
+func (ws *windowSolver) check(d *Detector, cop race.COP) (isRace bool, witness []int, aborted bool) {
+	if ws.bad {
+		return false, nil, false
+	}
+	g := ws.s.NewBoolLit()
+	if err := ws.s.Implies(g, ws.enc.Adjacent(cop.A, cop.B)); err != nil {
+		return false, nil, false
+	}
+	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.A)); err != nil {
+		return false, nil, false
+	}
+	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.B)); err != nil {
+		return false, nil, false
+	}
+	if d.opt.SolveTimeout > 0 {
+		ws.s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
+	}
+	if d.opt.MaxConflicts > 0 {
+		ws.s.SetMaxConflicts(d.opt.MaxConflicts)
+	}
+	switch ws.s.SolveAssuming(g) {
+	case sat.Sat:
+		if d.opt.Witness {
+			witness = ws.enc.Witness(cop.A, cop.B)
+		}
+		return true, witness, false
+	case sat.Aborted:
+		return false, nil, true
+	}
+	return false, nil, false
+}
+
+// checkMerged decides one COP with the paper's variable-merging encoding
+// (ablation path; one solver per COP).
+func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP) (isRace bool, witness []int, aborted bool) {
+	s := smt.NewSolver()
+	if d.opt.SolveTimeout > 0 {
+		s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
+	}
+	if d.opt.MaxConflicts > 0 {
+		s.SetMaxConflicts(d.opt.MaxConflicts)
+	}
+	enc := encode.New(w, s, mhb, cop.A, cop.B)
+	enc.Pruning = !d.opt.NoPruning
+	if err := enc.AssertMHB(); err != nil {
+		return false, nil, false
+	}
+	if err := enc.AssertLocks(); err != nil {
+		return false, nil, false
+	}
+	cf := encode.NewCF(enc, s, d.opt.BranchDepWindow)
+	if err := cf.AssertControlFlow(cop.A); err != nil {
+		return false, nil, false
+	}
+	if err := cf.AssertControlFlow(cop.B); err != nil {
+		return false, nil, false
+	}
+	switch s.Solve() {
+	case sat.Sat:
+		if d.opt.Witness {
+			witness = enc.Witness(cop.A, cop.B)
+		}
+		return true, witness, false
+	case sat.Aborted:
+		return false, nil, true
+	}
+	return false, nil, false
+}
+
+func rebase(idxs []int, offset int) []int {
+	out := make([]int, len(idxs))
+	for i, v := range idxs {
+		out[i] = v + offset
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/race"
+	"repro/trace"
+)
+
+func detect(t *testing.T, tr *trace.Trace, opt Options) race.Result {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture trace invalid: %v", err)
+	}
+	opt.Witness = true
+	return New(opt).Detect(tr)
+}
+
+func sigs(res race.Result) map[race.Signature]bool {
+	out := make(map[race.Signature]bool)
+	for _, r := range res.Races {
+		out[r.Sig] = true
+	}
+	return out
+}
+
+func sig(l1, l2 trace.Loc) race.Signature {
+	if l2 < l1 {
+		l1, l2 = l2, l1
+	}
+	return race.Signature{First: l1, Second: l2}
+}
+
+func TestFigure1DetectsOnlyLine3Line10(t *testing.T) {
+	tr := fixtures.Figure1()
+	res := detect(t, tr, Options{})
+	got := sigs(res)
+	if !got[sig(3, 10)] {
+		t.Errorf("race (3,10) not detected; races: %v", res.Races)
+	}
+	if got[sig(4, 8)] {
+		t.Error("(4,8) must not be a race (lock mutual exclusion)")
+	}
+	if got[sig(12, 15)] {
+		t.Error("(12,15) must not be a race (must-happen-before via join)")
+	}
+	if len(res.Races) != 1 {
+		t.Errorf("races = %v, want exactly {(3,10)}", res.Races)
+	}
+	// The witness must be a valid schedule ending with the racing pair.
+	r := res.Races[0]
+	if err := race.ValidateWitness(tr, r.Witness, r.A, r.B); err != nil {
+		t.Errorf("invalid witness: %v (witness %v)", err, r.Witness)
+	}
+}
+
+func TestFigure1SwitchedNoRace(t *testing.T) {
+	tr := fixtures.Figure1Switched()
+	res := detect(t, tr, Options{})
+	if len(res.Races) != 0 {
+		t.Errorf("switched program has no race, got %v", res.Races)
+	}
+	// The COP must still have been examined (it passes the unsound quick
+	// check — the PECAN false positive of Section 1).
+	if res.COPsChecked == 0 {
+		t.Error("expected the (3,10) COP to reach the solver")
+	}
+}
+
+func TestFigure2CaseNoBranchIsRace(t *testing.T) {
+	tr := fixtures.Figure2(false)
+	res := detect(t, tr, Options{})
+	got := sigs(res)
+	if !got[sig(1, 4)] {
+		t.Errorf("case ¿: race (1,4) not detected; races: %v", res.Races)
+	}
+	for _, r := range res.Races {
+		if err := race.ValidateWitness(tr, r.Witness, r.A, r.B); err != nil {
+			t.Errorf("invalid witness: %v", err)
+		}
+	}
+}
+
+func TestFigure2CaseBranchNoRace(t *testing.T) {
+	tr := fixtures.Figure2(true)
+	res := detect(t, tr, Options{})
+	if got := sigs(res); got[sig(1, 4)] {
+		t.Error("case ¡: (1,4) must not be a race (control dependence on the read of y)")
+	}
+}
+
+func TestNoPruningSameResult(t *testing.T) {
+	for _, tr := range []*trace.Trace{
+		fixtures.Figure1(), fixtures.Figure1Switched(),
+		fixtures.Figure2(false), fixtures.Figure2(true),
+	} {
+		base := detect(t, tr, Options{})
+		noPrune := detect(t, tr, Options{NoPruning: true})
+		if len(base.Races) != len(noPrune.Races) {
+			t.Errorf("pruning changed results: %d vs %d races",
+				len(base.Races), len(noPrune.Races))
+		}
+	}
+}
+
+func TestNoQuickCheckSameResult(t *testing.T) {
+	for _, tr := range []*trace.Trace{
+		fixtures.Figure1(), fixtures.Figure1Switched(), fixtures.Figure2(false),
+	} {
+		base := detect(t, tr, Options{})
+		noQC := detect(t, tr, Options{NoQuickCheck: true})
+		if len(base.Races) != len(noQC.Races) {
+			t.Errorf("quick check changed results: %d vs %d races",
+				len(base.Races), len(noQC.Races))
+		}
+		if noQC.COPsChecked < base.COPsChecked {
+			t.Error("disabling the quick check must not reduce solver calls")
+		}
+	}
+}
+
+func TestMergeRaceVarsOnPaperExamples(t *testing.T) {
+	// The merged encoding agrees with explicit adjacency on the paper's
+	// examples (its known divergence needs a racing read justified by the
+	// racing write, which these examples do not require).
+	for _, tr := range []*trace.Trace{
+		fixtures.Figure1(), fixtures.Figure1Switched(), fixtures.Figure2(true),
+	} {
+		base := detect(t, tr, Options{})
+		merged := detect(t, tr, Options{MergeRaceVars: true})
+		if len(base.Races) != len(merged.Races) {
+			t.Errorf("merged encoding diverges: %d vs %d races",
+				len(base.Races), len(merged.Races))
+		}
+	}
+}
+
+func TestWriteReadRaceReadingFromRacingWrite(t *testing.T) {
+	// A COP whose read is *guarded by a branch* and can only be satisfied
+	// by reading from the racing write itself: t1 writes x=1; t2 reads x=1,
+	// branches, then writes y. The racing pair is (write x, read x); the
+	// read's cf is needed for the *other* pair (write y vs read y)? Keep it
+	// simpler: the (w x, r x) adjacency in direction write-then-read lets
+	// the read keep its value. Explicit adjacency must find it.
+	b := trace.NewBuilder()
+	b.At(1).Write(1, 7, 1)
+	b.At(2).ReadV(2, 7, 1)
+	tr := b.Trace()
+	res := detect(t, tr, Options{})
+	if len(res.Races) != 1 {
+		t.Fatalf("expected one race, got %v", res.Races)
+	}
+}
+
+func TestControlDependentReadNeedsRacingWrite(t *testing.T) {
+	// t2's read of x sees 1 (written only by t1's racing write), then
+	// branches, then reads g. The COP (w g, r g)… instead test the pair
+	// (w x, r x) where r x itself is the race event and a *later* branch
+	// does not guard it. And the stricter case: COP on g where r g follows
+	// the branch guarded by r x — the race on g requires r x to read 1,
+	// which only the racing-adjacent write provides.
+	b := trace.NewBuilder()
+	const x, g trace.Addr = 1, 2
+	b.At(1).Write(1, g, 5) // t1 writes g (racy with t2's read of g)
+	b.At(2).Write(1, x, 1) // t1 writes x
+	b.At(3).ReadV(2, x, 1) // t2 reads x == 1 (only from t1's write)
+	b.At(4).Branch(2)      // if (x == 1)
+	b.At(5).ReadV(2, g, 5) // t2 reads g — races with line 1
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := detect(t, tr, Options{})
+	got := sigs(res)
+	// (1,5) on g: r g is guarded by the branch, whose cf needs r x = 1,
+	// which needs w x before r x; w x precedes w… program order: w g < w x
+	// in t1, so ordering w x < r x < r g forces w g < r g with at least
+	// w x, r x, branch in between? No: w g is *before* w x in t1, so the
+	// schedule w g, w x, r x, branch, r g has w g and r g separated. But
+	// adjacency direction r g then w g? Then r g happens before w g, hence
+	// before w x — but r x must read w x… r x precedes r g in t2. So
+	// (1,5) requires: w x < r x < r g adjacent-to w g, with w g < w x in
+	// program order — contradiction. Not a race.
+	if got[sig(1, 5)] {
+		t.Error("(1,5) on g must not be a race: the guard forces w g before r g")
+	}
+	// (2,3) on x: both adjacency directions examined; write-then-read is
+	// consistent (no branch before either event in their threads).
+	if !got[sig(2, 3)] {
+		t.Errorf("(2,3) on x must be a race; got %v", res.Races)
+	}
+}
+
+func TestWindowingSplitsDetection(t *testing.T) {
+	// Two independent racy pairs far apart; a window smaller than their
+	// distance still finds both (they are intra-window), but a cross-window
+	// pair is not reported.
+	b := trace.NewBuilder()
+	b.At(1).Write(1, 10, 1)
+	b.At(2).ReadV(2, 10, 1)
+	for i := 0; i < 50; i++ {
+		b.At(100).Branch(3) // filler in an unrelated thread
+	}
+	b.At(3).Write(1, 11, 1)
+	b.At(4).ReadV(2, 11, 1)
+	tr := b.Trace()
+	res := detect(t, tr, Options{WindowSize: 10})
+	got := sigs(res)
+	if !got[sig(1, 2)] {
+		t.Error("intra-window race (1,2) missed")
+	}
+	if !got[sig(3, 4)] {
+		t.Error("intra-window race (3,4) missed")
+	}
+	if res.Windows < 5 {
+		t.Errorf("expected multiple windows, got %d", res.Windows)
+	}
+
+	// Cross-window pair: write in one window, read 50 events later.
+	b2 := trace.NewBuilder()
+	b2.At(1).Write(1, 10, 1)
+	for i := 0; i < 50; i++ {
+		b2.At(100).Branch(3)
+	}
+	b2.At(2).ReadV(2, 10, 1)
+	res2 := detect(t, b2.Trace(), Options{WindowSize: 10})
+	if len(res2.Races) != 0 {
+		t.Errorf("cross-window race must not be reported, got %v", res2.Races)
+	}
+}
+
+func TestSignatureDedup(t *testing.T) {
+	// The same static pair racing many times is reported once.
+	b := trace.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.At(1).Write(1, 10, int64(i))
+		b.At(2).Write(2, 10, int64(i*2+1))
+	}
+	res := detect(t, b.Trace(), Options{})
+	if len(res.Races) != 1 {
+		t.Errorf("want 1 deduplicated race, got %d", len(res.Races))
+	}
+}
+
+func TestMaxAttemptsPerSig(t *testing.T) {
+	// With attempts capped at 1 and the first COP of the signature
+	// unsatisfiable, the signature is abandoned.
+	// The first enumerated COP of the signature must pass the quick check
+	// (so it consumes an attempt) but be unsatisfiable; a Figure-2-style
+	// control dependence provides that. A later COP of the same signature
+	// is a plain race.
+	b := trace.NewBuilder()
+	const x, y trace.Addr = 10, 11
+	b.At(1).Write(1, x, 1)
+	b.At(9).Write(1, y, 1)
+	b.At(8).ReadV(2, y, 1) // t2 must see y == 1 …
+	b.At(8).Branch(2)      // … because this branch depends on it,
+	b.At(2).ReadV(2, x, 1) // making COP(0,4) infeasible (w y, r y between).
+	b.At(1).Write(1, x, 2) // same locations again:
+	b.At(2).ReadV(3, x, 2) // COP(5,6) and COP(0,6) race freely.
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	capped := detect(t, tr, Options{MaxAttemptsPerSig: 1})
+	uncapped := detect(t, tr, Options{})
+	if !sigs(uncapped)[sig(1, 2)] {
+		t.Fatalf("uncapped should find the (1,2) race, got %v", uncapped.Races)
+	}
+	if sigs(capped)[sig(1, 2)] {
+		t.Fatalf("capped at 1 attempt should give up on signature (1,2), got %v", capped.Races)
+	}
+}
+
+func TestWitnessesAlwaysValid(t *testing.T) {
+	for _, tr := range []*trace.Trace{
+		fixtures.Figure1(), fixtures.Figure2(false),
+	} {
+		res := detect(t, tr, Options{})
+		for _, r := range res.Races {
+			if r.Witness == nil {
+				t.Error("witness requested but missing")
+				continue
+			}
+			if err := race.ValidateWitness(tr, r.Witness, r.A, r.B); err != nil {
+				t.Errorf("invalid witness %v: %v", r.Witness, err)
+			}
+		}
+	}
+}
+
+func TestBranchDepWindowWeakensAxioms(t *testing.T) {
+	// t2's branch reads z last; under the conservative axioms it also
+	// depends on the earlier read of y, which pins the reordering. With a
+	// dependence window of 1 only the read of z (of the initial value)
+	// matters, and the (x) race becomes justifiable.
+	b := trace.NewBuilder()
+	const x, y, z trace.Addr = 1, 2, 3
+	b.At(1).Write(1, x, 1)
+	b.At(2).Write(1, y, 1)
+	b.At(3).ReadV(2, y, 1)
+	b.At(4).ReadV(2, z, 0)
+	b.At(5).Branch(2)
+	b.At(6).ReadV(2, x, 1)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	conservative := detect(t, tr, Options{})
+	if sigs(conservative)[sig(1, 6)] {
+		t.Error("conservative axioms must not justify the (x) race")
+	}
+	weakened := detect(t, tr, Options{BranchDepWindow: 1})
+	if !sigs(weakened)[sig(1, 6)] {
+		t.Errorf("window-1 dependence must justify the (x) race, got %v", weakened.Races)
+	}
+	// The (y) pair is a plain race under both.
+	if !sigs(conservative)[sig(2, 3)] || !sigs(weakened)[sig(2, 3)] {
+		t.Error("the (y) race must be reported in both modes")
+	}
+}
+
+func TestParallelismMatchesSequential(t *testing.T) {
+	// A multi-window trace analysed with 1 and 4 workers yields identical
+	// signature sets, and the parallel report is deterministic.
+	b := trace.NewBuilder()
+	loc := trace.Loc(1)
+	for i := 0; i < 12; i++ {
+		x := trace.Addr(10 + i)
+		b.At(loc).Write(1, x, 1)
+		loc++
+		b.At(loc).ReadV(2, x, 1)
+		loc++
+		for j := 0; j < 20; j++ {
+			b.At(0).Branch(3)
+		}
+	}
+	tr := b.Trace()
+	seq := detect(t, tr, Options{WindowSize: 50})
+	par1 := detect(t, tr, Options{WindowSize: 50, Parallelism: 4})
+	par2 := detect(t, tr, Options{WindowSize: 50, Parallelism: 4})
+	if len(seq.Races) == 0 {
+		t.Fatal("expected races in the fixture")
+	}
+	s1, s2 := sigs(seq), sigs(par1)
+	if len(s1) != len(s2) {
+		t.Fatalf("parallel races = %d, sequential = %d", len(s2), len(s1))
+	}
+	for sg := range s1 {
+		if !s2[sg] {
+			t.Errorf("parallel run missed %v", sg)
+		}
+	}
+	for i := range par1.Races {
+		if par1.Races[i].Sig != par2.Races[i].Sig {
+			t.Fatal("parallel runs are not deterministic")
+		}
+	}
+	if par1.Windows != seq.Windows {
+		t.Errorf("windows %d vs %d", par1.Windows, seq.Windows)
+	}
+}

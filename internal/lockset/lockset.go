@@ -1,0 +1,157 @@
+// Package lockset implements the unsound hybrid "quick check" of Section 4:
+// Eraser-style locksets combined with a weaker happens-before (must-happen-
+// before only, ignoring lock edges — in the spirit of PECAN, which the
+// paper cites as its quick-check). A COP passes the check when the two
+// accesses hold no common lock and are not must-ordered.
+//
+// The pass is a strict over-approximation of the real races derivable from
+// the trace: every true predictable race passes it (locksets of racing
+// accesses are disjoint and MHB never orders a race), but passing pairs may
+// still be infeasible. The paper reports the number of passing signatures
+// as Table 1's "QC" column and uses the check to avoid building constraints
+// for hopeless COPs.
+package lockset
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/race"
+	"repro/internal/vc"
+	"repro/trace"
+)
+
+// Sets holds the lockset of every access event of one trace, plus the
+// must-happen-before clocks used for the weak-HB part of the check.
+type Sets struct {
+	held map[int][]trace.Addr // event index -> sorted locks held
+	mhb  *vc.MHB
+}
+
+// Compute scans tr once, recording the set of locks held at every shared
+// access, and computes the MHB clocks.
+//
+// Windowed traces can begin inside a critical section; the owning thread's
+// membership is inferred from releases that have no matching in-window
+// acquire, so accesses before such a release still carry the lock (without
+// this, window boundaries leak spurious quick-check positives).
+func Compute(tr *trace.Trace) *Sets {
+	held := make(map[int][]trace.Addr)
+	cur := make(map[trace.TID]map[trace.Addr]bool)
+	// Pre-scan: locks released without an in-window acquire were held from
+	// the window start.
+	acquired := make(map[trace.TID]map[trace.Addr]bool)
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.Event(i)
+		switch e.Op {
+		case trace.OpAcquire:
+			if acquired[e.Tid] == nil {
+				acquired[e.Tid] = make(map[trace.Addr]bool)
+			}
+			acquired[e.Tid][e.Addr] = true
+		case trace.OpRelease:
+			if !acquired[e.Tid][e.Addr] {
+				if cur[e.Tid] == nil {
+					cur[e.Tid] = make(map[trace.Addr]bool)
+				}
+				cur[e.Tid][e.Addr] = true
+			}
+		}
+	}
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.Event(i)
+		switch e.Op {
+		case trace.OpAcquire:
+			m := cur[e.Tid]
+			if m == nil {
+				m = make(map[trace.Addr]bool)
+				cur[e.Tid] = m
+			}
+			m[e.Addr] = true
+		case trace.OpRelease:
+			delete(cur[e.Tid], e.Addr)
+		case trace.OpRead, trace.OpWrite:
+			if m := cur[e.Tid]; len(m) > 0 {
+				ls := make([]trace.Addr, 0, len(m))
+				for l := range m {
+					ls = append(ls, l)
+				}
+				sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+				held[i] = ls
+			}
+		}
+	}
+	return &Sets{held: held, mhb: vc.ComputeMHB(tr)}
+}
+
+// Held returns the sorted locks held at access event i (nil if none).
+func (s *Sets) Held(i int) []trace.Addr { return s.held[i] }
+
+// Disjoint reports whether the locksets of events i and j share no lock.
+func (s *Sets) Disjoint(i, j int) bool {
+	a, b := s.held[i], s.held[j]
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			return false
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	return true
+}
+
+// Pass reports whether the COP (a, b) passes the quick check: disjoint
+// locksets and MHB-concurrent.
+func (s *Sets) Pass(a, b int) bool {
+	return s.Disjoint(a, b) && !s.mhb.Ordered(a, b)
+}
+
+// Options configures the quick-check detector.
+type Options struct {
+	// WindowSize splits the trace into fixed-size windows; ≤ 0 analyses
+	// the whole trace at once.
+	WindowSize int
+}
+
+// Detector reports every COP signature passing the hybrid quick check.
+// It is unsound (may report false positives) and exists to regenerate the
+// QC column of Table 1 and to pre-filter the SMT pipeline.
+type Detector struct {
+	opt Options
+}
+
+// New returns a quick-check detector.
+func New(opt Options) *Detector { return &Detector{opt: opt} }
+
+// Name implements race.Detector.
+func (*Detector) Name() string { return "QC" }
+
+// Detect reports all COPs passing the quick check, one per signature.
+func (d *Detector) Detect(tr *trace.Trace) race.Result {
+	start := time.Now()
+	var res race.Result
+	seen := make(map[race.Signature]bool)
+	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		sets := Compute(w)
+		for _, cop := range race.EnumerateCOPs(w) {
+			sig := race.SigOf(w, cop.A, cop.B)
+			if seen[sig] {
+				continue
+			}
+			res.COPsChecked++
+			if sets.Pass(cop.A, cop.B) {
+				seen[sig] = true
+				res.Races = append(res.Races, race.Race{
+					COP: race.COP{A: cop.A + offset, B: cop.B + offset},
+					Sig: sig,
+				})
+			}
+		}
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}

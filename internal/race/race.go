@@ -1,0 +1,174 @@
+// Package race defines the vocabulary shared by all detectors in this
+// repository: conflicting operation pairs (COPs, Definition 3 of the
+// paper), race signatures (the static location pairs used for
+// deduplication, Section 4), detection results, and the windowing driver
+// every technique uses on long traces.
+package race
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/trace"
+)
+
+// COP is a conflicting operation pair: indices A < B of two events in one
+// trace that access the same location from different threads, at least one
+// writing (Definition 3).
+type COP struct {
+	A, B int
+}
+
+// Signature is the static identity of a race: the unordered pair of program
+// locations of its two accesses. The paper prunes all COPs sharing a
+// signature once one of them is proven to race.
+type Signature struct {
+	First, Second trace.Loc // First ≤ Second
+}
+
+// SigOf returns the signature of the COP (a, b) in tr.
+func SigOf(tr *trace.Trace, a, b int) Signature {
+	l1, l2 := tr.Event(a).Loc, tr.Event(b).Loc
+	if l2 < l1 {
+		l1, l2 = l2, l1
+	}
+	return Signature{First: l1, Second: l2}
+}
+
+// Race is one detected race, with an optional witness schedule.
+type Race struct {
+	COP
+	Sig Signature
+	// Witness, when non-nil, lists event indices of a consistent reordered
+	// prefix ending with the two racing accesses adjacent — the trace τ₁ab
+	// of Definition 4. Only the SMT-based detectors produce witnesses.
+	Witness []int
+}
+
+// Describe renders the race with location names from tr.
+func (r Race) Describe(tr *trace.Trace) string {
+	return fmt.Sprintf("race(%s, %s) between %v and %v",
+		tr.LocName(tr.Event(r.A).Loc), tr.LocName(tr.Event(r.B).Loc),
+		tr.Event(r.A), tr.Event(r.B))
+}
+
+// Result is the outcome of running one detector on one trace.
+type Result struct {
+	// Races holds one entry per distinct signature, in detection order.
+	Races []Race
+	// COPsChecked counts candidate pairs examined (after any quick-check
+	// filtering and signature deduplication).
+	COPsChecked int
+	// Windows is the number of trace windows analysed.
+	Windows int
+	// Elapsed is the total detection wall-clock time.
+	Elapsed time.Duration
+	// SolverAborts counts per-COP solver timeouts/budget exhaustions
+	// (SMT-based detectors only); aborted COPs are conservatively treated
+	// as non-races, like the paper's one-minute timeout.
+	SolverAborts int
+}
+
+// Count returns the number of distinct races found.
+func (r Result) Count() int { return len(r.Races) }
+
+// Detector is the common interface of the four techniques (RV, Said, CP,
+// HB), used by the evaluation harness.
+type Detector interface {
+	Name() string
+	Detect(tr *trace.Trace) Result
+}
+
+// EnumerateCOPs returns all conflicting operation pairs of tr, grouped by
+// location and ordered deterministically (by A, then B). Accesses to
+// volatile locations are skipped: conflicting volatile accesses are not
+// data races (Section 4).
+func EnumerateCOPs(tr *trace.Trace) []COP {
+	byAddr := make(map[trace.Addr][]int)
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.Event(i)
+		if e.Op.IsAccess() && !tr.Volatile(e.Addr) {
+			byAddr[e.Addr] = append(byAddr[e.Addr], i)
+		}
+	}
+	addrs := make([]trace.Addr, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	var out []COP
+	for _, a := range addrs {
+		idxs := byAddr[a]
+		for i := 0; i < len(idxs); i++ {
+			ei := tr.Event(idxs[i])
+			for j := i + 1; j < len(idxs); j++ {
+				ej := tr.Event(idxs[j])
+				if ei.ConflictsWith(ej) {
+					out = append(out, COP{A: idxs[i], B: idxs[j]})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Windows invokes f on consecutive fixed-size windows of tr (the strategy
+// of Section 4; the last window may be shorter). offset is the index of the
+// window's first event in tr, letting callers report global indices.
+// A size ≤ 0 means a single window covering the whole trace.
+//
+// Each window is analysed as an execution in its own right whose initial
+// memory state is the state observed at the window boundary: the last
+// written value of every location in the preceding prefix is installed as
+// the window's initial value. Without this, any read whose writer fell in
+// an earlier window would be unsatisfiable under the read-consistency
+// encodings, silently suppressing races near window boundaries.
+func Windows(tr *trace.Trace, size int, f func(w *trace.Trace, offset int)) int {
+	ws := WindowSlices(tr, size)
+	for _, w := range ws {
+		f(w.Trace, w.Offset)
+	}
+	return len(ws)
+}
+
+// WindowSlice is one analysis window with its offset in the parent trace.
+type WindowSlice struct {
+	Trace  *trace.Trace
+	Offset int
+}
+
+// WindowSlices materialises the windows of tr (see Windows), each with the
+// carried-in initial memory state installed. The slices are independent,
+// so callers may analyse them concurrently.
+func WindowSlices(tr *trace.Trace, size int) []WindowSlice {
+	if size <= 0 || tr.Len() <= size {
+		return []WindowSlice{{Trace: tr, Offset: 0}}
+	}
+	carried := make(map[trace.Addr]int64)
+	var out []WindowSlice
+	for lo := 0; lo < tr.Len(); lo += size {
+		hi := lo + size
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		w := tr.Slice(lo, hi)
+		for a, v := range carried {
+			w.SetInitial(a, v)
+		}
+		out = append(out, WindowSlice{Trace: w, Offset: lo})
+		for i := lo; i < hi; i++ {
+			if e := tr.Event(i); e.Op == trace.OpWrite {
+				carried[e.Addr] = e.Value
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package race
+
+import (
+	"testing"
+
+	"repro/trace"
+)
+
+func TestEnumerateCOPs(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write(1, 5, 1) // 0
+	b.ReadV(2, 5, 1) // 1: conflicts with 0
+	b.ReadV(1, 5, 1) // 2: same thread as 0, no conflict with 0; read-read with 1
+	b.Write(2, 6, 1) // 3: different location
+	b.Write(1, 6, 2) // 4: conflicts with 3
+	b.Branch(1)      // 5: not an access
+	tr := b.Trace()
+	cops := EnumerateCOPs(tr)
+	want := []COP{{A: 0, B: 1}, {A: 3, B: 4}}
+	if len(cops) != len(want) {
+		t.Fatalf("EnumerateCOPs = %v, want %v", cops, want)
+	}
+	for i := range want {
+		if cops[i] != want[i] {
+			t.Errorf("cop[%d] = %v, want %v", i, cops[i], want[i])
+		}
+	}
+}
+
+func TestEnumerateSkipsVolatile(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Volatile(5)
+	b.Write(1, 5, 1)
+	b.ReadV(2, 5, 1)
+	if cops := EnumerateCOPs(b.Trace()); len(cops) != 0 {
+		t.Errorf("volatile accesses must not form COPs, got %v", cops)
+	}
+}
+
+func TestSigOfNormalises(t *testing.T) {
+	b := trace.NewBuilder()
+	b.At(9).Write(1, 5, 1)
+	b.At(2).ReadV(2, 5, 1)
+	tr := b.Trace()
+	s1 := SigOf(tr, 0, 1)
+	s2 := SigOf(tr, 1, 0)
+	if s1 != s2 {
+		t.Errorf("signature must be unordered: %v vs %v", s1, s2)
+	}
+	if s1.First != 2 || s1.Second != 9 {
+		t.Errorf("signature = %v, want {2 9}", s1)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	b := trace.NewBuilder()
+	for i := 0; i < 25; i++ {
+		b.Branch(1)
+	}
+	tr := b.Trace()
+	var offsets []int
+	var sizes []int
+	n := Windows(tr, 10, func(w *trace.Trace, offset int) {
+		offsets = append(offsets, offset)
+		sizes = append(sizes, w.Len())
+	})
+	if n != 3 {
+		t.Fatalf("Windows = %d, want 3", n)
+	}
+	if offsets[0] != 0 || offsets[1] != 10 || offsets[2] != 20 {
+		t.Errorf("offsets = %v", offsets)
+	}
+	if sizes[0] != 10 || sizes[1] != 10 || sizes[2] != 5 {
+		t.Errorf("sizes = %v", sizes)
+	}
+
+	// Whole-trace mode.
+	n = Windows(tr, 0, func(w *trace.Trace, offset int) {
+		if offset != 0 || w.Len() != 25 {
+			t.Errorf("whole-trace window wrong: offset=%d len=%d", offset, w.Len())
+		}
+	})
+	if n != 1 {
+		t.Errorf("whole-trace Windows = %d, want 1", n)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	b := trace.NewBuilder()
+	b.AtNamed(1, "Main.java:3").Write(1, 5, 1)
+	b.AtNamed(2, "Main.java:10").ReadV(2, 5, 1)
+	tr := b.Trace()
+	r := Race{COP: COP{A: 0, B: 1}, Sig: SigOf(tr, 0, 1)}
+	got := r.Describe(tr)
+	for _, sub := range []string{"Main.java:3", "Main.java:10", "write(t1, x5, 1)"} {
+		if !contains(got, sub) {
+			t.Errorf("Describe = %q missing %q", got, sub)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestValidateWitness(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Fork(1, 2)     // 0
+	b.Write(1, 5, 1) // 1
+	b.Begin(2)       // 2
+	b.ReadV(2, 5, 1) // 3
+	tr := b.Trace()
+
+	// Valid: fork, begin, write, read with (1,3) racing.
+	if err := ValidateWitness(tr, []int{0, 2, 1, 3}, 1, 3); err != nil {
+		t.Errorf("valid witness rejected: %v", err)
+	}
+	// Racing pair not last.
+	if err := ValidateWitness(tr, []int{0, 1, 3, 2}, 1, 3); err == nil {
+		t.Error("pair must be the last two events")
+	}
+	// Program order violated.
+	if err := ValidateWitness(tr, []int{2, 0, 1, 3}, 1, 3); err == nil {
+		t.Error("begin before fork must be rejected")
+	}
+	// Duplicate event.
+	if err := ValidateWitness(tr, []int{0, 0, 1, 3}, 1, 3); err == nil {
+		t.Error("duplicate events must be rejected")
+	}
+	// Too short.
+	if err := ValidateWitness(tr, []int{3}, 1, 3); err == nil {
+		t.Error("single-event witness must be rejected")
+	}
+}
+
+func TestValidateWitnessLockDiscipline(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acquire(1, 9)  // 0
+	b.Write(1, 5, 1) // 1
+	b.Release(1, 9)  // 2
+	b.Acquire(2, 9)  // 3
+	b.ReadV(2, 5, 1) // 4
+	tr := b.Trace()
+	// Interleaved acquires: t2 acquires while t1 holds.
+	if err := ValidateWitness(tr, []int{0, 3, 1, 4}, 1, 4); err == nil {
+		t.Error("overlapping critical sections must be rejected")
+	}
+	// Proper: t1's section completes first.
+	if err := ValidateWitness(tr, []int{0, 1, 2, 3, 1, 4}, 1, 4); err == nil {
+		t.Error("duplicate write must be rejected")
+	}
+	if err := ValidateWitness(tr, []int{0, 2, 3, 1, 4}, 1, 4); err == nil {
+		t.Error("release without matching program order (missing write before release? program order 1 before 2) must be rejected")
+	}
+}
+
+func TestRenderWitness(t *testing.T) {
+	b := trace.NewBuilder()
+	b.AtNamed(1, "w.go:5").Write(1, 5, 1) // 0
+	b.Begin(2)                            // 1
+	b.AtNamed(2, "r.go:9").ReadV(2, 5, 1) // 2
+	tr := b.Trace()
+	out := RenderWitness(tr, []int{1, 0, 2})
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 4 { // header + three rows
+		t.Fatalf("lines = %d, want 4:\n%s", lines, out)
+	}
+	for _, sub := range []string{"t1", "t2", "write(t1, x5, 1)", "@w.go:5", "← race"} {
+		if !contains(out, sub) {
+			t.Errorf("render missing %q:\n%s", sub, out)
+		}
+	}
+	if got := RenderWitness(tr, nil); got != "" {
+		t.Error("empty witness renders empty")
+	}
+}

@@ -1,0 +1,63 @@
+package race
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/trace"
+)
+
+// RenderWitness lays a witness schedule out as one column per thread, in
+// schedule order — the presentation the paper's figures use for traces —
+// with the final two rows (the racing pair) marked. It is used by the CLI
+// and examples; the output ends with a newline.
+//
+//	      t1                     t2
+//	 1  fork(t1, t2)
+//	 2                        begin(t2)
+//	 …
+//	10  write(t1, x1, 1)                      ← race
+//	11                        read(t2, x1, 1) ← race
+func RenderWitness(tr *trace.Trace, witness []int) string {
+	if len(witness) == 0 {
+		return ""
+	}
+	// Dense column per thread, in order of first appearance.
+	colOf := make(map[trace.TID]int)
+	var tids []trace.TID
+	for _, idx := range witness {
+		t := tr.Event(idx).Tid
+		if _, ok := colOf[t]; !ok {
+			colOf[t] = len(tids)
+			tids = append(tids, t)
+		}
+	}
+	const colWidth = 26
+	var b strings.Builder
+
+	// Header.
+	fmt.Fprintf(&b, "%4s  ", "")
+	for _, t := range tids {
+		fmt.Fprintf(&b, "%-*s", colWidth, fmt.Sprintf("t%d", t))
+	}
+	b.WriteString("\n")
+
+	for row, idx := range witness {
+		e := tr.Event(idx)
+		fmt.Fprintf(&b, "%4d  ", row+1)
+		col := colOf[e.Tid]
+		for c := 0; c < col; c++ {
+			b.WriteString(strings.Repeat(" ", colWidth))
+		}
+		cell := e.String()
+		if loc := tr.LocName(e.Loc); e.Loc != trace.NoLoc {
+			cell += " @" + loc
+		}
+		b.WriteString(cell)
+		if row >= len(witness)-2 {
+			b.WriteString("   ← race")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

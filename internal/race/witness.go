@@ -1,0 +1,138 @@
+package race
+
+import (
+	"fmt"
+
+	"repro/trace"
+)
+
+// ValidateWitness checks that a witness schedule is a legal reordered
+// prefix demonstrating the race (a, b): the two racing events are the last
+// two (in either order), per-thread program order is preserved, fork/join
+// and wait/notify must-orders hold, and lock mutual exclusion is respected
+// (locks may be held at the cut). Read values are not checked: witness
+// traces are data-abstract except for the reads the encoding constrained
+// (the paper's symbolic-value traces of Definition 2).
+//
+// It returns nil if the witness is valid. The function is exported for the
+// test suites and the CLI's witness printer.
+func ValidateWitness(tr *trace.Trace, witness []int, a, b int) error {
+	n := len(witness)
+	if n < 2 {
+		return fmt.Errorf("witness has %d events, want ≥ 2", n)
+	}
+	last, prev := witness[n-1], witness[n-2]
+	if !(prev == a && last == b) && !(prev == b && last == a) {
+		return fmt.Errorf("witness does not end with the racing pair (%d,%d): got …%d,%d",
+			a, b, prev, last)
+	}
+
+	pos := make(map[int]int, n)
+	for p, idx := range witness {
+		if idx < 0 || idx >= tr.Len() {
+			return fmt.Errorf("witness index %d out of range", idx)
+		}
+		if q, dup := pos[idx]; dup {
+			return fmt.Errorf("event %d appears twice (positions %d and %d)", idx, q, p)
+		}
+		pos[idx] = p
+	}
+
+	// Program order per thread: witness positions of a thread's events must
+	// be increasing in original index order.
+	lastPos := make(map[trace.TID]int)
+	lastIdx := make(map[trace.TID]int)
+	for p, idx := range witness {
+		t := tr.Event(idx).Tid
+		if lp, ok := lastPos[t]; ok {
+			if idx < lastIdx[t] {
+				return fmt.Errorf("program order violated in thread t%d: event %d at position %d after event %d at position %d",
+					t, idx, p, lastIdx[t], lp)
+			}
+		}
+		lastPos[t], lastIdx[t] = p, idx
+	}
+	// Program order downward closure: if an event of thread t is in the
+	// witness, all earlier events of t must be too.
+	counted := make(map[trace.TID]int)
+	for _, idx := range witness {
+		counted[tr.Event(idx).Tid]++
+	}
+	perThread := tr.ByThread()
+	for t, cnt := range counted {
+		for k := 0; k < cnt; k++ {
+			if pos[perThread[t][k]] == 0 && perThread[t][k] != witness[0] {
+				return fmt.Errorf("thread t%d event %d missing from witness prefix", t, perThread[t][k])
+			}
+		}
+	}
+
+	// Fork/join and lock discipline along the witness order.
+	forked := make(map[trace.TID]bool)
+	holder := make(map[trace.Addr]trace.TID)
+	held := make(map[trace.Addr]bool)
+	startedBeforeFork := make(map[trace.TID]bool)
+	for _, idx := range witness {
+		e := tr.Event(idx)
+		if e.Op != trace.OpBegin && !forked[e.Tid] {
+			startedBeforeFork[e.Tid] = true
+		}
+		switch e.Op {
+		case trace.OpFork:
+			forked[e.Child()] = true
+		case trace.OpBegin:
+			// A begin needs its fork already scheduled, unless the thread
+			// was never forked in the trace at all (initial thread or
+			// window truncation).
+			if hasFork(tr, e.Tid) && !forked[e.Tid] {
+				return fmt.Errorf("begin(t%d) scheduled before its fork", e.Tid)
+			}
+		case trace.OpJoin:
+			// All events of the child present so far must be before; since
+			// program order closure holds and the child's end is required
+			// by the original trace to precede the join, it is enough that
+			// the child's events in the witness are all positioned earlier,
+			// which program order closure already guarantees.
+		case trace.OpAcquire:
+			if held[e.Addr] {
+				return fmt.Errorf("lock l%d acquired while held by t%d (witness)",
+					e.Addr, holder[e.Addr])
+			}
+			held[e.Addr] = true
+			holder[e.Addr] = e.Tid
+		case trace.OpRelease:
+			if !held[e.Addr] || holder[e.Addr] != e.Tid {
+				// A release without a witnessed acquire is legal only if
+				// the acquire fell before the window; inside a full trace
+				// this is a violation.
+				if hasEarlierAcquire(tr, idx) {
+					return fmt.Errorf("release of l%d by t%d without holding it (witness)",
+						e.Addr, e.Tid)
+				}
+			}
+			held[e.Addr] = false
+		}
+	}
+	return nil
+}
+
+func hasFork(tr *trace.Trace, t trace.TID) bool {
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.Event(i)
+		if e.Op == trace.OpFork && e.Child() == t {
+			return true
+		}
+	}
+	return false
+}
+
+func hasEarlierAcquire(tr *trace.Trace, rel int) bool {
+	e := tr.Event(rel)
+	for i := rel - 1; i >= 0; i-- {
+		f := tr.Event(i)
+		if f.Tid == e.Tid && f.Op == trace.OpAcquire && f.Addr == e.Addr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,893 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with a pluggable theory hook, forming the propositional engine of
+// the DPLL(T) SMT solver in internal/smt.
+//
+// The paper solves its race constraints with Z3 or Yices restricted to
+// Integer Difference Logic; Go has no usable bindings to either, so this
+// repository re-implements the needed solver stack from scratch (see
+// DESIGN.md, substitutions). The solver is deliberately classical:
+// two-watched-literal propagation, first-UIP conflict analysis with clause
+// learning and non-chronological backjumping, VSIDS-style variable activity,
+// phase saving, and Luby restarts.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Var is a propositional variable index, starting at 0.
+type Var int32
+
+// Lit is a literal: variable 2*v for the positive polarity, 2*v+1 for the
+// negation. The zero Lit is the positive literal of variable 0; use
+// MkLit/Neg to construct and transform literals.
+type Lit int32
+
+// MkLit returns the literal of v with the given polarity (true = positive).
+func MkLit(v Var, positive bool) Lit {
+	l := Lit(v << 1)
+	if !positive {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Positive reports whether l is a positive literal.
+func (l Lit) Positive() bool { return l&1 == 0 }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// String renders the literal as "x3" or "¬x3".
+func (l Lit) String() string {
+	if l.Positive() {
+		return fmt.Sprintf("x%d", l.Var())
+	}
+	return fmt.Sprintf("¬x%d", l.Var())
+}
+
+// Value is a three-valued assignment.
+type Value int8
+
+// Truth values.
+const (
+	Unknown Value = iota
+	True
+	False
+)
+
+func (v Value) neg() Value {
+	switch v {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// Theory is the interface between the SAT core and a theory solver, in the
+// DPLL(T) style. The solver informs the theory of every assignment to a
+// theory-relevant literal, in trail order, and asks it to validate partial
+// and full assignments. All methods are called from Solve only.
+type Theory interface {
+	// Relevant reports whether assignments to v concern the theory. The
+	// solver only forwards relevant literals to Assert.
+	Relevant(v Var) bool
+
+	// Assert notifies the theory that lit became true. If the assertion is
+	// inconsistent with previously asserted literals, Assert returns a
+	// non-nil conflict: a set of literals, all currently asserted (lit may
+	// be among them), that are jointly theory-inconsistent. The solver
+	// learns the clause ¬c1 ∨ … ∨ ¬cn.
+	Assert(lit Lit) (conflict []Lit)
+
+	// Push marks a backtracking point, corresponding to a new decision
+	// level in the SAT core.
+	Push()
+
+	// Pop undoes the given number of Push marks, retracting every literal
+	// asserted since.
+	Pop(levels int)
+
+	// Check performs a final consistency check on a full assignment. A nil
+	// conflict means the theory accepts the model; since the solver
+	// backtracks (and hence pops the theory) before Solve returns, a theory
+	// wishing to expose model values should snapshot them during the
+	// successful Check call.
+	Check() (conflict []Lit)
+}
+
+// ErrUnsat is returned by AddClause when the clause set became trivially
+// unsatisfiable at the root level.
+var ErrUnsat = errors.New("sat: formula is unsatisfiable at root level")
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c *clause
+	// blocker is a literal of c; if true, the clause is satisfied and the
+	// watch need not be inspected further.
+	blocker Lit
+}
+
+// Stats aggregates solver counters for benchmarks and diagnostics.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	TheoryProps  int64
+	TheoryConfl  int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New. A Solver may be reused for multiple Solve calls with growing clause
+// sets (incremental use), but is not safe for concurrent use.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+
+	watches [][]watcher // indexed by Lit
+
+	assign []Value // indexed by Var
+	level  []int32 // decision level per var
+	reason []*clause
+	phase  []bool // saved phase per var
+
+	trail    []Lit
+	trailLim []int // trail length at each decision level
+	qhead    int   // propagation queue head
+	thead    int   // theory assertion queue head
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	clauseInc float64
+
+	// assumps holds the literals assumed for the current Solve call; they
+	// are decided first, one per decision level.
+	assumps []Lit
+
+	theory Theory
+
+	// MaxConflicts, when > 0, bounds the total number of conflicts for one
+	// Solve call; exceeding it makes Solve return Aborted.
+	MaxConflicts int64
+
+	// Deadline, when non-zero, aborts the search at the first conflict
+	// after the given wall-clock instant (the per-COP solving timeout of
+	// Section 4).
+	Deadline time.Time
+
+	Stats Stats
+
+	rootUnsat bool
+	model     []Value
+}
+
+// New returns an empty solver. If theory is nil the solver is a plain SAT
+// solver.
+func New(theory Theory) *Solver {
+	s := &Solver{varInc: 1, clauseInc: 1, theory: theory}
+	s.heap.activity = &s.activity
+	return s
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assign))
+	s.assign = append(s.assign, Unknown)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem clauses (excluding learned).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the current learned-clause count.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// SetPhase sets v's initial decision polarity. Phase saving overwrites it
+// as the search assigns v; a good initial phase (e.g. from a known
+// near-model) steers the first descent.
+func (s *Solver) SetPhase(v Var, phase bool) { s.phase[v] = phase }
+
+// value returns the literal's current value.
+func (s *Solver) value(l Lit) Value {
+	v := s.assign[l.Var()]
+	if !l.Positive() {
+		v = v.neg()
+	}
+	return v
+}
+
+// AddClause adds a clause at the root level. Duplicate literals are merged
+// and tautologies dropped. Returns ErrUnsat if the formula became
+// unsatisfiable at the root level (empty clause, or unit propagation from
+// it conflicts immediately).
+func (s *Solver) AddClause(lits ...Lit) error {
+	if s.rootUnsat {
+		return ErrUnsat
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above root level")
+	}
+	// Normalise: sort-free dedup and tautology/falsified-literal removal.
+	out := lits[:0:0]
+	seen := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assign) {
+			panic("sat: literal references unallocated variable")
+		}
+		switch {
+		case seen[l]:
+			continue
+		case seen[l.Neg()]:
+			return nil // tautology
+		case s.value(l) == True:
+			return nil // already satisfied at root
+		case s.value(l) == False:
+			continue // cannot contribute
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.rootUnsat = true
+		return ErrUnsat
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.rootUnsat = true
+			return ErrUnsat
+		}
+		return nil
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return nil
+}
+
+func (s *Solver) watchClause(c *clause) {
+	// Watch the first two literals.
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()],
+		watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()],
+		watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// enqueue assigns l true with the given reason clause and puts it on the
+// propagation queue. The caller must ensure l is currently unassigned.
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Positive() {
+		s.assign[v] = True
+	} else {
+		s.assign[v] = False
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.phase[v] = l.Positive()
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation to fixpoint; it returns the conflicting
+// clause, or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; scan watchers of p (lit.Neg()==p watch list index p)
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if conflict != nil {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			if s.value(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is lits[1].
+			np := p.Neg()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == True {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(
+						s.watches[c.lits[1].Neg()],
+						watcher{c: c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.value(first) == False {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.enqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// assertTheory forwards newly assigned theory-relevant literals to the
+// theory. It returns a theory conflict as a clause of negated asserted
+// literals, or nil.
+func (s *Solver) assertTheory() *clause {
+	if s.theory == nil {
+		s.thead = len(s.trail)
+		return nil
+	}
+	for s.thead < len(s.trail) {
+		l := s.trail[s.thead]
+		s.thead++
+		if !s.theory.Relevant(l.Var()) {
+			continue
+		}
+		s.Stats.TheoryProps++
+		if confl := s.theory.Assert(l); confl != nil {
+			s.Stats.TheoryConfl++
+			return s.conflictClause(confl)
+		}
+	}
+	return nil
+}
+
+// conflictClause converts a theory conflict (a set of true literals) into a
+// clause asserting their negation.
+func (s *Solver) conflictClause(confl []Lit) *clause {
+	lits := make([]Lit, len(confl))
+	for i, l := range confl {
+		if s.value(l) != True {
+			panic("sat: theory conflict contains non-asserted literal " + l.String())
+		}
+		lits[i] = l.Neg()
+	}
+	return &clause{lits: lits, learned: true}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	seen := make(map[Var]bool)
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	reasonLits := func(c *clause, skipFirst bool) []Lit {
+		if skipFirst {
+			return c.lits[1:]
+		}
+		return c.lits
+	}
+
+	c := confl
+	skip := false
+	for {
+		if c.learned {
+			s.bumpClause(c)
+		}
+		for _, q := range reasonLits(c, skip) {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next trail literal at the current decision level that is
+		// marked seen.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+		if c == nil {
+			panic("sat: decision literal reached before first UIP")
+		}
+		skip = c.lits[0] == p
+		if !skip {
+			// Theory-learned reasons may not have p first; locate and move.
+			for i, l := range c.lits {
+				if l == p {
+					c.lits[0], c.lits[i] = c.lits[i], c.lits[0]
+					break
+				}
+			}
+			skip = true
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Conflict clause minimisation: drop literals whose negations are
+	// implied by the remainder of the clause through their reasons.
+	minimised := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q, learnt) {
+			minimised = append(minimised, q)
+		}
+	}
+	learnt = minimised
+
+	// Compute backjump level: highest level among learnt[1:].
+	var back int32
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		back = s.level[learnt[1].Var()]
+	}
+	return learnt, back
+}
+
+// redundant reports whether literal q of a learned clause is implied by the
+// other literals, by checking that its reason's literals are all already in
+// the clause (one-step self-subsumption).
+func (s *Solver) redundant(q Lit, learnt []Lit) bool {
+	c := s.reason[q.Var()]
+	if c == nil {
+		return false
+	}
+	inClause := func(v Var) bool {
+		for _, l := range learnt {
+			if l.Var() == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range c.lits {
+		if l.Var() == q.Var() {
+			continue
+		}
+		if s.level[l.Var()] == 0 {
+			continue
+		}
+		if !inClause(l.Var()) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClauseActivity() { s.clauseInc /= 0.999 }
+
+// maxLearnts bounds the learned-clause database for long-lived solvers
+// (one window's solver serves many conflicting-pair queries).
+const maxLearnts = 20000
+
+// reduceDB removes the lower-activity half of the learned clauses,
+// keeping binary clauses and clauses currently locked as reasons.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < maxLearnts {
+		return
+	}
+	locked := make(map[*clause]bool, len(s.trail))
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			locked[r] = true
+		}
+	}
+	sorted := append([]*clause(nil), s.learnts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].act > sorted[j].act })
+	keep := make(map[*clause]bool, len(sorted)/2)
+	for i, c := range sorted {
+		if i < len(sorted)/2 || len(c.lits) == 2 || locked[c] {
+			keep[c] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if keep[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	// Rebuild all watch lists (simpler than surgical removal and amortised
+	// over maxLearnts conflicts).
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.watchClause(c)
+	}
+	for _, c := range s.learnts {
+		s.watchClause(c)
+	}
+}
+
+// backtrack undoes assignments above the given level.
+func (s *Solver) backtrack(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	if s.theory != nil {
+		s.theory.Pop(int(s.decisionLevel() - level))
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = Unknown
+		s.reason[v] = nil
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = limit
+	if s.thead > limit {
+		s.thead = limit
+	}
+}
+
+// pickBranchLit selects the unassigned variable with highest activity,
+// using its saved phase.
+func (s *Solver) pickBranchLit() (Lit, bool) {
+	for {
+		v, ok := s.heap.popMax()
+		if !ok {
+			return 0, false
+		}
+		if s.assign[v] == Unknown {
+			return MkLit(v, s.phase[v]), true
+		}
+	}
+}
+
+// luby computes the Luby restart sequence element for index i (1-based).
+func luby(i int64) int64 {
+	// Find the finite subsequence containing index i.
+	var k int64 = 1
+	for (1<<uint(k))-1 < i {
+		k++
+	}
+	for (1<<uint(k))-1 != i {
+		i -= (1 << uint(k-1)) - 1
+		k = 1
+		for (1<<uint(k))-1 < i {
+			k++
+		}
+	}
+	return 1 << uint(k-1)
+}
+
+// Result is the outcome of a Solve call.
+type Result int8
+
+// Solve outcomes.
+const (
+	// Unsat means the formula (with the theory) has no model.
+	Unsat Result = iota
+	// Sat means a model was found; read it with ModelValue.
+	Sat
+	// Aborted means the conflict budget was exhausted.
+	Aborted
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	}
+	return "aborted"
+}
+
+// Solve runs the CDCL search and returns Sat, Unsat or (if MaxConflicts was
+// exceeded) Aborted.
+func (s *Solver) Solve() Result { return s.SolveAssuming(nil) }
+
+// SolveAssuming runs the search with the given literals assumed true for
+// this call only. Assumptions are decided first, one per decision level;
+// clauses learned during the call remain valid for future calls, which is
+// what makes one long-lived solver per analysis window efficient across
+// many queries. An Unsat result under assumptions does not poison the
+// solver: later calls with different assumptions may succeed.
+func (s *Solver) SolveAssuming(assumptions []Lit) Result {
+	s.assumps = assumptions
+	defer func() { s.assumps = nil }()
+	if s.rootUnsat {
+		return Unsat
+	}
+	if c := s.propagate(); c != nil {
+		s.rootUnsat = true
+		return Unsat
+	}
+	if c := s.assertTheory(); c != nil {
+		// A theory conflict at root level over root-level assignments.
+		s.rootUnsat = true
+		return Unsat
+	}
+
+	var conflicts int64
+	restartBase := int64(100)
+	restartNum := int64(1)
+	budget := restartBase * luby(restartNum)
+
+	for {
+		confl := s.propagate()
+		if confl == nil {
+			confl = s.assertTheory()
+		}
+		if confl == nil {
+			if dl := int(s.decisionLevel()); dl < len(s.assumps) {
+				// Establish the next assumption as a decision.
+				p := s.assumps[dl]
+				switch s.value(p) {
+				case True:
+					// Already implied: open a dummy level to keep the
+					// assumption-index/decision-level correspondence.
+					s.trailLim = append(s.trailLim, len(s.trail))
+					if s.theory != nil {
+						s.theory.Push()
+					}
+				case False:
+					// The assumptions are jointly inconsistent with the
+					// clause set: unsat under these assumptions only.
+					s.backtrack(0)
+					return Unsat
+				default:
+					s.Stats.Decisions++
+					s.trailLim = append(s.trailLim, len(s.trail))
+					if s.theory != nil {
+						s.theory.Push()
+					}
+					s.enqueue(p, nil)
+				}
+				continue
+			}
+			l, ok := s.pickBranchLit()
+			if !ok {
+				// Full assignment; ask the theory for a final verdict.
+				if s.theory != nil {
+					if tc := s.theory.Check(); tc != nil {
+						s.Stats.TheoryConfl++
+						confl = s.conflictClause(tc)
+					}
+				}
+				if confl == nil {
+					s.model = append(s.model[:0], s.assign...)
+					s.backtrack(0)
+					return Sat
+				}
+			} else {
+				s.Stats.Decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				if s.theory != nil {
+					s.theory.Push()
+				}
+				s.enqueue(l, nil)
+				continue
+			}
+		}
+
+		// Conflict handling. Theory conflicts need not involve the current
+		// decision level; back off to the highest level present in the
+		// clause so analyze always finds a current-level literal.
+		conflicts++
+		s.Stats.Conflicts++
+		var top int32
+		for _, l := range confl.lits {
+			if s.level[l.Var()] > top {
+				top = s.level[l.Var()]
+			}
+		}
+		if top == 0 {
+			s.rootUnsat = true
+			return Unsat
+		}
+		s.backtrack(top)
+		learnt, back := s.analyze(confl)
+		s.backtrack(back)
+		s.learn(learnt)
+		s.decayVarActivity()
+		s.decayClauseActivity()
+		if s.MaxConflicts > 0 && conflicts >= s.MaxConflicts {
+			s.backtrack(0)
+			return Aborted
+		}
+		if !s.Deadline.IsZero() && conflicts%64 == 0 && time.Now().After(s.Deadline) {
+			s.backtrack(0)
+			return Aborted
+		}
+		if conflicts >= budget {
+			s.Stats.Restarts++
+			restartNum++
+			budget = conflicts + restartBase*luby(restartNum)
+			s.backtrack(0)
+			// Restarts return to level 0, where the watch lists can be
+			// rebuilt safely; trim the learned-clause database if needed.
+			s.reduceDB()
+		}
+	}
+}
+
+// learn records a learned clause (asserting literal first) and enqueues its
+// asserting literal.
+func (s *Solver) learn(lits []Lit) {
+	s.Stats.Learned++
+	if len(lits) == 1 {
+		s.enqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: lits, learned: true}
+	s.learnts = append(s.learnts, c)
+	s.watchClause(c)
+	s.enqueue(lits[0], c)
+}
+
+// ModelValue returns the value of v in the most recent Sat model.
+func (s *Solver) ModelValue(v Var) Value {
+	if int(v) >= len(s.model) {
+		return Unknown
+	}
+	return s.model[v]
+}
+
+// varHeap is a max-heap of variables ordered by activity.
+type varHeap struct {
+	data     []Var
+	pos      []int // var -> index in data, -1 if absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.activity)[h.data[i]] > (*h.activity)[h.data[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = i
+	h.pos[h.data[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *varHeap) push(v Var) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) popMax() (Var, bool) {
+	if len(h.data) == 0 {
+		return 0, false
+	}
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v Var) {
+	if int(v) < len(h.pos) && h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}

@@ -1,0 +1,208 @@
+// Package smt provides the SMT solver used by the race detectors: boolean
+// combinations of Integer Difference Logic atoms, decided by DPLL(T) over
+// the CDCL core (internal/sat) and the incremental IDL theory
+// (internal/idl).
+//
+// The race-detection encodings of Section 3.2 produce exactly this
+// fragment: order variables O_e per event, difference atoms O_a − O_b ≤ c
+// (mostly strict orderings O_a < O_b), conjunctions (Φ_mhb, the cf read
+// histories) and disjunctions (Φ_lock, the per-read candidate-write
+// choices). Formula values are immutable DAG nodes; the encoder shares
+// subformulas (the memoised cf(e) of the paper) and the Tseitin-style
+// translation emits clauses once per shared node.
+package smt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/idl"
+	"repro/internal/sat"
+)
+
+// IntVar is an integer-valued variable of the difference logic, e.g. the
+// order variable O_e of one event.
+type IntVar = idl.VarID
+
+// Atom is the IDL atom X − Y ≤ C.
+type Atom struct {
+	X, Y IntVar
+	C    int64
+}
+
+func (a Atom) String() string {
+	if a.C == -1 {
+		return fmt.Sprintf("o%d < o%d", a.X, a.Y)
+	}
+	return fmt.Sprintf("o%d - o%d <= %d", a.X, a.Y, a.C)
+}
+
+// kind discriminates formula nodes.
+type kind uint8
+
+const (
+	kTrue kind = iota
+	kFalse
+	kAtom
+	kAnd
+	kOr
+	kLit
+)
+
+// Formula is an immutable node of a formula DAG over IDL atoms. Formulas
+// are built with the package-level constructors, which fold constants and
+// collapse singletons; sharing a *Formula pointer shares its encoding.
+//
+// The fragment is positive: there is no negation node, because the race
+// encodings never negate composite formulas, and a negated atom is just the
+// complementary atom (¬(x−y≤c) ≡ y−x≤−c−1), expressible by swapping the
+// Diff arguments.
+type Formula struct {
+	kind kind
+	atom Atom
+	kids []*Formula
+	lit  sat.Lit // kLit: a solver literal (see Solver.NewBoolLit / Ref)
+}
+
+var (
+	trueF  = &Formula{kind: kTrue}
+	falseF = &Formula{kind: kFalse}
+)
+
+// True returns the constant true formula.
+func True() *Formula { return trueF }
+
+// False returns the constant false formula.
+func False() *Formula { return falseF }
+
+// IsTrue reports whether f is the constant true.
+func (f *Formula) IsTrue() bool { return f.kind == kTrue }
+
+// IsFalse reports whether f is the constant false.
+func (f *Formula) IsFalse() bool { return f.kind == kFalse }
+
+// Diff returns the atom x − y ≤ c.
+func Diff(x, y IntVar, c int64) *Formula {
+	return &Formula{kind: kAtom, atom: Atom{X: x, Y: y, C: c}}
+}
+
+// Less returns x < y (x − y ≤ −1 over the integers).
+func Less(x, y IntVar) *Formula { return Diff(x, y, -1) }
+
+// LessEq returns x ≤ y.
+func LessEq(x, y IntVar) *Formula { return Diff(x, y, 0) }
+
+// Ref wraps a boolean literal of a particular solver (from
+// Solver.NewBoolLit) as a formula node. It is the knot-tying device for
+// mutually recursive definitions: the cf(e) feasibility formulas of
+// Section 3.2 can reference each other cyclically across threads, so the
+// encoder allocates a literal per event up front and defines it with
+// Solver.Implies, using Ref for in-progress definitions. A Ref formula is
+// only meaningful when asserted on the solver that issued the literal.
+func Ref(l sat.Lit) *Formula { return &Formula{kind: kLit, lit: l} }
+
+// And returns the conjunction of fs, folding constants and collapsing
+// singletons. And() is True.
+//
+// Nested conjunctions are deliberately NOT flattened: a nested node may be
+// shared (the memoised cf(e) formulas of Section 3.2 are shared per event),
+// and flattening would copy its child list into every parent, destroying
+// the DAG compactness the encoder relies on. The Tseitin translation
+// encodes a shared node once regardless of nesting depth.
+func And(fs ...*Formula) *Formula {
+	var kids []*Formula
+	for _, f := range fs {
+		switch f.kind {
+		case kTrue:
+			continue
+		case kFalse:
+			return falseF
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return trueF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{kind: kAnd, kids: kids}
+}
+
+// Or returns the disjunction of fs, folding constants and collapsing
+// singletons. Or() is False. Like And, Or preserves nested structure to
+// keep shared nodes shared.
+func Or(fs ...*Formula) *Formula {
+	var kids []*Formula
+	for _, f := range fs {
+		switch f.kind {
+		case kFalse:
+			continue
+		case kTrue:
+			return trueF
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return falseF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{kind: kOr, kids: kids}
+}
+
+// Size returns the number of distinct nodes in the formula DAG — the
+// constraint-size metric reported by the encoder benchmarks.
+func (f *Formula) Size() int {
+	seen := make(map[*Formula]bool)
+	var walk func(*Formula) int
+	walk = func(g *Formula) int {
+		if seen[g] {
+			return 0
+		}
+		seen[g] = true
+		n := 1
+		for _, k := range g.kids {
+			n += walk(k)
+		}
+		return n
+	}
+	return walk(f)
+}
+
+// String renders the formula; shared nodes are expanded (exponential on
+// adversarial DAGs — intended for tests and small diagnostics only).
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.render(&b)
+	return b.String()
+}
+
+func (f *Formula) render(b *strings.Builder) {
+	switch f.kind {
+	case kTrue:
+		b.WriteString("true")
+	case kFalse:
+		b.WriteString("false")
+	case kAtom:
+		b.WriteString(f.atom.String())
+	case kLit:
+		fmt.Fprintf(b, "ref(%s)", f.lit)
+	case kAnd, kOr:
+		sep := " ∧ "
+		if f.kind == kOr {
+			sep = " ∨ "
+		}
+		b.WriteByte('(')
+		for i, k := range f.kids {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			k.render(b)
+		}
+		b.WriteByte(')')
+	}
+}

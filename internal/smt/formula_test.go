@@ -1,0 +1,76 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructorFolding(t *testing.T) {
+	x, y := IntVar(0), IntVar(1)
+	a := Less(x, y)
+	if And() != True() {
+		t.Error("And() must be True")
+	}
+	if Or() != False() {
+		t.Error("Or() must be False")
+	}
+	if And(a, True()) != a {
+		t.Error("And(a, true) must fold to a")
+	}
+	if !And(a, False()).IsFalse() {
+		t.Error("And(a, false) must fold to false")
+	}
+	if Or(a, False()) != a {
+		t.Error("Or(a, false) must fold to a")
+	}
+	if !Or(a, True()).IsTrue() {
+		t.Error("Or(a, true) must fold to true")
+	}
+}
+
+func TestNestingPreservedForSharing(t *testing.T) {
+	x, y, z := IntVar(0), IntVar(1), IntVar(2)
+	a, b, c := Less(x, y), Less(y, z), Less(x, z)
+	inner := And(a, b)
+	f := And(inner, c)
+	if f.kind != kAnd || len(f.kids) != 2 || f.kids[0] != inner {
+		t.Errorf("nested And must stay nested (sharing), got %v", f)
+	}
+	g := Or(Or(a, b), c)
+	if g.kind != kOr || len(g.kids) != 2 {
+		t.Errorf("nested Or must stay nested, got %v", g)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	if got := Less(IntVar(1), IntVar(2)).String(); got != "o1 < o2" {
+		t.Errorf("Less string = %q", got)
+	}
+	if got := Diff(IntVar(1), IntVar(2), 5).String(); got != "o1 - o2 <= 5" {
+		t.Errorf("Diff string = %q", got)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	x, y, z := IntVar(0), IntVar(1), IntVar(2)
+	f := And(Less(x, y), Or(Less(y, z), Less(z, y)))
+	s := f.String()
+	for _, sub := range []string{"o0 < o1", "o1 < o2", "o2 < o1", "∧", "∨"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+	if True().String() != "true" || False().String() != "false" {
+		t.Error("constant rendering")
+	}
+}
+
+func TestSizeCountsSharedOnce(t *testing.T) {
+	x, y, z := IntVar(0), IntVar(1), IntVar(2)
+	shared := And(Less(x, y), Less(y, z))
+	f := Or(And(shared, Less(x, z)), And(shared, Less(z, x)))
+	// nodes: f, two Ands, Less(x,z), Less(z,x), shared, its two atoms = 8
+	if got := f.Size(); got != 8 {
+		t.Errorf("Size = %d, want 8 (shared subtree counted once)", got)
+	}
+}

@@ -1,0 +1,58 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/trace"
+)
+
+// FuzzDecode hardens the binary decoder against corrupt input: it must
+// either return ErrFormat-ish errors or a structurally sane trace — never
+// panic or over-allocate.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings and some mutants.
+	var buf bytes.Buffer
+	b := trace.NewBuilder()
+	b.Fork(1, 2)
+	b.Begin(2)
+	b.Acquire(2, 9)
+	b.Write(2, 5, 42)
+	b.Release(2, 9)
+	b.End(2)
+	b.Join(1, 2)
+	if err := Encode(&buf, b.Trace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	spec := workloads.Rows()[0]
+	tr, _ := workloads.Build(spec)
+	buf.Reset()
+	if err := Encode(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("RVPT"))
+	f.Add([]byte("RVPT\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must produce a trace whose accessors work.
+		_ = tr.ComputeStats()
+		for _, ln := range tr.NotifyLinks() {
+			if ln.Notify < 0 || ln.Release < 0 || ln.Acquire < 0 {
+				t.Fatalf("negative link indices decoded: %+v", ln)
+			}
+		}
+		// Re-encoding must succeed.
+		var out bytes.Buffer
+		if err := Encode(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package tracefile serialises traces to a compact binary format (and a
+// human-readable text dump), decoupling trace collection from analysis the
+// way the paper's RVPredict stores events to a database before its
+// prediction phase. The binary format is varint-based: a few bytes per
+// event at the tens-of-millions scale the paper reports.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/trace"
+)
+
+// Magic identifies the binary format; Version its revision.
+const (
+	Magic   = "RVPT"
+	Version = 1
+)
+
+// ErrFormat reports a malformed input.
+var ErrFormat = errors.New("tracefile: malformed input")
+
+type writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *writer) varint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// Encode writes tr to w in the binary format.
+func Encode(w io.Writer, tr *trace.Trace) error {
+	bw := &writer{w: bufio.NewWriter(w)}
+	if _, err := bw.w.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := bw.uvarint(Version); err != nil {
+		return err
+	}
+	if err := bw.uvarint(uint64(tr.Len())); err != nil {
+		return err
+	}
+	for _, e := range tr.Events() {
+		if err := bw.varint(int64(e.Tid)); err != nil {
+			return err
+		}
+		if err := bw.w.WriteByte(byte(e.Op)); err != nil {
+			return err
+		}
+		if err := bw.uvarint(uint64(e.Addr)); err != nil {
+			return err
+		}
+		if err := bw.varint(e.Value); err != nil {
+			return err
+		}
+		if err := bw.uvarint(uint64(e.Loc)); err != nil {
+			return err
+		}
+	}
+	links := tr.NotifyLinks()
+	if err := bw.uvarint(uint64(len(links))); err != nil {
+		return err
+	}
+	for _, ln := range links {
+		if err := bw.uvarint(uint64(ln.Notify)); err != nil {
+			return err
+		}
+		if err := bw.uvarint(uint64(ln.Release)); err != nil {
+			return err
+		}
+		if err := bw.uvarint(uint64(ln.Acquire)); err != nil {
+			return err
+		}
+	}
+	// Volatile addresses, initial values and location names: gathered by
+	// scanning the trace's accessors over the address/location space it
+	// actually uses.
+	vols, inits, names := collectMeta(tr)
+	if err := bw.uvarint(uint64(len(vols))); err != nil {
+		return err
+	}
+	for _, a := range vols {
+		if err := bw.uvarint(uint64(a)); err != nil {
+			return err
+		}
+	}
+	if err := bw.uvarint(uint64(len(inits))); err != nil {
+		return err
+	}
+	for _, kv := range inits {
+		if err := bw.uvarint(uint64(kv.addr)); err != nil {
+			return err
+		}
+		if err := bw.varint(kv.val); err != nil {
+			return err
+		}
+	}
+	if err := bw.uvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, nm := range names {
+		if err := bw.uvarint(uint64(nm.loc)); err != nil {
+			return err
+		}
+		if err := bw.uvarint(uint64(len(nm.name))); err != nil {
+			return err
+		}
+		if _, err := bw.w.WriteString(nm.name); err != nil {
+			return err
+		}
+	}
+	return bw.w.Flush()
+}
+
+type addrVal struct {
+	addr trace.Addr
+	val  int64
+}
+
+type locName struct {
+	loc  trace.Loc
+	name string
+}
+
+// collectMeta extracts the metadata reachable from the trace's events in a
+// deterministic order.
+func collectMeta(tr *trace.Trace) (vols []trace.Addr, inits []addrVal, names []locName) {
+	seenAddr := make(map[trace.Addr]bool)
+	seenLoc := make(map[trace.Loc]bool)
+	for _, e := range tr.Events() {
+		if (e.Op.IsAccess() || e.Op == trace.OpAcquire || e.Op == trace.OpRelease) &&
+			!seenAddr[e.Addr] {
+			seenAddr[e.Addr] = true
+			if tr.Volatile(e.Addr) {
+				vols = append(vols, e.Addr)
+			}
+			if v := tr.Initial(e.Addr); v != 0 {
+				inits = append(inits, addrVal{addr: e.Addr, val: v})
+			}
+		}
+		if e.Loc != trace.NoLoc && !seenLoc[e.Loc] {
+			seenLoc[e.Loc] = true
+			if name := tr.LocName(e.Loc); name != fmt.Sprintf("L%d", e.Loc) {
+				names = append(names, locName{loc: e.Loc, name: name})
+			}
+		}
+	}
+	return vols, inits, names
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return v, nil
+}
+
+// Decode reads a binary trace from r.
+func Decode(r io.Reader) (*trace.Trace, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br.r, magic); err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	ver, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
+	}
+	n, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 31
+	if n > maxEvents {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, n)
+	}
+	// Pre-size from the header but never trust it for a large allocation:
+	// a corrupt count must fail on the (missing) event data, not by
+	// exhausting memory up front.
+	capHint := int(n)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	tr := trace.New(capHint)
+	for i := uint64(0); i < n; i++ {
+		tid, err := br.varint()
+		if err != nil {
+			return nil, err
+		}
+		op, err := br.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		addr, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		val, err := br.varint()
+		if err != nil {
+			return nil, err
+		}
+		loc, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		tr.Append(trace.Event{
+			Tid:   trace.TID(tid),
+			Op:    trace.Op(op),
+			Addr:  trace.Addr(addr),
+			Value: val,
+			Loc:   trace.Loc(loc),
+		})
+	}
+	nLinks, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLinks; i++ {
+		ntf, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		acq, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		tr.AddNotifyLink(int(ntf), int(rel), int(acq))
+	}
+	nVols, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nVols; i++ {
+		a, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		tr.SetVolatile(trace.Addr(a))
+	}
+	nInits, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nInits; i++ {
+		a, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := br.varint()
+		if err != nil {
+			return nil, err
+		}
+		tr.SetInitial(trace.Addr(a), v)
+	}
+	nNames, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nNames; i++ {
+		l, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if sz > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible name length", ErrFormat)
+		}
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(br.r, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		tr.NameLoc(trace.Loc(l), string(buf))
+	}
+	return tr, nil
+}
+
+// Dump writes a human-readable listing of tr to w: one event per line with
+// its index and location name.
+func Dump(w io.Writer, tr *trace.Trace) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range tr.Events() {
+		if _, err := fmt.Fprintf(bw, "%6d  %-30s %s\n", i, e, tr.LocName(e.Loc)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,124 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/workloads"
+	"repro/trace"
+)
+
+func roundTrip(t *testing.T, tr *trace.Trace) *trace.Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripFigure1(t *testing.T) {
+	tr := fixtures.Figure1()
+	got := roundTrip(t, tr)
+	if got.Len() != tr.Len() {
+		t.Fatalf("length %d, want %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.Event(i) != tr.Event(i) {
+			t.Errorf("event %d = %v, want %v", i, got.Event(i), tr.Event(i))
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded trace invalid: %v", err)
+	}
+}
+
+func TestRoundTripMetadata(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Volatile(7)
+	b.Initial(5, 42)
+	b.AtNamed(3, "Server.java:120").Write(1, 5, 42)
+	b.At(4).ReadV(2, 7, 0)
+	b.Acquire(1, 9).Release(1, 9)
+	tr := b.Trace()
+	got := roundTrip(t, tr)
+	if !got.Volatile(7) {
+		t.Error("volatile flag lost")
+	}
+	if got.Initial(5) != 42 {
+		t.Error("initial value lost")
+	}
+	if got.LocName(3) != "Server.java:120" {
+		t.Errorf("loc name lost: %q", got.LocName(3))
+	}
+}
+
+func TestRoundTripNotifyLinks(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acquire(1, 9)
+	b.Wait(1, 9, func(b *trace.Builder) int {
+		n := b.Mark()
+		b.Write(2, 5, 1)
+		return n
+	})
+	b.Release(1, 9)
+	tr := b.Trace()
+	got := roundTrip(t, tr)
+	if len(got.NotifyLinks()) != 1 {
+		t.Fatalf("links = %d, want 1", len(got.NotifyLinks()))
+	}
+	if got.NotifyLinks()[0] != tr.NotifyLinks()[0] {
+		t.Errorf("link = %+v, want %+v", got.NotifyLinks()[0], tr.NotifyLinks()[0])
+	}
+}
+
+func TestRoundTripWorkload(t *testing.T) {
+	spec := workloads.Rows()[4] // bufwriter
+	tr, _ := workloads.Build(spec)
+	got := roundTrip(t, tr)
+	if got.Len() != tr.Len() {
+		t.Fatalf("length %d, want %d", got.Len(), tr.Len())
+	}
+	s1, s2 := tr.ComputeStats(), got.ComputeStats()
+	if s1 != s2 {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("JUNK"),
+		[]byte("RVPT"),                 // truncated after magic
+		[]byte("RVPT\x02"),             // bad version
+		[]byte("RVPT\x01\x05"),         // five events promised, none present
+		[]byte("RVPT\x01\x01\x02\x63"), // truncated event
+	}
+	for i, in := range cases {
+		if _, err := Decode(bytes.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: err = %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := fixtures.Figure1()
+	var buf bytes.Buffer
+	if err := Dump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fork(t1, t2)") {
+		t.Errorf("dump missing fork event:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != tr.Len() {
+		t.Errorf("dump lines = %d, want %d", got, tr.Len())
+	}
+}

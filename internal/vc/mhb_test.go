@@ -1,0 +1,179 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/trace"
+)
+
+// twoThreadTrace builds: t1: fork(2) w(x) ; t2: begin r(x) end ; t1: join(2) r(x).
+func twoThreadTrace() *trace.Trace {
+	b := trace.NewBuilder()
+	b.Fork(1, 2)     // 0
+	b.Write(1, 5, 1) // 1
+	b.Begin(2)       // 2
+	b.Read(2, 5)     // 3
+	b.End(2)         // 4
+	b.Join(1, 2)     // 5
+	b.Read(1, 5)     // 6
+	return b.Trace()
+}
+
+func TestMHBForkJoin(t *testing.T) {
+	tr := twoThreadTrace()
+	m := ComputeMHB(tr)
+
+	// Program order within each thread.
+	for _, pair := range [][2]int{{0, 1}, {0, 5}, {1, 5}, {5, 6}, {2, 3}, {3, 4}} {
+		if !m.Before(pair[0], pair[1]) {
+			t.Errorf("Before(%d,%d) = false, want true", pair[0], pair[1])
+		}
+		if m.Before(pair[1], pair[0]) {
+			t.Errorf("Before(%d,%d) = true, want false", pair[1], pair[0])
+		}
+	}
+	// fork → child's events.
+	for _, j := range []int{2, 3, 4} {
+		if !m.Before(0, j) {
+			t.Errorf("fork must precede child event %d", j)
+		}
+	}
+	// child events → join.
+	for _, i := range []int{2, 3, 4} {
+		if !m.Before(i, 5) || !m.Before(i, 6) {
+			t.Errorf("child event %d must precede join and after", i)
+		}
+	}
+	// write(1) at index 1 and read(2) at index 3 are MHB-ordered only via
+	// fork: 1 comes after fork, so not ordered with child's events.
+	if m.Ordered(1, 3) {
+		t.Error("w(x)@1 and r(x)@3 must be MHB-concurrent")
+	}
+	if m.Before(3, 3) {
+		t.Error("Before must be irreflexive")
+	}
+}
+
+func TestMHBNotifyLink(t *testing.T) {
+	// t1 waits on lock l (release then re-acquire); t2 notifies in between.
+	b := trace.NewBuilder()
+	b.Acquire(1, 9) // 0
+	var notifyIdx int
+	b.Wait(1, 9, func(b *trace.Builder) int {
+		notifyIdx = b.Mark()
+		b.Write(2, 5, 1) // 2: stands in for the notify site
+		return notifyIdx
+	})
+	b.Release(1, 9) // 4
+	tr := b.Trace()
+	m := ComputeMHB(tr)
+
+	if notifyIdx != 2 {
+		t.Fatalf("notify index = %d, want 2", notifyIdx)
+	}
+	// release(wait) → notify → acquire(wake).
+	if !m.Before(1, 2) {
+		t.Error("wait-release must precede notify")
+	}
+	if !m.Before(2, 3) {
+		t.Error("notify must precede wake-acquire")
+	}
+	if !m.Before(2, 4) {
+		t.Error("notify precedes everything after the wake-acquire")
+	}
+}
+
+func TestMHBConsistentWithTraceOrder(t *testing.T) {
+	// Property: MHB never orders a later event before an earlier one
+	// (the observed trace is itself a linearisation of MHB).
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		tr := randomTrace(rng)
+		m := ComputeMHB(tr)
+		for i := 0; i < tr.Len(); i++ {
+			for j := i + 1; j < tr.Len(); j++ {
+				if m.Before(j, i) {
+					t.Fatalf("iter %d: Before(%d,%d) with j>i: %v, %v",
+						iter, j, i, tr.Event(i), tr.Event(j))
+				}
+			}
+		}
+	}
+}
+
+func TestMHBTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 30; iter++ {
+		tr := randomTrace(rng)
+		m := ComputeMHB(tr)
+		n := tr.Len()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !m.Before(i, j) {
+					continue
+				}
+				for k := 0; k < n; k++ {
+					if m.Before(j, k) && !m.Before(i, k) {
+						t.Fatalf("transitivity violated: %d≺%d≺%d", i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomTrace builds a small consistent trace with forks, joins and accesses.
+func randomTrace(rng *rand.Rand) *trace.Trace {
+	b := trace.NewBuilder()
+	b.Begin(0)
+	alive := []trace.TID{0}
+	ended := map[trace.TID]bool{}
+	next := trace.TID(1)
+	for n := 0; n < 30; n++ {
+		t := alive[rng.Intn(len(alive))]
+		switch rng.Intn(5) {
+		case 0:
+			if next < 4 {
+				b.Fork(t, next)
+				b.Begin(next)
+				alive = append(alive, next)
+				next++
+			}
+		case 1:
+			b.Write(t, trace.Addr(rng.Intn(3)), int64(rng.Intn(5)))
+		case 2:
+			b.Read(t, trace.Addr(rng.Intn(3)))
+		case 3:
+			b.Branch(t)
+		case 4:
+			// end a random other live thread then join it
+			if len(alive) > 1 {
+				var victim trace.TID = -1
+				for _, v := range alive {
+					if v != 0 && v != t && !ended[v] {
+						victim = v
+						break
+					}
+				}
+				if victim >= 0 {
+					b.End(victim)
+					ended[victim] = true
+					b.Join(t, victim)
+					// remove from alive
+					for i, v := range alive {
+						if v == victim {
+							alive = append(alive[:i], alive[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		panic(err)
+	}
+	return tr
+}

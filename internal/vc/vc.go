@@ -1,0 +1,87 @@
+// Package vc implements vector clocks over dense thread indices.
+//
+// Vector clocks serve two roles in this repository: the happens-before and
+// causally-precedes baseline detectors are built directly on them, and the
+// constraint encoder of internal/core uses per-event must-happen-before
+// clocks to prune candidate write sets (the ≺-based reductions at the end of
+// Section 3.2 of the paper).
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a vector clock: Clock[i] is the number of events of thread index
+// i known to causally precede the clock's owner. Clocks are fixed-width,
+// sized at creation for the number of threads in the trace.
+type Clock []int32
+
+// New returns a zero clock for n threads.
+func New(n int) Clock { return make(Clock, n) }
+
+// Copy returns an independent copy of c.
+func (c Clock) Copy() Clock {
+	d := make(Clock, len(c))
+	copy(d, c)
+	return d
+}
+
+// Join sets c to the component-wise maximum of c and d.
+func (c Clock) Join(d Clock) {
+	for i, v := range d {
+		if v > c[i] {
+			c[i] = v
+		}
+	}
+}
+
+// Tick increments thread t's component.
+func (c Clock) Tick(t int) { c[t]++ }
+
+// Get returns thread t's component.
+func (c Clock) Get(t int) int32 { return c[t] }
+
+// Set assigns thread t's component.
+func (c Clock) Set(t int, v int32) { c[t] = v }
+
+// LessEq reports whether c ≤ d component-wise, i.e. whether the event
+// carrying c happens-before (or equals) the event carrying d.
+func (c Clock) LessEq(d Clock) bool {
+	for i, v := range c {
+		if v > d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock precedes the other.
+func (c Clock) Concurrent(d Clock) bool {
+	return !c.LessEq(d) && !d.LessEq(c)
+}
+
+// String renders the clock as "[v0 v1 ...]".
+func (c Clock) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Epoch is the scalar clock optimisation of FastTrack: a (thread, count)
+// pair representing a clock that is zero except at one component. It is
+// used by the happens-before baseline for same-epoch fast paths.
+type Epoch struct {
+	Tid   int
+	Count int32
+}
+
+// LessEqClock reports whether the epoch happens-before-or-equals clock d.
+func (e Epoch) LessEqClock(d Clock) bool { return e.Count <= d[e.Tid] }

@@ -1,0 +1,120 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinAndCompare(t *testing.T) {
+	a := Clock{1, 2, 3}
+	b := Clock{3, 1, 3}
+	c := a.Copy()
+	c.Join(b)
+	want := Clock{3, 2, 3}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Join = %v, want %v", c, want)
+		}
+	}
+	if !a.LessEq(c) || !b.LessEq(c) {
+		t.Error("join must dominate both operands")
+	}
+	if a.LessEq(b) || b.LessEq(a) {
+		t.Error("a and b are incomparable")
+	}
+	if !a.Concurrent(b) {
+		t.Error("a and b must be concurrent")
+	}
+	if a.Concurrent(c) {
+		t.Error("a ≤ c, not concurrent")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := Clock{1, 1}
+	b := a.Copy()
+	b.Tick(0)
+	if a[0] != 1 || b[0] != 2 {
+		t.Errorf("Copy not independent: a=%v b=%v", a, b)
+	}
+}
+
+func TestTickGetSet(t *testing.T) {
+	c := New(3)
+	c.Tick(1)
+	c.Tick(1)
+	c.Set(2, 9)
+	if c.Get(0) != 0 || c.Get(1) != 2 || c.Get(2) != 9 {
+		t.Errorf("clock = %v", c)
+	}
+	if got := c.String(); got != "[0 2 9]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	e := Epoch{Tid: 1, Count: 3}
+	if !e.LessEqClock(Clock{0, 3, 0}) {
+		t.Error("epoch 3@1 ≤ [0 3 0]")
+	}
+	if e.LessEqClock(Clock{9, 2, 9}) {
+		t.Error("epoch 3@1 ≰ [9 2 9]")
+	}
+}
+
+func clockFrom(xs []uint8) Clock {
+	c := New(len(xs))
+	for i, v := range xs {
+		c[i] = int32(v)
+	}
+	return c
+}
+
+func TestJoinProperties(t *testing.T) {
+	// Join is commutative, associative, idempotent; LessEq is a partial
+	// order compatible with Join (least upper bound).
+	cfg := &quick.Config{MaxCount: 300}
+	comm := func(x, y [4]uint8) bool {
+		a, b := clockFrom(x[:]), clockFrom(y[:])
+		ab := a.Copy()
+		ab.Join(b)
+		ba := b.Copy()
+		ba.Join(a)
+		return ab.String() == ba.String()
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(x, y, z [4]uint8) bool {
+		a, b, c := clockFrom(x[:]), clockFrom(y[:]), clockFrom(z[:])
+		l := a.Copy()
+		l.Join(b)
+		l.Join(c)
+		r := b.Copy()
+		r.Join(c)
+		r.Join(a)
+		return l.String() == r.String()
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Error("associativity:", err)
+	}
+	lub := func(x, y [4]uint8) bool {
+		a, b := clockFrom(x[:]), clockFrom(y[:])
+		j := a.Copy()
+		j.Join(b)
+		return a.LessEq(j) && b.LessEq(j)
+	}
+	if err := quick.Check(lub, cfg); err != nil {
+		t.Error("upper bound:", err)
+	}
+	antisym := func(x, y [4]uint8) bool {
+		a, b := clockFrom(x[:]), clockFrom(y[:])
+		if a.LessEq(b) && b.LessEq(a) {
+			return a.String() == b.String()
+		}
+		return true
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Error("antisymmetry:", err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package workloads generates the benchmark traces of the paper's Table 1:
+// the Figure 1 example, the IBM Contest-style small benchmarks, the Java
+// Grande-style kernels and the seven "real system" models (ftpserver,
+// jigsaw, derby, sunflow, xalan, lusearch, eclipse).
+//
+// The paper's original workloads are JVM executions of proprietary-scale
+// applications; per the reproduction's substitution rule, each row is
+// modelled as a synthetic trace assembled from race *motifs* with known
+// ground truth plus realistic non-racy filler (locked counters, spin-free
+// loops with branches, volatile publication). Every motif encodes one of
+// the structural situations the paper's comparison hinges on, and carries
+// an exact detection vector across QC/HB/CP/Said/RV, so each row's expected
+// Table 1 cells are computed — not guessed — from its motif mix, and the
+// detector test suite asserts the actual counts equal them.
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/trace"
+)
+
+// Expect is a row's expected detection counts (distinct race signatures).
+type Expect struct {
+	QC, HB, CP, Said, RV int
+}
+
+func (e *Expect) add(d Expect) {
+	e.QC += d.QC
+	e.HB += d.HB
+	e.CP += d.CP
+	e.Said += d.Said
+	e.RV += d.RV
+}
+
+// gen assembles one trace: a main thread forks a worker pool, motifs and
+// filler are interleaved deterministically from a seed, and windows of the
+// configured size never split a motif.
+type gen struct {
+	b       *trace.Builder
+	rng     *rand.Rand
+	nextA   trace.Addr
+	nextLoc trace.Loc
+	workers []trace.TID
+	wNext   int
+	window  int
+	expect  Expect
+
+	// private read-only location per worker for filler reads
+	priv map[trace.TID]trace.Addr
+	// one shared locked counter per small worker group
+	counters []counter
+}
+
+type counter struct {
+	lock, addr trace.Addr
+	val        int64
+}
+
+func newGen(seed int64, workers, window int) *gen {
+	g := &gen{
+		b:       trace.NewBuilder(),
+		rng:     rand.New(rand.NewSource(seed)),
+		nextA:   1,
+		nextLoc: 1000, // motif/filler locations start high; 1..999 reserved
+		window:  window,
+		priv:    make(map[trace.TID]trace.Addr),
+	}
+	// Main thread is 0; fork the workers.
+	for i := 1; i <= workers; i++ {
+		t := trace.TID(i)
+		g.b.Fork(0, t)
+		g.b.Begin(t)
+		g.workers = append(g.workers, t)
+		g.priv[t] = g.addr()
+	}
+	// A locked counter per four workers.
+	for i := 0; i < (workers+3)/4; i++ {
+		g.counters = append(g.counters, counter{lock: g.addr(), addr: g.addr()})
+	}
+	return g
+}
+
+func (g *gen) addr() trace.Addr {
+	a := g.nextA
+	g.nextA++
+	return a
+}
+
+func (g *gen) loc() trace.Loc {
+	l := g.nextLoc
+	g.nextLoc++
+	return l
+}
+
+// pair returns two distinct workers, rotating deterministically.
+func (g *gen) pair() (trace.TID, trace.TID) {
+	t1 := g.workers[g.wNext%len(g.workers)]
+	t2 := g.workers[(g.wNext+1)%len(g.workers)]
+	g.wNext++
+	return t1, t2
+}
+
+// motifMaxEvents bounds any motif's event count, for window alignment.
+const motifMaxEvents = 16
+
+// alignWindow pads with filler reads so the next motif cannot straddle a
+// window boundary (a straddled motif would be invisible to every windowed
+// detector, making expected counts nondeterministic).
+func (g *gen) alignWindow() {
+	if g.window <= 0 {
+		return
+	}
+	used := g.b.Trace().Len() % g.window
+	if g.window-used < motifMaxEvents {
+		g.fillerReads(g.window - used)
+	}
+}
+
+// fillerReads emits n consistent, race-free read events spread over the
+// workers (reads of per-worker never-written locations).
+func (g *gen) fillerReads(n int) {
+	for i := 0; i < n; i++ {
+		t := g.workers[g.rng.Intn(len(g.workers))]
+		g.b.At(0).Read(t, g.priv[t])
+	}
+}
+
+// fillerBranches emits n branch events (loop iterations) on random workers.
+func (g *gen) fillerBranches(n int) {
+	for i := 0; i < n; i++ {
+		t := g.workers[g.rng.Intn(len(g.workers))]
+		g.b.At(0).Read(t, g.priv[t])
+		g.b.At(0).Branch(t)
+	}
+}
+
+// fillerCounter emits one locked counter increment: acquire, read, write,
+// release. The accesses form COPs across workers but share the lock, so
+// they fail the quick check and race nowhere — they contribute #Sync and
+// #RW volume like the fine-grained locking the paper reports for derby.
+func (g *gen) fillerCounter() {
+	c := &g.counters[g.rng.Intn(len(g.counters))]
+	t := g.workers[g.rng.Intn(len(g.workers))]
+	g.b.Acquire(t, c.lock)
+	g.b.At(0).ReadV(t, c.addr, c.val)
+	c.val++
+	g.b.At(0).Write(t, c.addr, c.val)
+	g.b.Release(t, c.lock)
+}
+
+// fillerHandoff emits a wait/notify handoff: the first worker waits on a
+// fresh monitor, the second writes a value, notifies (attributed to its
+// release) and wakes it. Exercises the notify-link machinery — the
+// release→notify→acquire bracketing constraints — at scale. Both accesses
+// hold the monitor, so no COP passes the quick check and expected counts
+// are unchanged.
+func (g *gen) fillerHandoff() {
+	t1, t2 := g.pair()
+	m, x := g.addr(), g.addr()
+	g.b.Acquire(t1, m)
+	g.b.Wait(t1, m, func(b *trace.Builder) int {
+		b.Acquire(t2, m)
+		b.At(0).Write(t2, x, 1)
+		n := b.Mark()
+		b.Release(t2, m)
+		return n
+	})
+	g.b.At(0).ReadV(t1, x, 1)
+	g.b.Release(t1, m)
+}
+
+// fillerVolatile emits a volatile publication pair (no COPs: volatiles are
+// excluded from race candidates).
+func (g *gen) fillerVolatile() {
+	x := g.addr()
+	g.b.Volatile(x)
+	t1, t2 := g.pair()
+	g.b.At(0).Write(t1, x, 1)
+	g.b.At(0).ReadV(t2, x, 1)
+}
+
+// ---- Motifs. Each returns its contribution to the expected counts. ----
+// Detection vectors are derived in the motif comments; the workloads test
+// suite verifies every vector empirically on single-motif traces.
+
+// plainRace: an unsynchronised write/read pair. Everyone detects it.
+//
+//	t1: w(x,1)@L1          t2: r(x,1)@L2
+func (g *gen) plainRace() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x := g.addr()
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1, HB: 1, CP: 1, Said: 1, RV: 1}
+}
+
+// hbNotSaid: a race that exists only in feasible *incomplete* traces — the
+// situation the paper gives to explain why Said et al. trail HB and CP on
+// ftpserver. A volatile v (initially 0) pins Said's full-consistency
+// reordering: the observed trace reads v = 0 before the write v = 1, so
+// Said must keep r(v) before w(v), wedging them between the racing pair:
+//
+//	t1: w(x,1)@L1  r(v,0)      t2: w(v,1)  r(x,1)@L2     (v volatile)
+//
+// Forced chain w(x) <po r(v) < w(v) <po r(x) kills adjacency for Said. HB
+// has no synchronises-with edge (the volatile read does not see the
+// write), so HB — and CP and RV — report the x race; v itself, being
+// volatile, is no COP.
+func (g *gen) hbNotSaid() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, v := g.addr(), g.addr()
+	g.b.Volatile(v)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(0).ReadV(t1, v, 0)
+	g.b.At(0).Write(t2, v, 1)
+	g.b.At(g.loc()).ReadV(t2, x, 1)
+	return Expect{QC: 1, HB: 1, CP: 1, Said: 0, RV: 1}
+}
+
+// cpRace: Figure-1 shape with non-conflicting critical sections: the HB
+// lock edge is droppable, so CP (and Said and RV) detect the x race.
+//
+//	t1: acq(l) w(x,1)@L1 rel(l)    t2: acq(l) w(u,1) rel(l); r(x,1)@L2
+func (g *gen) cpRace() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, u, l := g.addr(), g.addr(), g.addr()
+	g.b.Acquire(t1, l)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.Release(t1, l)
+	g.b.Acquire(t2, l)
+	g.b.At(0).Write(t2, u, 1)
+	g.b.Release(t2, l)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1, HB: 0, CP: 1, Said: 1, RV: 1}
+}
+
+// cpNotSaid: cpRace combined with the incomplete-trace volatile pin of
+// hbNotSaid: the droppable lock edge hides the race from HB, the
+// non-conflicting sections keep CP from ordering it, and the pinned
+// volatile read wedges Said — CP and RV detect, HB and Said miss.
+//
+//	t1: acq(l) w(x,1)@L1 rel(l); r(v,0)
+//	t2: acq(l) w(u,1) rel(l); w(v,1); r(x,1)@L2      (v volatile)
+func (g *gen) cpNotSaid() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, v, u, l := g.addr(), g.addr(), g.addr(), g.addr()
+	g.b.Volatile(v)
+	g.b.Acquire(t1, l)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.Release(t1, l)
+	g.b.At(0).ReadV(t1, v, 0)
+	g.b.Acquire(t2, l)
+	g.b.At(0).Write(t2, u, 1)
+	g.b.Release(t2, l)
+	g.b.At(0).Write(t2, v, 1)
+	g.b.At(g.loc()).ReadV(t2, x, 1)
+	return Expect{QC: 1, HB: 0, CP: 1, Said: 0, RV: 1}
+}
+
+// saidRace: conflicting critical sections — but the conflict is
+// write/write, so whole-trace value consistency still permits swapping the
+// sections; Said and RV detect the x race, CP does not (rule (i) core
+// pair), HB does not (lock edge).
+//
+//	t1: acq(l) w(x,1)@L1 w(y,1) rel(l)
+//	t2: acq(l) w(y,2) rel(l); r(x,1)@L2
+func (g *gen) saidRace() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, y, l := g.addr(), g.addr(), g.addr()
+	g.b.Acquire(t1, l)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(0).Write(t1, y, 1)
+	g.b.Release(t1, l)
+	g.b.Acquire(t2, l)
+	g.b.At(0).Write(t2, y, 2)
+	g.b.Release(t2, l)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1, HB: 0, CP: 0, Said: 1, RV: 1}
+}
+
+// rvRegion: the paper's Figure 1 pattern — conflicting sections with a
+// write/read conflict on y pin Said's reordering and give CP a core pair;
+// only the control-flow-aware maximal detector reports the x race (the
+// read of y may data-abstractly return the initial value).
+//
+//	t1: acq(l) w(x,1)@L1 w(y,1) rel(l)
+//	t2: acq(l) r(y,1) rel(l); r(x,1)@L2
+func (g *gen) rvRegion() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, y, l := g.addr(), g.addr(), g.addr()
+	g.b.Acquire(t1, l)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(0).Write(t1, y, 1)
+	g.b.Release(t1, l)
+	g.b.Acquire(t2, l)
+	g.b.At(0).Read(t2, y)
+	g.b.Release(t2, l)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1, HB: 0, CP: 0, Said: 0, RV: 1}
+}
+
+// rvIncomplete: Figure 2 case ¿ with a volatile guard variable — the race
+// exists only in an incomplete reordered trace where the volatile read
+// returns the initial value. Only RV detects it.
+//
+//	t1: w(x,1)@L1; w(v,1)      t2: r(v,1); r(x,1)@L2   (v volatile)
+func (g *gen) rvIncomplete() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, v := g.addr(), g.addr()
+	g.b.Volatile(v)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(0).Write(t1, v, 1)
+	g.b.At(0).ReadV(t2, v, 1)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1, HB: 0, CP: 0, Said: 0, RV: 1}
+}
+
+// qcOnly: Figure 2 case ¡ — the same trace with a branch after the volatile
+// read. The pair passes the unsound lockset/weak-HB quick check but is not
+// a race: the branch makes the read's value load-bearing. No sound detector
+// reports it; it inflates only the QC column (like bufwriter's 18 potential
+// but 2 real races).
+func (g *gen) qcOnly() Expect {
+	g.alignWindow()
+	t1, t2 := g.pair()
+	x, v := g.addr(), g.addr()
+	g.b.Volatile(v)
+	g.b.At(g.loc()).Write(t1, x, 1)
+	g.b.At(0).Write(t1, v, 1)
+	g.b.At(0).ReadV(t2, v, 1)
+	g.b.At(0).Branch(t2)
+	g.b.At(g.loc()).Read(t2, x)
+	return Expect{QC: 1}
+}

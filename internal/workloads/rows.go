@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"repro/internal/fixtures"
+	"repro/trace"
+)
+
+// MotifCounts is a row's planted race-motif mix. Each field counts
+// instances of the corresponding motif; the expected Table 1 cells are the
+// sum of the instances' detection vectors.
+type MotifCounts struct {
+	Plain        int // detected by HB, CP, Said, RV
+	HBNotSaid    int // HB, CP, RV (incomplete-trace race; Said misses)
+	CP           int // CP, Said, RV
+	CPNotSaid    int // CP, RV
+	Said         int // Said, RV
+	RVRegion     int // RV only (Figure 1 pattern)
+	RVIncomplete int // RV only (Figure 2 case ¿ pattern)
+	QCOnly       int // no sound detector (Figure 2 case ¡ pattern)
+}
+
+func (m MotifCounts) total() int {
+	return m.Plain + m.HBNotSaid + m.CP + m.CPNotSaid + m.Said +
+		m.RVRegion + m.RVIncomplete + m.QCOnly
+}
+
+// Spec describes one Table 1 row.
+type Spec struct {
+	Name    string
+	Workers int
+	// Events is the approximate trace length (filler pads up to it).
+	Events int
+	// Window is the window size motifs are aligned to; it must match the
+	// window the detectors run with (the paper's default 10000).
+	Window int
+	Motifs MotifCounts
+	Seed   int64
+	// BranchPerMille / CounterPerMille tune the filler mix (defaults
+	// applied by Build): share of filler blocks that are loop-branch pairs
+	// versus locked-counter increments.
+	BranchPerMille  int
+	CounterPerMille int
+}
+
+// Build generates the row's trace and its expected detection counts.
+func Build(spec Spec) (*trace.Trace, Expect) {
+	workers := spec.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	branchPM := spec.BranchPerMille
+	if branchPM == 0 {
+		branchPM = 400
+	}
+	counterPM := spec.CounterPerMille
+	if counterPM == 0 {
+		counterPM = 30
+	}
+	g := newGen(spec.Seed, workers, spec.Window)
+
+	// Interleave motifs evenly through the target length, separated by
+	// filler blocks.
+	type motifFn func() Expect
+	var queue []motifFn
+	add := func(n int, f motifFn) {
+		for i := 0; i < n; i++ {
+			queue = append(queue, f)
+		}
+	}
+	m := spec.Motifs
+	add(m.Plain, g.plainRace)
+	add(m.HBNotSaid, g.hbNotSaid)
+	add(m.CP, g.cpRace)
+	add(m.CPNotSaid, g.cpNotSaid)
+	add(m.Said, g.saidRace)
+	add(m.RVRegion, g.rvRegion)
+	add(m.RVIncomplete, g.rvIncomplete)
+	add(m.QCOnly, g.qcOnly)
+	// Deterministic shuffle so motif kinds mix across threads and windows.
+	g.rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+
+	fillerBudget := spec.Events - len(queue)*motifMaxEvents - 4*workers
+	perGap := 0
+	if len(queue) > 0 && fillerBudget > 0 {
+		perGap = fillerBudget / (len(queue) + 1)
+	}
+	filler := func(n int) {
+		for n > 0 {
+			r := g.rng.Intn(1000)
+			switch {
+			case r < counterPM:
+				g.fillerCounter()
+				n -= 4
+			case r < counterPM+branchPM:
+				g.fillerBranches(1)
+				n -= 2
+			case r < counterPM+branchPM+50:
+				g.fillerVolatile()
+				n -= 2
+			case r < counterPM+branchPM+60:
+				g.fillerHandoff()
+				n -= 8
+			default:
+				g.fillerReads(1)
+				n--
+			}
+		}
+	}
+
+	filler(perGap)
+	for _, f := range queue {
+		g.expect.add(f())
+		filler(perGap)
+	}
+	// Pad to the target length.
+	if rest := spec.Events - g.b.Trace().Len() - 2*workers; rest > 0 {
+		filler(rest)
+	}
+	// Wind down: workers end, main joins.
+	for _, w := range g.workers {
+		g.b.End(w)
+	}
+	for _, w := range g.workers {
+		g.b.Join(0, w)
+	}
+	return g.b.Trace(), g.expect
+}
+
+// Example returns the paper's Figure 1 trace as Table 1's first row, with
+// its known detection vector (only the maximal detector finds the single
+// race; the quick check also passes exactly one pair).
+func Example() (*trace.Trace, Expect) {
+	return fixtures.Figure1(), Expect{QC: 1, HB: 0, CP: 0, Said: 0, RV: 1}
+}
+
+// Rows returns the full Table 1 row list: the Figure 1 example, seven IBM
+// Contest-style small benchmarks, three Java Grande-style kernels, and the
+// seven real-system models. Motif mixes are calibrated so the rows whose
+// cells the paper's text quotes come out right — bufwriter (18 potential /
+// 2 real), ftpserver (HB 27, CP 31, Said 3), derby (RV 118, Said 15, CP 14,
+// HB 12, 469 quick-check pairs), lusearch (8 races in one class + 1),
+// eclipse (3 previously-unknown races among its RV count) — and so the
+// qualitative shape of every other cell (RV ⊇ Said, CP ⊇ HB, Said ≪ CP
+// possible, QC ⊇ all) is preserved. Event counts are scaled down ~20×
+// from the paper's testbed for laptop-scale runs; see EXPERIMENTS.md.
+func Rows() []Spec {
+	return []Spec{
+		// IBM Contest-style small benchmarks.
+		{Name: "critical", Workers: 3, Events: 120, Window: 10000, Seed: 101,
+			Motifs: MotifCounts{Plain: 1}},
+		{Name: "airline", Workers: 4, Events: 300, Window: 10000, Seed: 102,
+			Motifs: MotifCounts{Plain: 1, RVRegion: 1}},
+		{Name: "account", Workers: 3, Events: 250, Window: 10000, Seed: 103,
+			Motifs: MotifCounts{Plain: 1, CP: 1}},
+		{Name: "pingpong", Workers: 4, Events: 220, Window: 10000, Seed: 104,
+			Motifs: MotifCounts{Plain: 1}},
+		{Name: "bufwriter", Workers: 5, Events: 800, Window: 10000, Seed: 105,
+			Motifs: MotifCounts{Plain: 2, QCOnly: 16}},
+		{Name: "mergesort", Workers: 4, Events: 600, Window: 10000, Seed: 106,
+			Motifs: MotifCounts{Said: 1}},
+		{Name: "bubblesort", Workers: 3, Events: 700, Window: 10000, Seed: 107,
+			Motifs: MotifCounts{Plain: 2, CP: 1}},
+		{Name: "allocation", Workers: 3, Events: 400, Window: 10000, Seed: 108,
+			Motifs: MotifCounts{Plain: 1, HBNotSaid: 1}},
+		{Name: "bakery", Workers: 4, Events: 900, Window: 10000, Seed: 109,
+			Motifs: MotifCounts{Plain: 2, RVIncomplete: 1, QCOnly: 2}},
+		{Name: "boundedbuf", Workers: 3, Events: 500, Window: 10000, Seed: 110,
+			Motifs: MotifCounts{CP: 1, Said: 1}},
+		{Name: "lottery", Workers: 4, Events: 350, Window: 10000, Seed: 111,
+			Motifs: MotifCounts{Plain: 1, CPNotSaid: 1}},
+
+		// Java Grande-style kernels.
+		{Name: "moldyn", Workers: 6, Events: 12000, Window: 10000, Seed: 201,
+			Motifs: MotifCounts{Plain: 2, RVRegion: 2}},
+		{Name: "montecarlo", Workers: 6, Events: 18000, Window: 10000, Seed: 202,
+			Motifs: MotifCounts{Plain: 1, Said: 1}},
+		{Name: "raytracer", Workers: 8, Events: 15000, Window: 10000, Seed: 203,
+			Motifs: MotifCounts{Plain: 1, CP: 1, RVIncomplete: 1}},
+
+		// Real-system models.
+		{Name: "ftpserver", Workers: 10, Events: 60000, Window: 10000, Seed: 301,
+			// HB = 1+26 = 27, CP = 27+4 = 31, Said = 1+2 = 3 — the cells the
+			// paper's text quotes for this row.
+			Motifs: MotifCounts{Plain: 1, HBNotSaid: 26, CPNotSaid: 4, Said: 2, RVRegion: 14, RVIncomplete: 6}},
+		{Name: "jigsaw", Workers: 10, Events: 50000, Window: 10000, Seed: 302,
+			Motifs: MotifCounts{Plain: 8, CP: 6, Said: 12, RVRegion: 6}},
+		{Name: "derby", Workers: 12, Events: 120000, Window: 10000, Seed: 303,
+			CounterPerMille: 80, // fine-grained locking: many small sections
+			// HB = 10+2 = 12, CP = 12+2 = 14, Said = 10+2+3 = 15,
+			// RV = 14+3+60+41 = 118, QC = 118+351 = 469 — the derby cells
+			// quoted in the paper's text.
+			Motifs: MotifCounts{Plain: 10, HBNotSaid: 2, CP: 2, Said: 3, RVRegion: 60, RVIncomplete: 41, QCOnly: 351}},
+		{Name: "sunflow", Workers: 8, Events: 40000, Window: 10000, Seed: 304,
+			Motifs: MotifCounts{Plain: 4, CP: 2, Said: 8, RVRegion: 4}},
+		{Name: "xalan", Workers: 8, Events: 50000, Window: 10000, Seed: 305,
+			Motifs: MotifCounts{Plain: 6, CP: 4, Said: 12, RVIncomplete: 4}},
+		{Name: "lusearch", Workers: 8, Events: 30000, Window: 10000, Seed: 306,
+			Motifs: MotifCounts{Plain: 1, CP: 1, Said: 4, RVRegion: 8}},
+		{Name: "eclipse", Workers: 16, Events: 80000, Window: 10000, Seed: 307,
+			Motifs: MotifCounts{Plain: 3, HBNotSaid: 1, CP: 2, Said: 8, RVRegion: 3, RVIncomplete: 2}},
+	}
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/hb"
+	"repro/internal/lockset"
+	"repro/internal/race"
+	"repro/internal/said"
+	"repro/trace"
+)
+
+// counts runs all five techniques on tr with the given window and returns
+// their distinct-signature counts.
+func counts(t *testing.T, tr *trace.Trace, window int) Expect {
+	t.Helper()
+	opt := core.Options{WindowSize: window, SolveTimeout: 20 * time.Second}
+	return Expect{
+		QC:   lockset.New(lockset.Options{WindowSize: window}).Detect(tr).Count(),
+		HB:   hb.New(hb.Options{WindowSize: window}).Detect(tr).Count(),
+		CP:   cp.New(cp.Options{WindowSize: window}).Detect(tr).Count(),
+		Said: said.New(said.Options{WindowSize: window, SolveTimeout: 20 * time.Second}).Detect(tr).Count(),
+		RV:   core.New(opt).Detect(tr).Count(),
+	}
+}
+
+// TestMotifVectors verifies every motif's documented detection vector
+// empirically: a trace containing exactly one motif instance (plus benign
+// filler) yields exactly the motif's expected counts under all five
+// techniques.
+func TestMotifVectors(t *testing.T) {
+	cases := []struct {
+		name   string
+		motifs MotifCounts
+	}{
+		{"plain", MotifCounts{Plain: 1}},
+		{"hbNotSaid", MotifCounts{HBNotSaid: 1}},
+		{"cp", MotifCounts{CP: 1}},
+		{"cpNotSaid", MotifCounts{CPNotSaid: 1}},
+		{"said", MotifCounts{Said: 1}},
+		{"rvRegion", MotifCounts{RVRegion: 1}},
+		{"rvIncomplete", MotifCounts{RVIncomplete: 1}},
+		{"qcOnly", MotifCounts{QCOnly: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := Spec{Name: c.name, Workers: 3, Events: 200, Window: 1000,
+				Motifs: c.motifs, Seed: 7}
+			tr, want := Build(spec)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			got := counts(t, tr, spec.Window)
+			if got != want {
+				t.Errorf("counts = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestMotifMixExactCounts(t *testing.T) {
+	// A mixed bag at small scale: expected counts are additive.
+	spec := Spec{
+		Name: "mix", Workers: 4, Events: 3000, Window: 1000, Seed: 11,
+		Motifs: MotifCounts{Plain: 2, HBNotSaid: 2, CP: 2, CPNotSaid: 1,
+			Said: 2, RVRegion: 2, RVIncomplete: 1, QCOnly: 2},
+	}
+	tr, want := Build(spec)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	got := counts(t, tr, spec.Window)
+	if got != want {
+		t.Errorf("counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestSmallRowsMatchExpectations(t *testing.T) {
+	for _, spec := range Rows() {
+		if spec.Events > 1000 {
+			continue // small benchmarks only; big rows in the harness/bench
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tr, want := Build(spec)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			got := counts(t, tr, spec.Window)
+			if got != want {
+				t.Errorf("counts = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestScaledDownRealRow(t *testing.T) {
+	// The ftpserver mix at reduced size: the planted structure, not the
+	// trace volume, determines every cell.
+	spec := Spec{Name: "ftpserver-small", Workers: 6, Events: 4000, Window: 1000,
+		Seed: 301,
+		Motifs: MotifCounts{Plain: 1, HBNotSaid: 6, CPNotSaid: 2, Said: 1,
+			RVRegion: 3, RVIncomplete: 2}}
+	tr, want := Build(spec)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	got := counts(t, tr, spec.Window)
+	if got != want {
+		t.Errorf("counts = %+v, want %+v", got, want)
+	}
+	// The row's defining shape: HB > Said, CP > HB, RV biggest, QC ⊇ RV.
+	if !(got.HB > got.Said && got.CP > got.HB && got.RV > got.CP && got.QC >= got.RV) {
+		t.Errorf("ftpserver shape violated: %+v", got)
+	}
+}
+
+func TestInclusionProperties(t *testing.T) {
+	// On every small row: HB ⊆ CP ⊆ RV and Said ⊆ RV as signature sets,
+	// and QC ⊇ RV (quick check is an over-approximation).
+	sigSet := func(res race.Result) map[race.Signature]bool {
+		out := make(map[race.Signature]bool)
+		for _, r := range res.Races {
+			out[r.Sig] = true
+		}
+		return out
+	}
+	for _, spec := range Rows()[:5] {
+		spec.Events = 600
+		spec.Window = 500
+		tr, _ := Build(spec)
+		w := spec.Window
+		hbS := sigSet(hb.New(hb.Options{WindowSize: w}).Detect(tr))
+		cpS := sigSet(cp.New(cp.Options{WindowSize: w}).Detect(tr))
+		saidS := sigSet(said.New(said.Options{WindowSize: w}).Detect(tr))
+		rvS := sigSet(core.New(core.Options{WindowSize: w}).Detect(tr))
+		qcS := sigSet(lockset.New(lockset.Options{WindowSize: w}).Detect(tr))
+		for s := range hbS {
+			if !cpS[s] {
+				t.Errorf("%s: HB race %v not found by CP", spec.Name, s)
+			}
+		}
+		for s := range cpS {
+			if !rvS[s] {
+				t.Errorf("%s: CP race %v not found by RV", spec.Name, s)
+			}
+		}
+		for s := range saidS {
+			if !rvS[s] {
+				t.Errorf("%s: Said race %v not found by RV", spec.Name, s)
+			}
+		}
+		for s := range rvS {
+			if !qcS[s] {
+				t.Errorf("%s: RV race %v does not pass the quick check", spec.Name, s)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Rows()[1]
+	tr1, e1 := Build(spec)
+	tr2, e2 := Build(spec)
+	if e1 != e2 {
+		t.Fatal("expectations differ across builds")
+	}
+	if tr1.Len() != tr2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", tr1.Len(), tr2.Len())
+	}
+	for i := 0; i < tr1.Len(); i++ {
+		if tr1.Event(i) != tr2.Event(i) {
+			t.Fatalf("event %d differs: %v vs %v", i, tr1.Event(i), tr2.Event(i))
+		}
+	}
+}
+
+func TestRowsAreValidTraces(t *testing.T) {
+	for _, spec := range Rows() {
+		spec.Events = min(spec.Events, 5000) // keep the test fast
+		tr, _ := Build(spec)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: invalid trace: %v", spec.Name, err)
+		}
+		st := tr.ComputeStats()
+		if st.Threads != spec.Workers+1 {
+			t.Errorf("%s: threads = %d, want %d workers + main",
+				spec.Name, st.Threads, spec.Workers)
+		}
+		if st.Branches == 0 {
+			t.Errorf("%s: no branch events generated", spec.Name)
+		}
+	}
+}
+
+func TestExampleRow(t *testing.T) {
+	tr, want := Example()
+	got := counts(t, tr, 10000)
+	if got != want {
+		t.Errorf("example row counts = %+v, want %+v", got, want)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestStressFullScale runs the two heaviest Table 1 rows at full scale.
+// It is skipped unless RVPREDICT_STRESS is set (cmd/table1 covers the full
+// table; this keeps `go test ./...` minutes-free).
+func TestStressFullScale(t *testing.T) {
+	if os.Getenv("RVPREDICT_STRESS") == "" {
+		t.Skip("set RVPREDICT_STRESS=1 to run the full-scale rows")
+	}
+	for _, name := range []string{"ftpserver", "derby"} {
+		for _, spec := range Rows() {
+			if spec.Name != name {
+				continue
+			}
+			tr, want := Build(spec)
+			got := counts(t, tr, spec.Window)
+			if got != want {
+				t.Errorf("%s: counts = %+v, want %+v", name, got, want)
+			}
+		}
+	}
+}

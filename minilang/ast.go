@@ -1,0 +1,173 @@
+package minilang
+
+// The AST mirrors the surface syntax. Statements carry their source line,
+// which becomes the trace.Loc of the events they emit (so race reports
+// point at source lines, like the paper's per-location race signatures).
+
+// Program is a parsed and checked minilang program.
+type Program struct {
+	Shared  []VarDecl
+	Locks   []string
+	Threads []ThreadDecl
+
+	// symbol tables filled by Check
+	sharedIndex map[string]int
+	lockIndex   map[string]int
+	threadIndex map[string]int
+}
+
+// VarDecl declares a shared variable or array.
+type VarDecl struct {
+	Name     string
+	Volatile bool
+	// ArrayLen is 0 for scalars, else the array length.
+	ArrayLen int
+	// Init is the scalar initial value (arrays initialise to zero).
+	Init int64
+	Line int
+}
+
+// ThreadDecl is one thread's body. The first declared thread is the initial
+// thread and starts automatically; all others must be forked.
+type ThreadDecl struct {
+	Name string
+	Body []Stmt
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// AssignStmt writes Expr to a shared variable/array element or a local.
+type AssignStmt struct {
+	Target string
+	// Index is non-nil for array element targets.
+	Index Expr
+	Value Expr
+	Line  int
+}
+
+// LockStmt acquires a lock.
+type LockStmt struct {
+	Lock string
+	Line int
+}
+
+// UnlockStmt releases a lock.
+type UnlockStmt struct {
+	Lock string
+	Line int
+}
+
+// ForkStmt starts a thread.
+type ForkStmt struct {
+	Thread string
+	Line   int
+}
+
+// JoinStmt waits for a thread to finish.
+type JoinStmt struct {
+	Thread string
+	Line   int
+}
+
+// IfStmt branches on Cond; the evaluation emits a branch event.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt loops on Cond; every iteration's test emits a branch event.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// WaitStmt waits on a lock's condition (the thread must hold the lock).
+type WaitStmt struct {
+	Lock string
+	Line int
+}
+
+// NotifyStmt wakes one (All=false) or all waiting threads on the lock's
+// condition (the thread must hold the lock).
+type NotifyStmt struct {
+	Lock string
+	All  bool
+	Line int
+}
+
+// SkipStmt does nothing (a labelled program point).
+type SkipStmt struct {
+	Line int
+}
+
+// BlockStmt groups statements (the desugaring target of "sync l { … }").
+type BlockStmt struct {
+	Body []Stmt
+	Line int
+}
+
+// PrintStmt evaluates and prints an expression (reads emit events).
+type PrintStmt struct {
+	Value Expr
+	Line  int
+}
+
+func (s *AssignStmt) stmtLine() int { return s.Line }
+func (s *LockStmt) stmtLine() int   { return s.Line }
+func (s *UnlockStmt) stmtLine() int { return s.Line }
+func (s *ForkStmt) stmtLine() int   { return s.Line }
+func (s *JoinStmt) stmtLine() int   { return s.Line }
+func (s *IfStmt) stmtLine() int     { return s.Line }
+func (s *WhileStmt) stmtLine() int  { return s.Line }
+func (s *WaitStmt) stmtLine() int   { return s.Line }
+func (s *NotifyStmt) stmtLine() int { return s.Line }
+func (s *SkipStmt) stmtLine() int   { return s.Line }
+func (s *BlockStmt) stmtLine() int  { return s.Line }
+func (s *PrintStmt) stmtLine() int  { return s.Line }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// VarRef references a local or shared scalar by name.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexRef references a shared array element.
+type IndexRef struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// UnaryExpr applies "!" or unary "-".
+type UnaryExpr struct {
+	Op   TokenKind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   TokenKind
+	X, Y Expr
+	Line int
+}
+
+func (e *IntLit) exprLine() int     { return e.Line }
+func (e *VarRef) exprLine() int     { return e.Line }
+func (e *IndexRef) exprLine() int   { return e.Line }
+func (e *UnaryExpr) exprLine() int  { return e.Line }
+func (e *BinaryExpr) exprLine() int { return e.Line }

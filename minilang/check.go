@@ -1,0 +1,267 @@
+package minilang
+
+import (
+	"fmt"
+
+	"repro/trace"
+)
+
+// A CheckError reports a semantic problem.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+func checkErr(line int, format string, args ...any) error {
+	return &CheckError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Compile parses and checks src, returning a runnable program.
+func Compile(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Check validates name resolution and builds the symbol tables: shared
+// variables vs. thread-local variables (locals are declared implicitly by
+// their first assignment), lock names, thread names, and array usage. The
+// initial thread is the first declared one; it cannot be forked or joined.
+func (p *Program) Check() error {
+	p.sharedIndex = make(map[string]int)
+	p.lockIndex = make(map[string]int)
+	p.threadIndex = make(map[string]int)
+
+	for i, d := range p.Shared {
+		if _, dup := p.sharedIndex[d.Name]; dup {
+			return checkErr(d.Line, "shared variable %q declared twice", d.Name)
+		}
+		p.sharedIndex[d.Name] = i
+	}
+	for i, name := range p.Locks {
+		if _, dup := p.lockIndex[name]; dup {
+			return checkErr(0, "lock %q declared twice", name)
+		}
+		if _, clash := p.sharedIndex[name]; clash {
+			return checkErr(0, "lock %q collides with a shared variable", name)
+		}
+		p.lockIndex[name] = i
+	}
+	for i, td := range p.Threads {
+		if _, dup := p.threadIndex[td.Name]; dup {
+			return checkErr(td.Line, "thread %q declared twice", td.Name)
+		}
+		if _, clash := p.sharedIndex[td.Name]; clash {
+			return checkErr(td.Line, "thread %q collides with a shared variable", td.Name)
+		}
+		if _, clash := p.lockIndex[td.Name]; clash {
+			return checkErr(td.Line, "thread %q collides with a lock", td.Name)
+		}
+		p.threadIndex[td.Name] = i
+	}
+
+	for ti := range p.Threads {
+		locals := make(map[string]bool)
+		if err := p.checkStmts(p.Threads[ti].Body, ti, locals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) checkStmts(stmts []Stmt, thread int, locals map[string]bool) error {
+	for _, s := range stmts {
+		if err := p.checkStmt(s, thread, locals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) checkStmt(s Stmt, thread int, locals map[string]bool) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		if st.Index != nil {
+			si, ok := p.sharedIndex[st.Target]
+			if !ok || p.Shared[si].ArrayLen == 0 {
+				return checkErr(st.Line, "%q is not a shared array", st.Target)
+			}
+			if err := p.checkExpr(st.Index, thread, locals); err != nil {
+				return err
+			}
+		} else if si, shared := p.sharedIndex[st.Target]; shared {
+			if p.Shared[si].ArrayLen != 0 {
+				return checkErr(st.Line, "array %q assigned without an index", st.Target)
+			}
+		} else {
+			if _, isLock := p.lockIndex[st.Target]; isLock {
+				return checkErr(st.Line, "cannot assign to lock %q", st.Target)
+			}
+			if _, isThread := p.threadIndex[st.Target]; isThread {
+				return checkErr(st.Line, "cannot assign to thread %q", st.Target)
+			}
+		}
+		if err := p.checkExpr(st.Value, thread, locals); err != nil {
+			return err
+		}
+		if st.Index == nil {
+			if _, shared := p.sharedIndex[st.Target]; !shared {
+				locals[st.Target] = true
+			}
+		}
+	case *LockStmt:
+		return p.needLock(st.Lock, st.Line)
+	case *UnlockStmt:
+		return p.needLock(st.Lock, st.Line)
+	case *WaitStmt:
+		return p.needLock(st.Lock, st.Line)
+	case *NotifyStmt:
+		return p.needLock(st.Lock, st.Line)
+	case *ForkStmt:
+		ti, ok := p.threadIndex[st.Thread]
+		if !ok {
+			return checkErr(st.Line, "fork of undeclared thread %q", st.Thread)
+		}
+		if ti == 0 {
+			return checkErr(st.Line, "cannot fork the initial thread %q", st.Thread)
+		}
+		if ti == thread {
+			return checkErr(st.Line, "thread %q cannot fork itself", st.Thread)
+		}
+	case *JoinStmt:
+		ti, ok := p.threadIndex[st.Thread]
+		if !ok {
+			return checkErr(st.Line, "join of undeclared thread %q", st.Thread)
+		}
+		if ti == thread {
+			return checkErr(st.Line, "thread %q cannot join itself", st.Thread)
+		}
+	case *IfStmt:
+		if err := p.checkExpr(st.Cond, thread, locals); err != nil {
+			return err
+		}
+		if err := p.checkStmts(st.Then, thread, locals); err != nil {
+			return err
+		}
+		return p.checkStmts(st.Else, thread, locals)
+	case *WhileStmt:
+		if err := p.checkExpr(st.Cond, thread, locals); err != nil {
+			return err
+		}
+		return p.checkStmts(st.Body, thread, locals)
+	case *SkipStmt:
+	case *BlockStmt:
+		return p.checkStmts(st.Body, thread, locals)
+	case *PrintStmt:
+		return p.checkExpr(st.Value, thread, locals)
+	default:
+		return checkErr(s.stmtLine(), "unknown statement type %T", s)
+	}
+	return nil
+}
+
+func (p *Program) needLock(name string, line int) error {
+	if _, ok := p.lockIndex[name]; !ok {
+		return checkErr(line, "%q is not a declared lock", name)
+	}
+	return nil
+}
+
+func (p *Program) checkExpr(e Expr, thread int, locals map[string]bool) error {
+	switch ex := e.(type) {
+	case *IntLit:
+	case *VarRef:
+		if si, shared := p.sharedIndex[ex.Name]; shared {
+			if p.Shared[si].ArrayLen != 0 {
+				return checkErr(ex.Line, "array %q read without an index", ex.Name)
+			}
+			return nil
+		}
+		if !locals[ex.Name] {
+			return checkErr(ex.Line,
+				"undefined variable %q (locals must be assigned before use)", ex.Name)
+		}
+	case *IndexRef:
+		si, ok := p.sharedIndex[ex.Name]
+		if !ok || p.Shared[si].ArrayLen == 0 {
+			return checkErr(ex.Line, "%q is not a shared array", ex.Name)
+		}
+		return p.checkExpr(ex.Index, thread, locals)
+	case *UnaryExpr:
+		return p.checkExpr(ex.X, thread, locals)
+	case *BinaryExpr:
+		if err := p.checkExpr(ex.X, thread, locals); err != nil {
+			return err
+		}
+		return p.checkExpr(ex.Y, thread, locals)
+	default:
+		return checkErr(e.exprLine(), "unknown expression type %T", e)
+	}
+	return nil
+}
+
+// Address layout: shared scalars and arrays first (arrays occupy a
+// contiguous range), then locks. The layout is deterministic so traces of
+// the same program are comparable across runs.
+
+// VarAddr returns the trace address of a shared scalar.
+func (p *Program) VarAddr(name string) (trace.Addr, bool) {
+	si, ok := p.sharedIndex[name]
+	if !ok || p.Shared[si].ArrayLen != 0 {
+		return 0, false
+	}
+	return p.baseAddr(si), true
+}
+
+// ElemAddr returns the trace address of a shared array element.
+func (p *Program) ElemAddr(name string, idx int) (trace.Addr, bool) {
+	si, ok := p.sharedIndex[name]
+	if !ok || p.Shared[si].ArrayLen == 0 || idx < 0 || idx >= p.Shared[si].ArrayLen {
+		return 0, false
+	}
+	return p.baseAddr(si) + trace.Addr(idx), true
+}
+
+// LockAddr returns the trace address of a lock.
+func (p *Program) LockAddr(name string) (trace.Addr, bool) {
+	li, ok := p.lockIndex[name]
+	if !ok {
+		return 0, false
+	}
+	return p.lockBase() + trace.Addr(li), true
+}
+
+// ThreadID returns the trace thread ID of a named thread (its declaration
+// index).
+func (p *Program) ThreadID(name string) (trace.TID, bool) {
+	ti, ok := p.threadIndex[name]
+	if !ok {
+		return 0, false
+	}
+	return trace.TID(ti), true
+}
+
+func (p *Program) baseAddr(si int) trace.Addr {
+	a := trace.Addr(1)
+	for i := 0; i < si; i++ {
+		if n := p.Shared[i].ArrayLen; n > 0 {
+			a += trace.Addr(n)
+		} else {
+			a++
+		}
+	}
+	return a
+}
+
+func (p *Program) lockBase() trace.Addr {
+	return p.baseAddr(len(p.Shared))
+}

@@ -1,0 +1,48 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile hardens the lexer/parser/checker against arbitrary input:
+// Compile must return an error or a program, never panic; compiled
+// programs must run (or fail) without panicking and produce consistent
+// traces.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		figure1Src,
+		`shared x; thread t { x = 1; }`,
+		`shared a[3]; lock l; thread t { sync l { a[1] = 2; } }`,
+		`thread t { while (1) { skip; } }`,
+		`volatile v; thread t { v = 1; if (v == 1) { print v; } else { } }`,
+		`lock l; thread a { fork b; wait l; } thread b { notify l; }`,
+		`shared x = -5; thread t { r = x / x; print r; }`,
+		`thread t {`,
+		`shared ; thread`,
+		"thread t { x[ = ; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := Compile(src)
+		if err != nil {
+			// Errors must be positioned diagnostics, not raw panics.
+			if msg := err.Error(); strings.Contains(msg, "runtime error") {
+				t.Fatalf("diagnostic leaked a runtime error: %q", msg)
+			}
+			return
+		}
+		tr, err := prog.Run(RunOptions{MaxSteps: 2000})
+		if err != nil {
+			return // deadlocks, budget exhaustion etc. are legitimate
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("interpreter produced an inconsistent trace: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,724 @@
+package minilang
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/trace"
+)
+
+// Scheduler decides which thread performs the next statement. eligible is
+// the sorted, non-empty set of threads that can make progress right now
+// (not blocked on a lock, join or wait); step counts scheduling decisions.
+type Scheduler interface {
+	Pick(eligible []trace.TID, step int) trace.TID
+}
+
+// RoundRobin runs each eligible thread for Quantum consecutive steps
+// (default 1) before moving on — the deterministic default scheduler.
+type RoundRobin struct {
+	Quantum int
+
+	last    trace.TID
+	used    int
+	started bool
+}
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(eligible []trace.TID, step int) trace.TID {
+	q := r.Quantum
+	if q <= 0 {
+		q = 1
+	}
+	if r.started && r.used < q {
+		for _, t := range eligible {
+			if t == r.last {
+				r.used++
+				return t
+			}
+		}
+	}
+	// Next thread after last, cyclically.
+	pick := eligible[0]
+	for _, t := range eligible {
+		if t > r.last {
+			pick = t
+			break
+		}
+	}
+	r.last = pick
+	r.used = 1
+	r.started = true
+	return pick
+}
+
+// Random picks uniformly with a fixed seed — reproducible interleaving
+// variety for workload generation.
+type Random struct {
+	Seed int64
+	rng  *rand.Rand
+}
+
+// Pick implements Scheduler.
+func (r *Random) Pick(eligible []trace.TID, step int) trace.TID {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	return eligible[r.rng.Intn(len(eligible))]
+}
+
+// Sequential always advances the lowest-ID eligible thread, running each
+// thread as far as it can go — the serial-order schedule.
+type Sequential struct{}
+
+// Pick implements Scheduler.
+func (Sequential) Pick(eligible []trace.TID, step int) trace.TID { return eligible[0] }
+
+// A RuntimeError reports a dynamic execution failure (deadlock, division by
+// zero, unlock of an unheld lock, array bounds, step budget exhausted…).
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+func rtErr(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// RunOptions configures an execution.
+type RunOptions struct {
+	// Scheduler picks threads; nil defaults to &RoundRobin{}.
+	Scheduler Scheduler
+	// MaxSteps bounds scheduling decisions (default 1 << 20).
+	MaxSteps int
+	// Out receives print output; nil discards it.
+	Out io.Writer
+}
+
+// Run executes the program and returns its trace. The produced trace is
+// sequentially consistent by construction (the interpreter is a
+// sequentially consistent machine); tests assert tr.Validate() == nil.
+func (p *Program) Run(opt RunOptions) (*trace.Trace, error) {
+	if opt.Scheduler == nil {
+		opt.Scheduler = &RoundRobin{}
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 1 << 20
+	}
+	in := newInterp(p, opt)
+	return in.run()
+}
+
+type threadState uint8
+
+const (
+	tsNotStarted threadState = iota
+	tsNeedBegin              // forked, must emit begin on first step
+	tsRunning
+	tsBlockedLock
+	tsWaiting
+	tsBlockedJoin
+	tsDone
+)
+
+type frame struct {
+	stmts []Stmt
+	idx   int
+}
+
+type threadCtx struct {
+	id     trace.TID
+	state  threadState
+	frames []frame
+	locals map[string]int64
+
+	blockedOn trace.Addr // lock (tsBlockedLock, tsWaiting) — address
+	joinee    int        // thread index (tsBlockedJoin)
+
+	// wait bookkeeping
+	woken       bool
+	waitRelease int // event index of the wait's release
+	notifyEvent int // event index of the matched notify (its release), -1 unknown
+	initial     bool
+}
+
+type lockState struct {
+	held   bool
+	holder int
+	// waiters in FIFO order (thread indices currently in wait()).
+	waiters []int
+	// wokenBy maps a woken waiter to its notifier, until the notifier's
+	// release event is known.
+	wokenBy map[int]int
+}
+
+type interp struct {
+	p    *Program
+	opt  RunOptions
+	tr   *trace.Trace
+	vals map[trace.Addr]int64 // current shared memory
+	thr  []*threadCtx
+	lk   map[trace.Addr]*lockState
+
+	// pendingNotify maps notifier thread index and lock to the waiters
+	// whose notify event index awaits the notifier's next release.
+	pendingNotify map[int][]int // notifier -> waiter thread indices
+}
+
+func newInterp(p *Program, opt RunOptions) *interp {
+	in := &interp{
+		p:             p,
+		opt:           opt,
+		tr:            trace.New(256),
+		vals:          make(map[trace.Addr]int64),
+		lk:            make(map[trace.Addr]*lockState),
+		pendingNotify: make(map[int][]int),
+	}
+	for ti := range p.Threads {
+		in.thr = append(in.thr, &threadCtx{
+			id:          trace.TID(ti),
+			state:       tsNotStarted,
+			locals:      make(map[string]int64),
+			notifyEvent: -1,
+		})
+	}
+	// The initial thread starts immediately, without a begin event
+	// (matching the paper's Figure 4 trace shape).
+	in.thr[0].state = tsRunning
+	in.thr[0].initial = true
+	in.thr[0].frames = []frame{{stmts: p.Threads[0].Body}}
+
+	for i, d := range p.Shared {
+		base := p.baseAddr(i)
+		if d.Volatile {
+			n := d.ArrayLen
+			if n == 0 {
+				n = 1
+			}
+			for k := 0; k < n; k++ {
+				in.tr.SetVolatile(base + trace.Addr(k))
+			}
+		}
+		if d.ArrayLen == 0 {
+			in.vals[base] = d.Init
+			if d.Init != 0 {
+				in.tr.SetInitial(base, d.Init)
+			}
+		}
+	}
+	return in
+}
+
+func (in *interp) lock(a trace.Addr) *lockState {
+	ls := in.lk[a]
+	if ls == nil {
+		ls = &lockState{wokenBy: make(map[int]int)}
+		in.lk[a] = ls
+	}
+	return ls
+}
+
+// eligible returns threads that can take a step now.
+func (in *interp) eligible() []trace.TID {
+	var out []trace.TID
+	for ti, t := range in.thr {
+		switch t.state {
+		case tsRunning, tsNeedBegin:
+			out = append(out, trace.TID(ti))
+		case tsBlockedLock:
+			if !in.lock(t.blockedOn).held {
+				out = append(out, trace.TID(ti))
+			}
+		case tsWaiting:
+			if t.woken && !in.lock(t.blockedOn).held {
+				out = append(out, trace.TID(ti))
+			}
+		case tsBlockedJoin:
+			if in.thr[t.joinee].state == tsDone {
+				out = append(out, trace.TID(ti))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (in *interp) allDone() bool {
+	for _, t := range in.thr {
+		if t.state != tsDone && t.state != tsNotStarted {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *interp) run() (*trace.Trace, error) {
+	for step := 0; ; step++ {
+		if step >= in.opt.MaxSteps {
+			return in.tr, rtErr(0, "step budget (%d) exhausted — infinite loop?", in.opt.MaxSteps)
+		}
+		el := in.eligible()
+		if len(el) == 0 {
+			if in.allDone() {
+				break
+			}
+			return in.tr, rtErr(0, "deadlock: %s", in.stuckReport())
+		}
+		tid := in.opt.Scheduler.Pick(el, step)
+		if err := in.step(int(tid)); err != nil {
+			return in.tr, err
+		}
+	}
+	// Ending while holding a lock is a program bug (and would make lost
+	// notify links likely); report it.
+	for a, ls := range in.lk {
+		if ls.held {
+			return in.tr, rtErr(0, "program ended with lock %d still held by %s",
+				a, in.p.Threads[ls.holder].Name)
+		}
+	}
+	return in.tr, nil
+}
+
+func (in *interp) stuckReport() string {
+	s := ""
+	for ti, t := range in.thr {
+		if t.state == tsBlockedLock || t.state == tsWaiting || t.state == tsBlockedJoin {
+			if s != "" {
+				s += ", "
+			}
+			switch t.state {
+			case tsBlockedLock:
+				s += fmt.Sprintf("%s blocked on lock %d", in.p.Threads[ti].Name, t.blockedOn)
+			case tsWaiting:
+				s += fmt.Sprintf("%s waiting on lock %d", in.p.Threads[ti].Name, t.blockedOn)
+			case tsBlockedJoin:
+				s += fmt.Sprintf("%s joining %s", in.p.Threads[ti].Name, in.p.Threads[t.joinee].Name)
+			}
+		}
+	}
+	if s == "" {
+		s = "no runnable threads"
+	}
+	return s
+}
+
+func (in *interp) emit(e trace.Event, line int) int {
+	e.Loc = trace.Loc(line)
+	idx := in.tr.Append(e)
+	return idx
+}
+
+// step executes one scheduling quantum for thread ti: completing a blocked
+// operation or running one statement.
+func (in *interp) step(ti int) error {
+	t := in.thr[ti]
+	switch t.state {
+	case tsNeedBegin:
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpBegin}, in.p.Threads[ti].Line)
+		t.state = tsRunning
+		return nil
+	case tsBlockedLock:
+		return in.completeAcquire(ti, 0)
+	case tsWaiting:
+		// Re-acquire after notify; record the wait/notify link.
+		ls := in.lock(t.blockedOn)
+		if ls.held {
+			return rtErr(0, "scheduler picked a waiting thread whose lock is held")
+		}
+		acq := in.emit(trace.Event{Tid: t.id, Op: trace.OpAcquire, Addr: t.blockedOn}, t.waitLine())
+		ls.held = true
+		ls.holder = ti
+		if t.notifyEvent >= 0 {
+			in.tr.AddNotifyLink(t.notifyEvent, t.waitRelease, acq)
+		}
+		t.state = tsRunning
+		t.woken = false
+		t.notifyEvent = -1
+		in.advance(t)
+		return nil
+	case tsBlockedJoin:
+		st := in.currentStmt(t).(*JoinStmt)
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpJoin, Value: int64(t.joinee)}, st.Line)
+		t.state = tsRunning
+		in.advance(t)
+		return nil
+	case tsRunning:
+		return in.exec(ti)
+	}
+	return rtErr(0, "scheduler picked an unrunnable thread")
+}
+
+// waitLine recovers the line of the wait statement that parked the thread.
+func (t *threadCtx) waitLine() int {
+	if len(t.frames) == 0 {
+		return 0
+	}
+	f := &t.frames[len(t.frames)-1]
+	if f.idx < len(f.stmts) {
+		return f.stmts[f.idx].stmtLine()
+	}
+	return 0
+}
+
+// currentStmt returns the statement the top frame points at.
+func (in *interp) currentStmt(t *threadCtx) Stmt {
+	f := &t.frames[len(t.frames)-1]
+	return f.stmts[f.idx]
+}
+
+// advance moves past the current statement, popping exhausted frames.
+func (in *interp) advance(t *threadCtx) {
+	f := &t.frames[len(t.frames)-1]
+	f.idx++
+	in.popExhausted(t)
+}
+
+// popExhausted pops finished frames; a finished thread emits end.
+func (in *interp) popExhausted(t *threadCtx) {
+	for len(t.frames) > 0 {
+		f := &t.frames[len(t.frames)-1]
+		if f.idx < len(f.stmts) {
+			return
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+	}
+	// Thread finished.
+	if !t.initial {
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpEnd}, in.p.Threads[int(t.id)].Line)
+	}
+	t.state = tsDone
+}
+
+// exec runs the current statement of a running thread.
+func (in *interp) exec(ti int) error {
+	t := in.thr[ti]
+	if len(t.frames) == 0 {
+		t.state = tsDone
+		return nil
+	}
+	if f := &t.frames[len(t.frames)-1]; f.idx >= len(f.stmts) {
+		// Empty (or already finished) body — e.g. "thread t { }".
+		in.popExhausted(t)
+		return nil
+	}
+	s := in.currentStmt(t)
+	switch st := s.(type) {
+	case *SkipStmt:
+		in.advance(t)
+	case *BlockStmt:
+		// Step past the block, then push its body (same frame discipline
+		// as if/while: push before popping exhausted frames).
+		t.frames[len(t.frames)-1].idx++
+		if len(st.Body) > 0 {
+			t.frames = append(t.frames, frame{stmts: st.Body})
+		}
+		in.popExhausted(t)
+	case *PrintStmt:
+		v, err := in.eval(t, st.Value)
+		if err != nil {
+			return err
+		}
+		if in.opt.Out != nil {
+			fmt.Fprintf(in.opt.Out, "%d\n", v)
+		}
+		in.advance(t)
+	case *AssignStmt:
+		v, err := in.eval(t, st.Value)
+		if err != nil {
+			return err
+		}
+		if si, shared := in.p.sharedIndex[st.Target]; shared {
+			addr, err := in.targetAddr(t, st, si)
+			if err != nil {
+				return err
+			}
+			in.vals[addr] = v
+			in.emit(trace.Event{Tid: t.id, Op: trace.OpWrite, Addr: addr, Value: v}, st.Line)
+		} else {
+			t.locals[st.Target] = v
+		}
+		in.advance(t)
+	case *LockStmt:
+		addr, _ := in.p.LockAddr(st.Lock)
+		ls := in.lock(addr)
+		if ls.held && ls.holder == ti {
+			return rtErr(st.Line, "thread %q re-acquires lock %q it already holds (non-reentrant)",
+				in.p.Threads[ti].Name, st.Lock)
+		}
+		if ls.held {
+			t.state = tsBlockedLock
+			t.blockedOn = addr
+			return nil
+		}
+		return in.completeAcquire(ti, st.Line)
+	case *UnlockStmt:
+		addr, _ := in.p.LockAddr(st.Lock)
+		ls := in.lock(addr)
+		if !ls.held || ls.holder != ti {
+			return rtErr(st.Line, "thread %q unlocks %q without holding it",
+				in.p.Threads[ti].Name, st.Lock)
+		}
+		rel := in.emit(trace.Event{Tid: t.id, Op: trace.OpRelease, Addr: addr}, st.Line)
+		ls.held = false
+		// Resolve pending notify links: waiters woken by this thread on
+		// this lock get this release as their notify event.
+		var rest []int
+		for _, wi := range in.pendingNotify[ti] {
+			w := in.thr[wi]
+			if w.blockedOn == addr && w.notifyEvent < 0 {
+				w.notifyEvent = rel
+			} else {
+				rest = append(rest, wi)
+			}
+		}
+		in.pendingNotify[ti] = rest
+		in.advance(t)
+	case *ForkStmt:
+		ci := in.p.threadIndex[st.Thread]
+		c := in.thr[ci]
+		if c.state != tsNotStarted {
+			return rtErr(st.Line, "thread %q forked twice", st.Thread)
+		}
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpFork, Value: int64(ci)}, st.Line)
+		c.state = tsNeedBegin
+		c.frames = []frame{{stmts: in.p.Threads[ci].Body}}
+		in.advance(t)
+	case *JoinStmt:
+		ci := in.p.threadIndex[st.Thread]
+		if in.thr[ci].state == tsNotStarted {
+			return rtErr(st.Line, "join of never-forked thread %q", st.Thread)
+		}
+		if in.thr[ci].state != tsDone {
+			t.state = tsBlockedJoin
+			t.joinee = ci
+			return nil
+		}
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpJoin, Value: int64(ci)}, st.Line)
+		in.advance(t)
+	case *WaitStmt:
+		addr, _ := in.p.LockAddr(st.Lock)
+		ls := in.lock(addr)
+		if !ls.held || ls.holder != ti {
+			return rtErr(st.Line, "wait on %q without holding it", st.Lock)
+		}
+		rel := in.emit(trace.Event{Tid: t.id, Op: trace.OpRelease, Addr: addr}, st.Line)
+		ls.held = false
+		ls.waiters = append(ls.waiters, ti)
+		t.state = tsWaiting
+		t.blockedOn = addr
+		t.woken = false
+		t.waitRelease = rel
+		t.notifyEvent = -1
+		// advance happens when the thread wakes and re-acquires.
+	case *NotifyStmt:
+		addr, _ := in.p.LockAddr(st.Lock)
+		ls := in.lock(addr)
+		if !ls.held || ls.holder != ti {
+			return rtErr(st.Line, "notify on %q without holding it", st.Lock)
+		}
+		n := 1
+		if st.All {
+			n = len(ls.waiters)
+		}
+		for k := 0; k < n && len(ls.waiters) > 0; k++ {
+			wi := ls.waiters[0]
+			ls.waiters = ls.waiters[1:]
+			in.thr[wi].woken = true
+			in.pendingNotify[ti] = append(in.pendingNotify[ti], wi)
+		}
+		in.advance(t)
+	case *IfStmt:
+		v, err := in.eval(t, st.Cond)
+		if err != nil {
+			return err
+		}
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpBranch}, st.Line)
+		// Step past the if before pushing the chosen branch, without
+		// popping exhausted frames yet: popping first would wrongly end
+		// the thread when the if is its last statement.
+		t.frames[len(t.frames)-1].idx++
+		if v != 0 {
+			if len(st.Then) > 0 {
+				t.frames = append(t.frames, frame{stmts: st.Then})
+			}
+		} else if len(st.Else) > 0 {
+			t.frames = append(t.frames, frame{stmts: st.Else})
+		}
+		in.popExhausted(t)
+	case *WhileStmt:
+		v, err := in.eval(t, st.Cond)
+		if err != nil {
+			return err
+		}
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpBranch}, st.Line)
+		if v != 0 {
+			// Re-test after the body: leave idx pointing at the while.
+			if len(st.Body) > 0 {
+				t.frames = append(t.frames, frame{stmts: st.Body})
+			}
+		} else {
+			in.advance(t)
+		}
+	default:
+		return rtErr(s.stmtLine(), "unexecutable statement %T", s)
+	}
+	return nil
+}
+
+// completeAcquire emits the acquire event for thread ti and resumes it.
+func (in *interp) completeAcquire(ti int, line int) error {
+	t := in.thr[ti]
+	var addr trace.Addr
+	if t.state == tsBlockedLock {
+		addr = t.blockedOn
+		line = in.currentStmt(t).stmtLine()
+	} else {
+		st := in.currentStmt(t).(*LockStmt)
+		a, _ := in.p.LockAddr(st.Lock)
+		addr = a
+	}
+	ls := in.lock(addr)
+	if ls.held {
+		return rtErr(line, "acquire of a held lock (scheduler bug)")
+	}
+	in.emit(trace.Event{Tid: t.id, Op: trace.OpAcquire, Addr: addr}, line)
+	ls.held = true
+	ls.holder = ti
+	t.state = tsRunning
+	in.advance(t)
+	return nil
+}
+
+// targetAddr resolves an assignment target address, emitting the implicit
+// branch event for non-constant array indices (Section 4: array accesses
+// are additional control-flow points).
+func (in *interp) targetAddr(t *threadCtx, st *AssignStmt, si int) (trace.Addr, error) {
+	if st.Index == nil {
+		return in.p.baseAddr(si), nil
+	}
+	idx, err := in.evalIndex(t, st.Index, st.Line, st.Target, si)
+	if err != nil {
+		return 0, err
+	}
+	return in.p.baseAddr(si) + trace.Addr(idx), nil
+}
+
+func (in *interp) evalIndex(t *threadCtx, e Expr, line int, name string, si int) (int64, error) {
+	idx, err := in.eval(t, e)
+	if err != nil {
+		return 0, err
+	}
+	if _, constant := e.(*IntLit); !constant {
+		// Implicit data-flow branch: which element is touched depends on
+		// the computed index.
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpBranch}, line)
+	}
+	if idx < 0 || idx >= int64(in.p.Shared[si].ArrayLen) {
+		return 0, rtErr(line, "index %d out of range for %q[%d]",
+			idx, name, in.p.Shared[si].ArrayLen)
+	}
+	return idx, nil
+}
+
+// eval evaluates an expression, emitting read events for shared accesses.
+// Boolean operators are total (no short-circuit), so the set of emitted
+// reads does not depend on operand values — control flow is carried solely
+// by the explicit branch events.
+func (in *interp) eval(t *threadCtx, e Expr) (int64, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Value, nil
+	case *VarRef:
+		if si, shared := in.p.sharedIndex[ex.Name]; shared {
+			addr := in.p.baseAddr(si)
+			v := in.vals[addr]
+			in.emit(trace.Event{Tid: t.id, Op: trace.OpRead, Addr: addr, Value: v}, ex.Line)
+			return v, nil
+		}
+		return t.locals[ex.Name], nil
+	case *IndexRef:
+		si := in.p.sharedIndex[ex.Name]
+		idx, err := in.evalIndex(t, ex.Index, ex.Line, ex.Name, si)
+		if err != nil {
+			return 0, err
+		}
+		addr := in.p.baseAddr(si) + trace.Addr(idx)
+		v := in.vals[addr]
+		in.emit(trace.Event{Tid: t.id, Op: trace.OpRead, Addr: addr, Value: v}, ex.Line)
+		return v, nil
+	case *UnaryExpr:
+		v, err := in.eval(t, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if ex.Op == TokNot {
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return -v, nil
+	case *BinaryExpr:
+		x, err := in.eval(t, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := in.eval(t, ex.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case TokPlus:
+			return x + y, nil
+		case TokMinus:
+			return x - y, nil
+		case TokStar:
+			return x * y, nil
+		case TokSlash:
+			if y == 0 {
+				return 0, rtErr(ex.Line, "division by zero")
+			}
+			return x / y, nil
+		case TokPercent:
+			if y == 0 {
+				return 0, rtErr(ex.Line, "modulo by zero")
+			}
+			return x % y, nil
+		case TokEq:
+			return b2i(x == y), nil
+		case TokNeq:
+			return b2i(x != y), nil
+		case TokLt:
+			return b2i(x < y), nil
+		case TokLe:
+			return b2i(x <= y), nil
+		case TokGt:
+			return b2i(x > y), nil
+		case TokGe:
+			return b2i(x >= y), nil
+		case TokAndAnd:
+			return b2i(x != 0 && y != 0), nil
+		case TokOrOr:
+			return b2i(x != 0 || y != 0), nil
+		}
+		return 0, rtErr(ex.Line, "unknown operator")
+	}
+	return 0, rtErr(e.exprLine(), "unknown expression %T", e)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,439 @@
+package minilang
+
+import "fmt"
+
+// A ParseError reports a syntax problem with its position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse builds the AST of src. The result is unchecked; Compile runs the
+// full Lex → Parse → Check pipeline.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind TokenKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return t, p.errf(t, "expected %s, found %s", what, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		switch p.cur().Kind {
+		case TokShared, TokVolatile:
+			if err := p.sharedDecl(prog); err != nil {
+				return nil, err
+			}
+		case TokLock:
+			// "lock" at top level is a declaration; inside a thread body it
+			// is the acquire statement.
+			if err := p.lockDecl(prog); err != nil {
+				return nil, err
+			}
+		case TokThread:
+			td, err := p.threadDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, td)
+		case TokEOF:
+			if len(prog.Threads) == 0 {
+				return nil, p.errf(p.cur(), "program declares no threads")
+			}
+			return prog, nil
+		default:
+			return nil, p.errf(p.cur(), "expected declaration or thread, found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) sharedDecl(prog *Program) error {
+	kw := p.next() // shared | volatile
+	volatile := kw.Kind == TokVolatile
+	for {
+		name, err := p.expect(TokIdent, "variable name")
+		if err != nil {
+			return err
+		}
+		d := VarDecl{Name: name.Text, Volatile: volatile, Line: name.Line}
+		if p.cur().Kind == TokLBracket {
+			p.next()
+			lenTok, err := p.expect(TokInt, "array length")
+			if err != nil {
+				return err
+			}
+			if lenTok.Int <= 0 {
+				return p.errf(lenTok, "array length must be positive")
+			}
+			d.ArrayLen = int(lenTok.Int)
+			if _, err := p.expect(TokRBracket, "']'"); err != nil {
+				return err
+			}
+		} else if p.cur().Kind == TokAssign {
+			p.next()
+			neg := false
+			if p.cur().Kind == TokMinus {
+				neg = true
+				p.next()
+			}
+			v, err := p.expect(TokInt, "initial value")
+			if err != nil {
+				return err
+			}
+			d.Init = v.Int
+			if neg {
+				d.Init = -d.Init
+			}
+		}
+		prog.Shared = append(prog.Shared, d)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	_, err := p.expect(TokSemi, "';'")
+	return err
+}
+
+func (p *parser) lockDecl(prog *Program) error {
+	p.next() // lock
+	for {
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return err
+		}
+		prog.Locks = append(prog.Locks, name.Text)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	_, err := p.expect(TokSemi, "';'")
+	return err
+}
+
+func (p *parser) threadDecl() (ThreadDecl, error) {
+	kw := p.next() // thread
+	name, err := p.expect(TokIdent, "thread name")
+	if err != nil {
+		return ThreadDecl{}, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return ThreadDecl{}, err
+	}
+	return ThreadDecl{Name: name.Text, Body: body, Line: kw.Line}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf(p.cur(), "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLock:
+		p.next()
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &LockStmt{Lock: name.Text, Line: t.Line}, nil
+	case TokUnlock:
+		p.next()
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &UnlockStmt{Lock: name.Text, Line: t.Line}, nil
+	case TokFork:
+		p.next()
+		name, err := p.expect(TokIdent, "thread name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ForkStmt{Thread: name.Text, Line: t.Line}, nil
+	case TokJoin:
+		p.next()
+		name, err := p.expect(TokIdent, "thread name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &JoinStmt{Thread: name.Text, Line: t.Line}, nil
+	case TokWait:
+		p.next()
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &WaitStmt{Lock: name.Text, Line: t.Line}, nil
+	case TokNotify, TokNotifyAll:
+		p.next()
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &NotifyStmt{Lock: name.Text, All: t.Kind == TokNotifyAll, Line: t.Line}, nil
+	case TokSkip:
+		p.next()
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &SkipStmt{Line: t.Line}, nil
+	case TokPrint:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Value: e, Line: t.Line}, nil
+	case TokIf:
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.cur().Kind == TokElse {
+			p.next()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.Line}, nil
+	case TokWhile:
+		p.next()
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case TokSync:
+		// "sync l { … }" desugars to lock l; …; unlock l, with the unlock
+		// emitted even for empty bodies (Java's synchronized block).
+		p.next()
+		name, err := p.expect(TokIdent, "lock name")
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		stmts := make([]Stmt, 0, len(body)+2)
+		stmts = append(stmts, &LockStmt{Lock: name.Text, Line: t.Line})
+		stmts = append(stmts, body...)
+		stmts = append(stmts, &UnlockStmt{Lock: name.Text, Line: t.Line})
+		return &BlockStmt{Body: stmts, Line: t.Line}, nil
+	case TokIdent:
+		// assignment: ident [ '[' expr ']' ] '=' expr ';'
+		p.next()
+		var index Expr
+		if p.cur().Kind == TokLBracket {
+			p.next()
+			var err error
+			index, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: t.Text, Index: index, Value: val, Line: t.Line}, nil
+	default:
+		return nil, p.errf(t, "expected statement, found %s", t)
+	}
+}
+
+// Expression parsing: precedence climbing.
+// || < && < (== !=) < (< <= > >=) < (+ -) < (* / %) < unary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokOrOr}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokAndAnd}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokEq, TokNeq}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokLt, TokLe, TokGt, TokGe}, p.addExpr)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokPlus, TokMinus}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]TokenKind{TokStar, TokSlash, TokPercent}, p.unaryExpr)
+}
+
+func (p *parser) binaryLevel(ops []TokenKind, sub func() (Expr, error)) (Expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := false
+		for _, op := range ops {
+			if t.Kind == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+		p.next()
+		y, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: t.Kind, X: x, Y: y, Line: t.Line}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNot, TokMinus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	case TokInt:
+		p.next()
+		return &IntLit{Value: t.Int, Line: t.Line}, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLBracket {
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &IndexRef{Name: t.Text, Index: idx, Line: t.Line}, nil
+		}
+		return &VarRef{Name: t.Text, Line: t.Line}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, p.errf(t, "expected expression, found %s", t)
+	}
+}

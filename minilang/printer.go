@@ -1,0 +1,173 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program as canonical minilang source. Formatting then
+// re-parsing yields a structurally identical program (asserted by the
+// round-trip property tests); comments are not preserved (the AST does not
+// carry them). Line numbers of the formatted output generally differ from
+// the original's, so race locations refer to the source that was compiled.
+func Format(p *Program) string {
+	var b strings.Builder
+	// Declarations are emitted in their original order (runs of equal
+	// volatility share a line): the address layout — and with it the
+	// produced trace — depends on declaration order.
+	for i := 0; i < len(p.Shared); {
+		j := i
+		for j < len(p.Shared) && p.Shared[j].Volatile == p.Shared[i].Volatile {
+			j++
+		}
+		var items []string
+		for _, d := range p.Shared[i:j] {
+			switch {
+			case d.ArrayLen > 0:
+				items = append(items, fmt.Sprintf("%s[%d]", d.Name, d.ArrayLen))
+			case d.Init != 0:
+				items = append(items, fmt.Sprintf("%s = %d", d.Name, d.Init))
+			default:
+				items = append(items, d.Name)
+			}
+		}
+		kw := "shared"
+		if p.Shared[i].Volatile {
+			kw = "volatile"
+		}
+		fmt.Fprintf(&b, "%s %s;\n", kw, strings.Join(items, ", "))
+		i = j
+	}
+	if len(p.Locks) > 0 {
+		fmt.Fprintf(&b, "lock %s;\n", strings.Join(p.Locks, ", "))
+	}
+	for _, td := range p.Threads {
+		fmt.Fprintf(&b, "thread %s {\n", td.Name)
+		formatStmts(&b, td.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch st := s.(type) {
+	case *AssignStmt:
+		if st.Index != nil {
+			fmt.Fprintf(b, "%s[%s] = %s;\n", st.Target, FormatExpr(st.Index), FormatExpr(st.Value))
+		} else {
+			fmt.Fprintf(b, "%s = %s;\n", st.Target, FormatExpr(st.Value))
+		}
+	case *LockStmt:
+		fmt.Fprintf(b, "lock %s;\n", st.Lock)
+	case *UnlockStmt:
+		fmt.Fprintf(b, "unlock %s;\n", st.Lock)
+	case *ForkStmt:
+		fmt.Fprintf(b, "fork %s;\n", st.Thread)
+	case *JoinStmt:
+		fmt.Fprintf(b, "join %s;\n", st.Thread)
+	case *WaitStmt:
+		fmt.Fprintf(b, "wait %s;\n", st.Lock)
+	case *NotifyStmt:
+		if st.All {
+			fmt.Fprintf(b, "notifyall %s;\n", st.Lock)
+		} else {
+			fmt.Fprintf(b, "notify %s;\n", st.Lock)
+		}
+	case *SkipStmt:
+		b.WriteString("skip;\n")
+	case *PrintStmt:
+		fmt.Fprintf(b, "print %s;\n", FormatExpr(st.Value))
+	case *BlockStmt:
+		// Blocks only arise from sync desugaring: lock; body…; unlock.
+		// Re-sugar when the shape matches, otherwise emit the parts.
+		if l, ok := st.Body[0].(*LockStmt); ok && len(st.Body) >= 2 {
+			if u, ok2 := st.Body[len(st.Body)-1].(*UnlockStmt); ok2 && u.Lock == l.Lock {
+				fmt.Fprintf(b, "sync %s {\n", l.Lock)
+				formatStmts(b, st.Body[1:len(st.Body)-1], depth+1)
+				indent(b, depth)
+				b.WriteString("}\n")
+				return
+			}
+		}
+		b.WriteString("skip;\n")
+		formatStmts(b, st.Body, depth)
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) {\n", FormatExpr(st.Cond))
+		formatStmts(b, st.Then, depth+1)
+		indent(b, depth)
+		if len(st.Else) > 0 {
+			b.WriteString("} else {\n")
+			formatStmts(b, st.Else, depth+1)
+			indent(b, depth)
+		}
+		b.WriteString("}\n")
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) {\n", FormatExpr(st.Cond))
+		formatStmts(b, st.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	default:
+		fmt.Fprintf(b, "skip; // unprintable %T\n", s)
+	}
+}
+
+var opText = map[TokenKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokEq: "==", TokNeq: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||",
+}
+
+// precedence for minimal parenthesisation; higher binds tighter.
+var opPrec = map[TokenKind]int{
+	TokOrOr: 1, TokAndAnd: 2,
+	TokEq: 3, TokNeq: 3,
+	TokLt: 4, TokLe: 4, TokGt: 4, TokGe: 4,
+	TokPlus: 5, TokMinus: 5,
+	TokStar: 6, TokSlash: 6, TokPercent: 6,
+}
+
+// FormatExpr renders an expression with minimal parentheses.
+func FormatExpr(e Expr) string {
+	return formatExprPrec(e, 0)
+}
+
+func formatExprPrec(e Expr, outer int) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.Value)
+	case *VarRef:
+		return ex.Name
+	case *IndexRef:
+		return fmt.Sprintf("%s[%s]", ex.Name, FormatExpr(ex.Index))
+	case *UnaryExpr:
+		op := "-"
+		if ex.Op == TokNot {
+			op = "!"
+		}
+		return op + formatExprPrec(ex.X, 7)
+	case *BinaryExpr:
+		p := opPrec[ex.Op]
+		// Left-associative grammar: the right operand needs one more
+		// level to preserve (a-b)-c vs a-(b-c).
+		s := formatExprPrec(ex.X, p) + " " + opText[ex.Op] + " " +
+			formatExprPrec(ex.Y, p+1)
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "0 /*unprintable*/"
+}

@@ -1,0 +1,42 @@
+// A one-producer one-consumer bounded buffer over an array with
+// wait/notify flow control: race-free.
+shared buf[4], head, tail, count, consumed;
+lock m;
+thread main {
+  fork producer;
+  fork consumer;
+  join producer;
+  join consumer;
+  print consumed;
+}
+thread producer {
+  i = 1;
+  while (i <= 8) {
+    lock m;
+    while (count == 4) {
+      wait m;
+    }
+    buf[tail] = i;
+    tail = (tail + 1) % 4;
+    count = count + 1;
+    notify m;
+    unlock m;
+    i = i + 1;
+  }
+}
+thread consumer {
+  i = 0;
+  while (i < 8) {
+    lock m;
+    while (count == 0) {
+      wait m;
+    }
+    v = buf[head];
+    head = (head + 1) % 4;
+    count = count - 1;
+    consumed = consumed + v;
+    notify m;
+    unlock m;
+    i = i + 1;
+  }
+}

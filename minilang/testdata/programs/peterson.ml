@@ -1,0 +1,30 @@
+// Peterson's mutual exclusion for two threads over plain shared variables.
+// The flag/turn accesses race by definition (that is the algorithm); the
+// question for a predictive detector is what it concludes about the
+// critical-section variable the protocol protects.
+shared flag0, flag1, turn, critical;
+thread main {
+  fork p0;
+  fork p1;
+  join p0;
+  join p1;
+  print critical;
+}
+thread p0 {
+  flag0 = 1;
+  turn = 1;
+  while (flag1 == 1 && turn == 1) {
+    skip;
+  }
+  critical = critical + 1;
+  flag0 = 0;
+}
+thread p1 {
+  flag1 = 1;
+  turn = 0;
+  while (flag0 == 1 && turn == 0) {
+    skip;
+  }
+  critical = critical + 1;
+  flag1 = 0;
+}

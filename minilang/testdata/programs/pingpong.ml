@@ -1,0 +1,37 @@
+// Ping-pong handoff through a monitor: strictly alternating, race-free.
+shared ball, rounds;
+lock court;
+thread main {
+  fork ping;
+  fork pong;
+  join ping;
+  join pong;
+  print rounds;
+}
+thread ping {
+  i = 0;
+  while (i < 5) {
+    lock court;
+    while (ball == 1) {
+      wait court;
+    }
+    ball = 1;
+    rounds = rounds + 1;
+    notify court;
+    unlock court;
+    i = i + 1;
+  }
+}
+thread pong {
+  i = 0;
+  while (i < 5) {
+    lock court;
+    while (ball == 0) {
+      wait court;
+    }
+    ball = 0;
+    notify court;
+    unlock court;
+    i = i + 1;
+  }
+}

@@ -1,0 +1,25 @@
+// A tiny striped key-value store: the table itself is lock-striped, but
+// the size counter is updated outside the stripes — a real-world bug shape.
+shared table[8], size;
+lock stripe0, stripe1;
+thread main {
+  fork writer1;
+  fork writer2;
+  join writer1;
+  join writer2;
+  print size;
+}
+thread writer1 {
+  k = 2;
+  sync stripe0 {
+    table[k] = 100;
+  }
+  size = size + 1;
+}
+thread writer2 {
+  k = 5;
+  sync stripe1 {
+    table[k] = 200;
+  }
+  size = size + 1;
+}

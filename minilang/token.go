@@ -1,0 +1,242 @@
+// Package minilang implements a small concurrent imperative language whose
+// executions emit exactly the event alphabet of the paper's trace model:
+// shared reads/writes, lock acquire/release, fork/join, wait/notify, and
+// branch events at every control-flow decision (including the implicit
+// data-flow branches the paper adds for non-constant array indexing,
+// Section 4).
+//
+// The language plays the role the instrumented JVM plays in the paper's
+// evaluation: a source of consistent, sequentially-consistent traces with
+// known ground truth. It is deliberately close to the minimal language the
+// paper uses to prove maximality (Theorem 2): threads, shared and local
+// integer variables, locks, conditionals and loops.
+//
+// The pipeline is classical: Lex → Parse → Check → Run(scheduler), with
+// the interpreter producing a trace.Trace.
+package minilang
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	// keywords
+	TokShared
+	TokVolatile
+	TokLock // declaration keyword "lock" doubles as the lock statement
+	TokUnlock
+	TokThread
+	TokFork
+	TokJoin
+	TokIf
+	TokElse
+	TokWhile
+	TokWait
+	TokNotify
+	TokNotifyAll
+	TokSkip
+	TokPrint
+	TokSync
+	TokAssertRace // reserved for tooling; currently unused in programs
+	// punctuation and operators
+	TokLBrace
+	TokRBrace
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq
+	TokNeq
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokNot
+)
+
+var keywords = map[string]TokenKind{
+	"shared":    TokShared,
+	"volatile":  TokVolatile,
+	"lock":      TokLock,
+	"unlock":    TokUnlock,
+	"thread":    TokThread,
+	"fork":      TokFork,
+	"join":      TokJoin,
+	"if":        TokIf,
+	"else":      TokElse,
+	"while":     TokWhile,
+	"wait":      TokWait,
+	"notify":    TokNotify,
+	"notifyall": TokNotifyAll,
+	"skip":      TokSkip,
+	"print":     TokPrint,
+	"sync":      TokSync,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Int  int64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// A LexError reports a lexical problem with its position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenises src. It returns the token stream ending with TokEOF, or an
+// error at the first invalid input.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(kind TokenKind, text string, startCol int) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: startCol})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start, startCol := i, col
+			for i < n && (isIdentChar(src[i])) {
+				i++
+				col++
+			}
+			word := src[start:i]
+			if kind, ok := keywords[word]; ok {
+				emit(kind, word, startCol)
+			} else {
+				emit(TokIdent, word, startCol)
+			}
+		case c >= '0' && c <= '9':
+			start, startCol := i, col
+			var v int64
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				v = v*10 + int64(src[i]-'0')
+				i++
+				col++
+			}
+			toks = append(toks, Token{Kind: TokInt, Text: src[start:i], Int: v, Line: line, Col: startCol})
+		default:
+			startCol := col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			var kind TokenKind
+			var text string
+			switch two {
+			case "==":
+				kind, text = TokEq, two
+			case "!=":
+				kind, text = TokNeq, two
+			case "<=":
+				kind, text = TokLe, two
+			case ">=":
+				kind, text = TokGe, two
+			case "&&":
+				kind, text = TokAndAnd, two
+			case "||":
+				kind, text = TokOrOr, two
+			default:
+				switch c {
+				case '{':
+					kind, text = TokLBrace, "{"
+				case '}':
+					kind, text = TokRBrace, "}"
+				case '(':
+					kind, text = TokLParen, "("
+				case ')':
+					kind, text = TokRParen, ")"
+				case '[':
+					kind, text = TokLBracket, "["
+				case ']':
+					kind, text = TokRBracket, "]"
+				case ';':
+					kind, text = TokSemi, ";"
+				case ',':
+					kind, text = TokComma, ","
+				case '=':
+					kind, text = TokAssign, "="
+				case '+':
+					kind, text = TokPlus, "+"
+				case '-':
+					kind, text = TokMinus, "-"
+				case '*':
+					kind, text = TokStar, "*"
+				case '/':
+					kind, text = TokSlash, "/"
+				case '%':
+					kind, text = TokPercent, "%"
+				case '<':
+					kind, text = TokLt, "<"
+				case '>':
+					kind, text = TokGt, ">"
+				case '!':
+					kind, text = TokNot, "!"
+				default:
+					return nil, &LexError{Line: line, Col: col,
+						Msg: fmt.Sprintf("unexpected character %q", c)}
+				}
+			}
+			emit(kind, text, startCol)
+			i += len(text)
+			col += len(text)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

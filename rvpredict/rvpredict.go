@@ -1,0 +1,322 @@
+// Package rvpredict is the public face of this repository: maximal sound
+// predictive data-race detection with control flow abstraction, after
+// Huang, Meredith and Roșu (PLDI 2014).
+//
+// Given one observed, sequentially consistent execution trace (built with
+// repro/trace, produced by the repro/minilang interpreter, or decoded from
+// a trace file), Detect explores every reordering permitted by the paper's
+// maximal causal model and reports each conflicting pair of accesses that
+// some feasible reordering schedules back to back. Every reported race is
+// real (soundness, Theorem 1/3) and no sound detector working from the
+// same trace can report more (maximality, Theorem 2/3).
+//
+// The three sound baselines the paper compares against — happens-before,
+// causally-precedes and the whole-trace SMT encoding of Said et al. — and
+// the unsound hybrid quick check are available through
+// Options.Algorithm, making side-by-side comparisons (the paper's Table 1)
+// one loop.
+//
+//	tr := trace.NewBuilder(). … .Trace()
+//	report := rvpredict.Detect(tr, rvpredict.Options{Witness: true})
+//	for _, r := range report.Races {
+//		fmt.Println(r.Description)
+//	}
+package rvpredict
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/atomicity"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/deadlock"
+	"repro/internal/hb"
+	"repro/internal/lockset"
+	"repro/internal/race"
+	"repro/internal/said"
+	"repro/trace"
+)
+
+// Algorithm selects a detection technique.
+type Algorithm int
+
+// Available techniques.
+const (
+	// MaximalCF is the paper's contribution: SMT-based maximal detection
+	// with control-flow (branch) feasibility constraints.
+	MaximalCF Algorithm = iota
+	// SaidEtAl is the SMT baseline with whole-trace read–write consistency
+	// (NFM 2011).
+	SaidEtAl
+	// CausallyPrecedes is the CP relation of Smaragdakis et al. (POPL 2012).
+	CausallyPrecedes
+	// HappensBefore is the classical vector-clock detector.
+	HappensBefore
+	// QuickCheck is the unsound hybrid lockset/weak-HB filter (reports
+	// potential races; Table 1's QC column).
+	QuickCheck
+)
+
+// String returns the Table 1 column name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MaximalCF:
+		return "RV"
+	case SaidEtAl:
+		return "Said"
+	case CausallyPrecedes:
+		return "CP"
+	case HappensBefore:
+		return "HB"
+	case QuickCheck:
+		return "QC"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures Detect. The zero value runs the paper's algorithm
+// with its defaults: 10K-event windows and a 60-second per-pair solver
+// timeout.
+type Options struct {
+	// Algorithm selects the technique (default MaximalCF).
+	Algorithm Algorithm
+	// WindowSize is the trace window length (default 10000; negative
+	// analyses the whole trace in one window).
+	WindowSize int
+	// SolveTimeout bounds each conflicting pair's solver run for the
+	// SMT-based techniques (default 60s, the paper's setting; negative
+	// disables the bound).
+	SolveTimeout time.Duration
+	// MaxConflicts optionally bounds each pair's CDCL search (0 = off).
+	MaxConflicts int64
+	// Witness requests a witness schedule per race (SMT techniques only).
+	Witness bool
+	// Parallelism > 1 analyses trace windows concurrently with that many
+	// workers (MaximalCF only); reports stay deterministic.
+	Parallelism int
+}
+
+func (o Options) normalise() Options {
+	if o.WindowSize == 0 {
+		o.WindowSize = 10000
+	}
+	if o.WindowSize < 0 {
+		o.WindowSize = 0
+	}
+	if o.SolveTimeout == 0 {
+		o.SolveTimeout = 60 * time.Second
+	}
+	if o.SolveTimeout < 0 {
+		o.SolveTimeout = 0
+	}
+	return o
+}
+
+// Race is one detected data race.
+type Race struct {
+	// First and Second are the indices of the racing events in the input
+	// trace, in trace order.
+	First, Second int
+	// Locations are the static program locations of the two accesses (the
+	// race's deduplication signature), rendered through the trace's
+	// location names.
+	Locations [2]string
+	// Description is a human-readable one-liner.
+	Description string
+	// Witness, when requested and available, is a consistent reordered
+	// prefix of event indices ending with the two racing accesses
+	// scheduled back to back (Definition 4's τ₁ab).
+	Witness []int
+}
+
+// Report is the result of one Detect call.
+type Report struct {
+	// Algorithm that produced the report.
+	Algorithm Algorithm
+	// Races found, one per location pair.
+	Races []Race
+	// Stats summarises the input trace (Table 1's metric columns).
+	Stats trace.Stats
+	// PairsChecked counts conflicting pairs examined.
+	PairsChecked int
+	// Windows is the number of analysis windows.
+	Windows int
+	// SolverTimeouts counts pairs abandoned at the solver budget.
+	SolverTimeouts int
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+}
+
+// Detect runs the selected race detection technique over tr.
+//
+// The input trace must be sequentially consistent (trace.Validate); the
+// detectors otherwise return results for the prefix semantics they can
+// reconstruct. Detect never modifies tr.
+func Detect(tr *trace.Trace, opt Options) Report {
+	opt = opt.normalise()
+	var det race.Detector
+	switch opt.Algorithm {
+	case SaidEtAl:
+		det = said.New(said.Options{
+			WindowSize:   opt.WindowSize,
+			SolveTimeout: opt.SolveTimeout,
+			MaxConflicts: opt.MaxConflicts,
+			Witness:      opt.Witness,
+		})
+	case CausallyPrecedes:
+		det = cp.New(cp.Options{WindowSize: opt.WindowSize})
+	case HappensBefore:
+		det = hb.New(hb.Options{WindowSize: opt.WindowSize})
+	case QuickCheck:
+		det = lockset.New(lockset.Options{WindowSize: opt.WindowSize})
+	default:
+		det = core.New(core.Options{
+			WindowSize:   opt.WindowSize,
+			SolveTimeout: opt.SolveTimeout,
+			MaxConflicts: opt.MaxConflicts,
+			Witness:      opt.Witness,
+			Parallelism:  opt.Parallelism,
+		})
+	}
+	res := det.Detect(tr)
+	rep := Report{
+		Algorithm:      opt.Algorithm,
+		Stats:          tr.ComputeStats(),
+		PairsChecked:   res.COPsChecked,
+		Windows:        res.Windows,
+		SolverTimeouts: res.SolverAborts,
+		Elapsed:        res.Elapsed,
+	}
+	for _, r := range res.Races {
+		rep.Races = append(rep.Races, Race{
+			First:  r.A,
+			Second: r.B,
+			Locations: [2]string{
+				tr.LocName(tr.Event(r.A).Loc),
+				tr.LocName(tr.Event(r.B).Loc),
+			},
+			Description: r.Describe(tr),
+			Witness:     r.Witness,
+		})
+	}
+	return rep
+}
+
+// CheckWitness validates a witness schedule against the trace: program
+// order, fork/join, wait/notify and lock discipline must hold and the
+// racing pair must come last. It returns nil for a valid witness.
+func CheckWitness(tr *trace.Trace, witness []int, first, second int) error {
+	return race.ValidateWitness(tr, witness, first, second)
+}
+
+// DeadlockReport is the result of DetectDeadlocks.
+type DeadlockReport struct {
+	// Deadlocks found, one per static lock-inversion site pair.
+	Deadlocks []PredictedDeadlock
+	// Candidates is the number of lock-inversion patterns examined.
+	Candidates int
+	// Windows is the number of analysis windows.
+	Windows int
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+}
+
+// PredictedDeadlock is one predicted two-thread deadlock.
+type PredictedDeadlock struct {
+	// Description is a human-readable one-liner naming threads, locks and
+	// program locations.
+	Description string
+	// HeldAcquires and BlockedAcquires are the event indices of the two
+	// held acquires and the two acquires that block in the predicted
+	// deadlocked state.
+	HeldAcquires, BlockedAcquires [2]int
+	// Witness, when requested, is a feasible schedule prefix reaching the
+	// deadlocked state (both locks held, both next acquires blocked).
+	Witness []int
+}
+
+// DetectDeadlocks predicts two-thread lock-inversion deadlocks from the
+// trace, using the same maximal causal model as race detection (the
+// Section 2.5 generalisation): a candidate is reported only if a feasible
+// reordering actually reaches the deadlocked state, so gate-locked or
+// control-flow-guarded inversions are proved safe rather than reported.
+func DetectDeadlocks(tr *trace.Trace, opt Options) DeadlockReport {
+	opt = opt.normalise()
+	res := deadlock.New(deadlock.Options{
+		WindowSize:   opt.WindowSize,
+		SolveTimeout: opt.SolveTimeout,
+		MaxConflicts: opt.MaxConflicts,
+		Witness:      opt.Witness,
+	}).Detect(tr)
+	rep := DeadlockReport{
+		Candidates: res.Candidates,
+		Windows:    res.Windows,
+		Elapsed:    res.Elapsed,
+	}
+	for _, d := range res.Deadlocks {
+		rep.Deadlocks = append(rep.Deadlocks, PredictedDeadlock{
+			Description:     d.Describe(tr),
+			HeldAcquires:    [2]int{d.HeldAcquire1, d.HeldAcquire2},
+			BlockedAcquires: [2]int{d.BlockedAcquire1, d.BlockedAcquire2},
+			Witness:         d.Witness,
+		})
+	}
+	return rep
+}
+
+// AtomicityReport is the result of DetectAtomicityViolations.
+type AtomicityReport struct {
+	// Violations found, one per static (first, remote, second) site triple.
+	Violations []AtomicityViolation
+	// Candidates is the number of unserializable triples examined.
+	Candidates int
+	// Windows is the number of analysis windows.
+	Windows int
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+}
+
+// AtomicityViolation is one predicted atomicity violation: a remote access
+// that some feasible reordering schedules between two same-location
+// accesses of a critical section, with an unserializable result.
+type AtomicityViolation struct {
+	// Description is a human-readable one-liner.
+	Description string
+	// First and Second are the region's two accesses; Remote is the
+	// interleaving access (event indices).
+	First, Second, Remote int
+	// Witness, when requested, is a feasible schedule prefix ending with
+	// the second region access, with the remote access strictly between
+	// the two.
+	Witness []int
+}
+
+// DetectAtomicityViolations predicts atomicity violations of critical
+// sections: unserializable access triples that some feasible reordering of
+// the trace realises — the third concurrency property (after races and
+// deadlocks) expressible on the paper's maximal causal model (Section 2.5).
+func DetectAtomicityViolations(tr *trace.Trace, opt Options) AtomicityReport {
+	opt = opt.normalise()
+	res := atomicity.New(atomicity.Options{
+		WindowSize:   opt.WindowSize,
+		SolveTimeout: opt.SolveTimeout,
+		MaxConflicts: opt.MaxConflicts,
+		Witness:      opt.Witness,
+	}).Detect(tr)
+	rep := AtomicityReport{
+		Candidates: res.Candidates,
+		Windows:    res.Windows,
+		Elapsed:    res.Elapsed,
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, AtomicityViolation{
+			Description: v.Describe(tr),
+			First:       v.First,
+			Second:      v.Second,
+			Remote:      v.Remote,
+			Witness:     v.Witness,
+		})
+	}
+	return rep
+}

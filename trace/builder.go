@@ -1,0 +1,127 @@
+package trace
+
+// Builder constructs consistent traces by hand, for tests, examples and the
+// public API. It tracks the current value of every location so reads can be
+// recorded without repeating the value, keeps lock/thread bookkeeping, and
+// lets callers tag events with program locations.
+//
+// Builder methods return the builder for chaining. The produced trace is
+// obtained with Trace; builders are single-use.
+type Builder struct {
+	tr      *Trace
+	vals    map[Addr]int64
+	written map[Addr]bool
+	loc     Loc
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		tr:      New(0),
+		vals:    make(map[Addr]int64),
+		written: make(map[Addr]bool),
+	}
+}
+
+// At sets the program location attached to subsequently recorded events.
+func (b *Builder) At(l Loc) *Builder { b.loc = l; return b }
+
+// AtNamed sets the location for subsequent events and registers its name.
+func (b *Builder) AtNamed(l Loc, name string) *Builder {
+	b.tr.NameLoc(l, name)
+	return b.At(l)
+}
+
+func (b *Builder) emit(e Event) *Builder {
+	e.Loc = b.loc
+	b.tr.Append(e)
+	return b
+}
+
+// Begin records the first event of thread t.
+func (b *Builder) Begin(t TID) *Builder { return b.emit(Event{Tid: t, Op: OpBegin}) }
+
+// End records the last event of thread t.
+func (b *Builder) End(t TID) *Builder { return b.emit(Event{Tid: t, Op: OpEnd}) }
+
+// Fork records thread t forking thread c.
+func (b *Builder) Fork(t, c TID) *Builder {
+	return b.emit(Event{Tid: t, Op: OpFork, Value: int64(c)})
+}
+
+// Join records thread t joining thread c.
+func (b *Builder) Join(t, c TID) *Builder {
+	return b.emit(Event{Tid: t, Op: OpJoin, Value: int64(c)})
+}
+
+// Write records thread t writing v to location x.
+func (b *Builder) Write(t TID, x Addr, v int64) *Builder {
+	b.vals[x] = v
+	b.written[x] = true
+	return b.emit(Event{Tid: t, Op: OpWrite, Addr: x, Value: v})
+}
+
+// Read records thread t reading location x, with the value implied by the
+// trace so far (the last written value, or the initial value).
+func (b *Builder) Read(t TID, x Addr) *Builder {
+	v := b.tr.Initial(x)
+	if b.written[x] {
+		v = b.vals[x]
+	}
+	return b.ReadV(t, x, v)
+}
+
+// ReadV records thread t reading value v from location x. The caller is
+// responsible for v matching the last write if the trace is to validate.
+func (b *Builder) ReadV(t TID, x Addr, v int64) *Builder {
+	return b.emit(Event{Tid: t, Op: OpRead, Addr: x, Value: v})
+}
+
+// Acquire records thread t acquiring lock l.
+func (b *Builder) Acquire(t TID, l Addr) *Builder {
+	return b.emit(Event{Tid: t, Op: OpAcquire, Addr: l})
+}
+
+// Release records thread t releasing lock l.
+func (b *Builder) Release(t TID, l Addr) *Builder {
+	return b.emit(Event{Tid: t, Op: OpRelease, Addr: l})
+}
+
+// Branch records a control-flow decision point in thread t.
+func (b *Builder) Branch(t TID) *Builder { return b.emit(Event{Tid: t, Op: OpBranch}) }
+
+// Volatile declares location x volatile.
+func (b *Builder) Volatile(x Addr) *Builder { b.tr.SetVolatile(x); return b }
+
+// Initial sets the initial value of location x (default 0).
+func (b *Builder) Initial(x Addr, v int64) *Builder {
+	b.tr.SetInitial(x, v)
+	if !b.written[x] {
+		b.vals[x] = v
+	}
+	return b
+}
+
+// Wait lowers a wait on lock l signalled elsewhere: it records the release,
+// runs mid (events happening while this thread is parked, typically the
+// notifier's), then records the wake-up acquire, linking the notify event
+// index returned by mid. mid may return -1 to indicate no notify pairing
+// (e.g. a timeout), in which case no link is recorded.
+func (b *Builder) Wait(t TID, l Addr, mid func(b *Builder) int) *Builder {
+	rel := b.tr.Len()
+	b.Release(t, l)
+	notify := mid(b)
+	acq := b.tr.Len()
+	b.Acquire(t, l)
+	if notify >= 0 {
+		b.tr.AddNotifyLink(notify, rel, acq)
+	}
+	return b
+}
+
+// Mark returns the index the next recorded event will get, for building
+// notify links by hand.
+func (b *Builder) Mark() int { return b.tr.Len() }
+
+// Trace returns the built trace.
+func (b *Builder) Trace() *Trace { return b.tr }

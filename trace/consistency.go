@@ -1,0 +1,180 @@
+package trace
+
+import "fmt"
+
+// A ConsistencyError describes the first violation found by Validate, with
+// the index of the offending event.
+type ConsistencyError struct {
+	Index int
+	Event Event
+	Rule  string // which axiom of Section 2.2 was violated
+	Msg   string
+}
+
+func (e *ConsistencyError) Error() string {
+	return fmt.Sprintf("trace inconsistent at event %d %s: %s: %s",
+		e.Index, e.Event, e.Rule, e.Msg)
+}
+
+func violation(i int, e Event, rule, format string, args ...any) error {
+	return &ConsistencyError{Index: i, Event: e, Rule: rule,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the trace against the sequential-consistency axioms of
+// Section 2.2 and returns the first violation found, or nil:
+//
+//   - Read consistency: every read sees the value of the most recent write
+//     to the same location (or the location's initial value if none).
+//   - Lock mutual exclusion: per lock, events alternate acquire/release with
+//     matching threads, and at most one thread holds the lock at a time.
+//   - Must happen-before: a begin, if present, is the first event of its
+//     thread and is preceded by exactly one fork of that thread (except for
+//     the initial thread — the first thread to produce any event — which
+//     needs no fork); an end is the last event of its thread; a join happens
+//     only after the joined thread's end.
+//
+// Begin/end events are optional per thread (the paper's Figure 4 trace omits
+// them for the initial thread), which also makes windowed slices of a longer
+// execution validatable in isolation as long as their reads stay consistent.
+// Branch events have no serial specification and are always consistent.
+func (tr *Trace) Validate() error {
+	lastWrite := make(map[Addr]int64) // location -> last written value
+	written := make(map[Addr]bool)    // location ever written
+	lockHolder := make(map[Addr]TID)  // lock -> current holder
+	lockHeld := make(map[Addr]bool)   // lock -> currently held
+	ended := make(map[TID]bool)       // thread has ended
+	forked := make(map[TID]int)       // thread -> #forks targeting it
+	sawEvents := make(map[TID]bool)   // thread has produced any event
+	var initialThread TID
+	haveInitial := false
+
+	for i := range tr.events {
+		e := tr.events[i]
+		t := e.Tid
+		if !haveInitial {
+			initialThread = t
+			haveInitial = true
+		}
+		if ended[t] {
+			return violation(i, e, "must-happen-before",
+				"thread t%d produced an event after its end", t)
+		}
+		switch e.Op {
+		case OpBegin:
+			if sawEvents[t] {
+				return violation(i, e, "must-happen-before",
+					"begin is not the first event of thread t%d", t)
+			}
+			if t != initialThread && forked[t] != 1 {
+				return violation(i, e, "must-happen-before",
+					"thread t%d began with %d preceding forks (want 1)",
+					t, forked[t])
+			}
+		case OpEnd:
+			if !sawEvents[t] {
+				return violation(i, e, "must-happen-before",
+					"thread t%d ended without running", t)
+			}
+			ended[t] = true
+		case OpFork:
+			c := e.Child()
+			if sawEvents[c] {
+				return violation(i, e, "must-happen-before",
+					"fork of thread t%d after it already ran", c)
+			}
+			forked[c]++
+			if forked[c] > 1 {
+				return violation(i, e, "must-happen-before",
+					"thread t%d forked twice", c)
+			}
+		case OpJoin:
+			c := e.Child()
+			if !ended[c] {
+				return violation(i, e, "must-happen-before",
+					"join of thread t%d before its end", c)
+			}
+		case OpRead:
+			var want int64
+			if written[e.Addr] {
+				want = lastWrite[e.Addr]
+			} else {
+				want = tr.Initial(e.Addr)
+			}
+			if e.Value != want {
+				return violation(i, e, "read-consistency",
+					"read of x%d sees %d, most recent write is %d",
+					e.Addr, e.Value, want)
+			}
+		case OpWrite:
+			lastWrite[e.Addr] = e.Value
+			written[e.Addr] = true
+		case OpAcquire:
+			if lockHeld[e.Addr] {
+				return violation(i, e, "lock-mutual-exclusion",
+					"lock l%d acquired by t%d while held by t%d",
+					e.Addr, t, lockHolder[e.Addr])
+			}
+			lockHeld[e.Addr] = true
+			lockHolder[e.Addr] = t
+		case OpRelease:
+			if !lockHeld[e.Addr] {
+				return violation(i, e, "lock-mutual-exclusion",
+					"release of lock l%d that is not held", e.Addr)
+			}
+			if lockHolder[e.Addr] != t {
+				return violation(i, e, "lock-mutual-exclusion",
+					"lock l%d released by t%d but held by t%d",
+					e.Addr, t, lockHolder[e.Addr])
+			}
+			lockHeld[e.Addr] = false
+		case OpBranch:
+			// No serial specification: always consistent.
+		}
+		sawEvents[t] = true
+	}
+	return nil
+}
+
+// CriticalSection is a maximal acquire..release span of one thread on one
+// lock, identified by the indices of its bracketing events.
+type CriticalSection struct {
+	Lock Addr
+	Tid  TID
+	// Acquire is the index of the acquire event, or -1 if the window slice
+	// begins inside the section.
+	Acquire int
+	// Release is the index of the matching release, or -1 if the lock was
+	// still held at the end of the (possibly windowed) trace.
+	Release int
+}
+
+// CriticalSections pairs acquires with their matching releases per lock,
+// in trace order, following the program-order locking semantics of
+// Section 3.2. Sections truncated by windowing have Acquire or Release -1.
+func (tr *Trace) CriticalSections() []CriticalSection {
+	open := make(map[Addr]int) // lock -> index into out of open section
+	var out []CriticalSection
+	for i := range tr.events {
+		e := tr.events[i]
+		switch e.Op {
+		case OpAcquire:
+			open[e.Addr] = len(out)
+			out = append(out, CriticalSection{
+				Lock: e.Addr, Tid: e.Tid, Acquire: i, Release: -1,
+			})
+		case OpRelease:
+			if j, ok := open[e.Addr]; ok {
+				out[j].Release = i
+				delete(open, e.Addr)
+			} else {
+				// The window started mid-section: synthesise a section with
+				// no acquire so lock constraints still order it.
+				out = append(out, CriticalSection{
+					Lock: e.Addr, Tid: e.Tid, Acquire: -1, Release: i,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func wantViolation(t *testing.T, tr *Trace, rule string) {
+	t.Helper()
+	err := tr.Validate()
+	if err == nil {
+		t.Fatalf("Validate() = nil, want %s violation", rule)
+	}
+	var ce *ConsistencyError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type = %T, want *ConsistencyError", err)
+	}
+	if ce.Rule != rule {
+		t.Fatalf("violated rule = %q, want %q (err: %v)", ce.Rule, rule, err)
+	}
+	if !strings.Contains(err.Error(), rule) {
+		t.Errorf("Error() should mention the rule: %q", err.Error())
+	}
+}
+
+func TestValidateReadConsistency(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(0).Write(0, 1, 5).ReadV(0, 1, 7)
+	wantViolation(t, b.Trace(), "read-consistency")
+
+	// Stale initial value after a write.
+	b = NewBuilder()
+	b.Begin(0).Write(0, 1, 5).ReadV(0, 1, 0)
+	wantViolation(t, b.Trace(), "read-consistency")
+
+	// Reading a never-written location yields its initial value.
+	b = NewBuilder()
+	b.Begin(0).ReadV(0, 1, 1)
+	wantViolation(t, b.Trace(), "read-consistency")
+}
+
+func TestValidateLockMutualExclusion(t *testing.T) {
+	// Double acquire by different threads.
+	b := NewBuilder()
+	b.Begin(0).Fork(0, 1).Begin(1).Acquire(0, 9).Acquire(1, 9)
+	wantViolation(t, b.Trace(), "lock-mutual-exclusion")
+
+	// Release without acquire.
+	b = NewBuilder()
+	b.Begin(0).Release(0, 9)
+	wantViolation(t, b.Trace(), "lock-mutual-exclusion")
+
+	// Release by the wrong thread.
+	b = NewBuilder()
+	b.Begin(0).Fork(0, 1).Begin(1).Acquire(0, 9).Release(1, 9)
+	wantViolation(t, b.Trace(), "lock-mutual-exclusion")
+
+	// Re-acquire of a held lock by the same thread (non-reentrant model).
+	b = NewBuilder()
+	b.Begin(0).Acquire(0, 9).Acquire(0, 9)
+	wantViolation(t, b.Trace(), "lock-mutual-exclusion")
+}
+
+func TestValidateMustHappenBefore(t *testing.T) {
+	// begin before fork.
+	b := NewBuilder()
+	b.Begin(0).Begin(1).Fork(0, 1)
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// join before end.
+	b = NewBuilder()
+	b.Begin(0).Fork(0, 1).Begin(1).Join(0, 1)
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// event after end.
+	b = NewBuilder()
+	b.Begin(0).End(0).Write(0, 1, 1)
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// begin not first event of thread.
+	b = NewBuilder()
+	b.Begin(0).Fork(0, 1).Begin(1)
+	b.Trace().Append(Event{Tid: 1, Op: OpBegin})
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// double fork of the same thread.
+	b = NewBuilder()
+	b.Begin(0).Fork(0, 1).Fork(0, 1)
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// fork of a thread that already ran.
+	b = NewBuilder()
+	b.Begin(0).Fork(0, 1).Begin(1).End(1).Fork(0, 1)
+	wantViolation(t, b.Trace(), "must-happen-before")
+
+	// end without begin.
+	tr := New(0)
+	tr.Append(Event{Tid: 3, Op: OpEnd})
+	wantViolation(t, tr, "must-happen-before")
+}
+
+func TestValidateOK(t *testing.T) {
+	// A full well-formed two-thread trace with everything in it.
+	b := NewBuilder()
+	b.Begin(0)
+	b.Fork(0, 1)
+	b.Acquire(0, 9).Write(0, 1, 10).Release(0, 9)
+	b.Begin(1)
+	b.Acquire(1, 9).Read(1, 1).Branch(1).Write(1, 2, 20).Release(1, 9)
+	b.End(1)
+	b.Join(0, 1)
+	b.Read(0, 2)
+	b.End(0)
+	if err := b.Trace().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateInitialThreadNeedsNoFork(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(7).Write(7, 1, 1).End(7)
+	if err := b.Trace().Validate(); err != nil {
+		t.Fatalf("initial thread must not need a fork: %v", err)
+	}
+}
+
+// randomConsistentTrace generates a consistent trace by simulating a small
+// scheduler over abstract threads performing random operations, always
+// respecting the serial specifications.
+func randomConsistentTrace(rng *rand.Rand, nThreads, nEvents int) *Trace {
+	b := NewBuilder()
+	type threadState struct {
+		started, ended bool
+		held           map[Addr]bool
+	}
+	lockHeldBy := make(map[Addr]TID)
+	states := make([]*threadState, nThreads)
+	for i := range states {
+		states[i] = &threadState{held: make(map[Addr]bool)}
+	}
+	b.Begin(0)
+	states[0].started = true
+	forked := make(map[TID]bool)
+	for n := 0; n < nEvents; n++ {
+		t := TID(rng.Intn(nThreads))
+		st := states[t]
+		if !st.started || st.ended {
+			if !st.started && !forked[t] && t != 0 {
+				// fork it from a running thread
+				parent := TID(0)
+				if !states[0].ended {
+					b.Fork(parent, t)
+					forked[t] = true
+					b.Begin(t)
+					st.started = true
+				}
+			}
+			continue
+		}
+		switch rng.Intn(6) {
+		case 0:
+			b.Write(t, Addr(1+rng.Intn(4)), int64(rng.Intn(10)))
+		case 1:
+			b.Read(t, Addr(1+rng.Intn(4)))
+		case 2:
+			l := Addr(100 + rng.Intn(2))
+			if _, held := lockHeldBy[l]; !held {
+				b.Acquire(t, l)
+				lockHeldBy[l] = t
+				st.held[l] = true
+			}
+		case 3:
+			for l := range st.held {
+				b.Release(t, l)
+				delete(lockHeldBy, l)
+				delete(st.held, l)
+				break
+			}
+		case 4:
+			b.Branch(t)
+		case 5:
+			if t != 0 && len(st.held) == 0 && rng.Intn(8) == 0 {
+				b.End(t)
+				st.ended = true
+			}
+		}
+	}
+	return b.Trace()
+}
+
+func TestValidateRandomConsistentTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		tr := randomConsistentTrace(rng, 1+rng.Intn(4), 5+rng.Intn(200))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("random consistent trace %d failed validation: %v", i, err)
+		}
+	}
+}
+
+func TestValidateDetectsValueCorruption(t *testing.T) {
+	// Property: flipping a read's value in a consistent trace that contains
+	// reads of written values makes it inconsistent.
+	rng := rand.New(rand.NewSource(2))
+	flipped := 0
+	for i := 0; i < 100 && flipped < 20; i++ {
+		tr := randomConsistentTrace(rng, 3, 150)
+		// find a read and corrupt it
+		for j := range tr.Events() {
+			e := tr.Event(j)
+			if e.Op == OpRead {
+				tr.Events()[j].Value = e.Value + 1
+				if err := tr.Validate(); err == nil {
+					t.Fatalf("corrupted read at %d not detected", j)
+				}
+				flipped++
+				break
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("generator produced no reads to corrupt")
+	}
+}

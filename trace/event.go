@@ -1,0 +1,150 @@
+// Package trace defines the execution-trace model of the maximal causal
+// model with control flow (Huang et al., PLDI 2014, Section 2).
+//
+// An execution of a multithreaded program is abstracted as a finite sequence
+// of events performed by threads on concurrent objects: shared memory
+// locations (read/write), locks (acquire/release), threads themselves
+// (begin/end/fork/join), condition signals (wait/notify), and — the paper's
+// novel addition — branch events abstracting thread-local control flow.
+//
+// The package also implements the sequential-consistency validator of
+// Section 2.2: read consistency, lock mutual exclusion, and the
+// must-happen-before axioms. Every trace produced by a running program is
+// expected to validate; the predictive analyses in internal/core and its
+// baselines assume (and in tests assert) consistent input.
+package trace
+
+import "fmt"
+
+// TID identifies a thread within a trace. Thread IDs are small dense
+// integers assigned by the trace producer; the main thread is conventionally
+// TID 0.
+type TID int32
+
+// Addr identifies a concurrent object: a shared memory location for
+// read/write events, or a lock for acquire/release/wait/notify events.
+// Memory locations and locks live in namespaces chosen by the producer;
+// the analyses never mix the two, so overlapping numeric values are safe
+// (though producers typically keep them disjoint for readability).
+type Addr uint64
+
+// Loc identifies a static program location (statement). Races are
+// deduplicated by the unordered pair of locations — the "signature" of
+// Section 4 — and reports render locations through Trace.LocName.
+type Loc uint32
+
+// NoLoc is the zero Loc, used when a producer does not track locations.
+const NoLoc Loc = 0
+
+// Op enumerates the event types of Figure 3 in the paper.
+type Op uint8
+
+const (
+	// OpBegin is the first event of a thread. It may occur only after the
+	// thread was forked (except for the initial thread).
+	OpBegin Op = iota
+	// OpEnd is the last event of a thread.
+	OpEnd
+	// OpRead reads value Value from shared location Addr.
+	OpRead
+	// OpWrite writes value Value to shared location Addr.
+	OpWrite
+	// OpAcquire acquires (non-reentrant) lock Addr.
+	OpAcquire
+	// OpRelease releases lock Addr.
+	OpRelease
+	// OpFork creates thread TID(Value); the child's OpBegin must follow it.
+	OpFork
+	// OpJoin blocks until thread TID(Value) ends; the child's OpEnd must
+	// precede it.
+	OpJoin
+	// OpBranch marks a thread-local control-flow decision. Its outcome is
+	// conservatively assumed to depend on every earlier read of its thread
+	// (the local branch determinism axiom, Section 2.3).
+	OpBranch
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpBegin:   "begin",
+	OpEnd:     "end",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpAcquire: "acquire",
+	OpRelease: "release",
+	OpFork:    "fork",
+	OpJoin:    "join",
+	OpBranch:  "branch",
+}
+
+// String returns the lowercase mnemonic used throughout the paper.
+func (op Op) String() string {
+	if op < numOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsAccess reports whether op is a shared-memory access (read or write).
+func (op Op) IsAccess() bool { return op == OpRead || op == OpWrite }
+
+// IsSync reports whether op is a synchronisation event: everything except
+// memory accesses and branches.
+func (op Op) IsSync() bool {
+	switch op {
+	case OpAcquire, OpRelease, OpFork, OpJoin, OpBegin, OpEnd:
+		return true
+	}
+	return false
+}
+
+// Event is one operation performed by a thread, in the attribute–value
+// abstraction of Section 2.1. The interpretation of Addr and Value depends
+// on Op:
+//
+//	read/write        Addr = location, Value = data value
+//	acquire/release   Addr = lock, Value unused
+//	fork/join         Addr unused, Value = child thread ID
+//	begin/end/branch  Addr, Value unused
+//
+// Events are identified by their index in the containing Trace; Event values
+// themselves are plain data and freely copyable.
+type Event struct {
+	Tid   TID
+	Op    Op
+	Addr  Addr
+	Value int64
+	Loc   Loc
+}
+
+// Child returns the thread created or joined by a fork/join event.
+func (e Event) Child() TID { return TID(e.Value) }
+
+// String renders the event in the paper's functional notation, e.g.
+// "write(t1, x3, 1)".
+func (e Event) String() string {
+	switch e.Op {
+	case OpRead, OpWrite:
+		return fmt.Sprintf("%s(t%d, x%d, %d)", e.Op, e.Tid, e.Addr, e.Value)
+	case OpAcquire, OpRelease:
+		return fmt.Sprintf("%s(t%d, l%d)", e.Op, e.Tid, e.Addr)
+	case OpFork, OpJoin:
+		return fmt.Sprintf("%s(t%d, t%d)", e.Op, e.Tid, e.Child())
+	default:
+		return fmt.Sprintf("%s(t%d)", e.Op, e.Tid)
+	}
+}
+
+// ConflictsWith reports whether the two events form a conflicting operation
+// pair in the sense of Definition 3: accesses to the same location by
+// different threads, at least one a write. The order of the two events is
+// irrelevant.
+func (e Event) ConflictsWith(f Event) bool {
+	if !e.Op.IsAccess() || !f.Op.IsAccess() {
+		return false
+	}
+	if e.Op == OpRead && f.Op == OpRead {
+		return false
+	}
+	return e.Addr == f.Addr && e.Tid != f.Tid
+}

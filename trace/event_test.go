@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpBegin:   "begin",
+		OpEnd:     "end",
+		OpRead:    "read",
+		OpWrite:   "write",
+		OpAcquire: "acquire",
+		OpRelease: "release",
+		OpFork:    "fork",
+		OpJoin:    "join",
+		OpBranch:  "branch",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		access := op == OpRead || op == OpWrite
+		if op.IsAccess() != access {
+			t.Errorf("%v.IsAccess() = %v, want %v", op, op.IsAccess(), access)
+		}
+		sync := false
+		switch op {
+		case OpAcquire, OpRelease, OpFork, OpJoin, OpBegin, OpEnd:
+			sync = true
+		}
+		if op.IsSync() != sync {
+			t.Errorf("%v.IsSync() = %v, want %v", op, op.IsSync(), sync)
+		}
+	}
+	if OpBranch.IsSync() || OpBranch.IsAccess() {
+		t.Error("branch must be neither sync nor access")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Tid: 1, Op: OpWrite, Addr: 3, Value: 7}, "write(t1, x3, 7)"},
+		{Event{Tid: 2, Op: OpRead, Addr: 3, Value: 0}, "read(t2, x3, 0)"},
+		{Event{Tid: 1, Op: OpAcquire, Addr: 9}, "acquire(t1, l9)"},
+		{Event{Tid: 1, Op: OpRelease, Addr: 9}, "release(t1, l9)"},
+		{Event{Tid: 0, Op: OpFork, Value: 4}, "fork(t0, t4)"},
+		{Event{Tid: 0, Op: OpJoin, Value: 4}, "join(t0, t4)"},
+		{Event{Tid: 5, Op: OpBranch}, "branch(t5)"},
+		{Event{Tid: 5, Op: OpBegin}, "begin(t5)"},
+		{Event{Tid: 5, Op: OpEnd}, "end(t5)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConflictsWith(t *testing.T) {
+	w1 := Event{Tid: 1, Op: OpWrite, Addr: 10, Value: 1}
+	w2 := Event{Tid: 2, Op: OpWrite, Addr: 10, Value: 2}
+	r2 := Event{Tid: 2, Op: OpRead, Addr: 10, Value: 1}
+	r1 := Event{Tid: 1, Op: OpRead, Addr: 10, Value: 1}
+	rOther := Event{Tid: 2, Op: OpRead, Addr: 11, Value: 0}
+	acq := Event{Tid: 2, Op: OpAcquire, Addr: 10}
+
+	if !w1.ConflictsWith(w2) || !w2.ConflictsWith(w1) {
+		t.Error("write-write on same addr, different threads must conflict")
+	}
+	if !w1.ConflictsWith(r2) || !r2.ConflictsWith(w1) {
+		t.Error("write-read on same addr, different threads must conflict")
+	}
+	if r1.ConflictsWith(r2) {
+		t.Error("read-read never conflicts")
+	}
+	if w1.ConflictsWith(r1) {
+		t.Error("same-thread accesses never conflict")
+	}
+	if w1.ConflictsWith(rOther) {
+		t.Error("different addresses never conflict")
+	}
+	if w1.ConflictsWith(acq) || acq.ConflictsWith(w1) {
+		t.Error("non-access events never conflict")
+	}
+}
+
+func TestConflictsWithSymmetric(t *testing.T) {
+	// Property: ConflictsWith is symmetric for arbitrary event pairs.
+	f := func(t1, t2 uint8, op1, op2 uint8, a1, a2 uint8) bool {
+		e1 := Event{Tid: TID(t1 % 4), Op: Op(op1 % uint8(numOps)), Addr: Addr(a1 % 8)}
+		e2 := Event{Tid: TID(t2 % 4), Op: Op(op2 % uint8(numOps)), Addr: Addr(a2 % 8)}
+		return e1.ConflictsWith(e2) == e2.ConflictsWith(e1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/trace"
+)
+
+// Building a consistent trace by hand and validating it.
+func ExampleBuilder() {
+	b := trace.NewBuilder()
+	b.Fork(1, 2)
+	b.Acquire(1, 100)
+	b.Write(1, 1, 42)
+	b.Release(1, 100)
+	b.Begin(2)
+	b.Acquire(2, 100)
+	b.Read(2, 1) // the builder fills in the current value, 42
+	b.Release(2, 100)
+	b.End(2)
+	b.Join(1, 2)
+
+	tr := b.Trace()
+	fmt.Println("valid:", tr.Validate() == nil)
+	fmt.Println("events:", tr.Len())
+	fmt.Println(tr.Event(6))
+	// Output:
+	// valid: true
+	// events: 10
+	// read(t2, x1, 42)
+}
+
+// The consistency validator pinpoints the first violated axiom.
+func ExampleTrace_Validate() {
+	tr := trace.New(0)
+	tr.Append(trace.Event{Tid: 1, Op: trace.OpWrite, Addr: 5, Value: 7})
+	tr.Append(trace.Event{Tid: 2, Op: trace.OpRead, Addr: 5, Value: 9})
+	fmt.Println(tr.Validate())
+	// Output:
+	// trace inconsistent at event 1 read(t2, x5, 9): read-consistency: read of x5 sees 9, most recent write is 7
+}
+
+// Stats computes the Table 1 metric columns.
+func ExampleTrace_ComputeStats() {
+	b := trace.NewBuilder()
+	b.Acquire(1, 100)
+	b.Write(1, 1, 1)
+	b.Release(1, 100)
+	b.Branch(1)
+	s := b.Trace().ComputeStats()
+	fmt.Printf("events=%d rw=%d sync=%d branch=%d\n",
+		s.Events, s.Accesses, s.Syncs, s.Branches)
+	// Output:
+	// events=4 rw=1 sync=2 branch=1
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NotifyLink records the pairing, observed in the original execution,
+// between a notify and the wait it woke (Section 4, "wait-notify").
+// A wait() is lowered by the producer into a release event followed — after
+// the thread is woken — by a re-acquire event of the same lock. The link
+// ties the notify to that release/acquire pair so the constraint encoder can
+// require the notify's order to fall between them.
+type NotifyLink struct {
+	// Notify is the index of the notifying event (an OpRelease-free marker
+	// is not used: the notify itself produces no lock event, it is recorded
+	// only through this link and the producer's Loc bookkeeping).
+	Notify int
+	// Release is the index of the waiting thread's release event.
+	Release int
+	// Acquire is the index of the waiting thread's wake-up acquire event.
+	Acquire int
+}
+
+// Trace is a finite sequence of events observed from one execution,
+// together with the side metadata the analyses need: volatile location
+// marking, initial values, wait/notify pairings and a location-name table.
+// Events are addressed by their dense index in the sequence.
+//
+// The zero Trace is empty and ready to use.
+type Trace struct {
+	events []Event
+
+	// links pairs each notify with the wait it woke.
+	links []NotifyLink
+
+	// volatileAddrs marks locations declared volatile by the program.
+	// Conflicting accesses to volatile locations are not data races
+	// (Section 4) but do induce synchronises-with edges for the
+	// happens-before baseline.
+	volatileAddrs map[Addr]bool
+
+	// initial maps a location to its initial value; locations absent from
+	// the map start at zero, matching the paper's examples.
+	initial map[Addr]int64
+
+	// locNames optionally names program locations for reports.
+	locNames map[Loc]string
+}
+
+// New returns an empty trace with capacity for n events.
+func New(n int) *Trace {
+	return &Trace{events: make([]Event, 0, n)}
+}
+
+// Append adds e to the end of the trace and returns its index.
+func (tr *Trace) Append(e Event) int {
+	tr.events = append(tr.events, e)
+	return len(tr.events) - 1
+}
+
+// Len returns the number of events.
+func (tr *Trace) Len() int { return len(tr.events) }
+
+// Event returns the event at index i.
+func (tr *Trace) Event(i int) Event { return tr.events[i] }
+
+// Events returns the underlying event slice. The slice is owned by the
+// trace; callers must not modify it.
+func (tr *Trace) Events() []Event { return tr.events }
+
+// AddNotifyLink records that the notify at index n woke the wait lowered to
+// the release/acquire pair (rel, acq).
+func (tr *Trace) AddNotifyLink(n, rel, acq int) {
+	tr.links = append(tr.links, NotifyLink{Notify: n, Release: rel, Acquire: acq})
+}
+
+// NotifyLinks returns the recorded wait/notify pairings.
+func (tr *Trace) NotifyLinks() []NotifyLink { return tr.links }
+
+// SetVolatile marks location a as volatile.
+func (tr *Trace) SetVolatile(a Addr) {
+	if tr.volatileAddrs == nil {
+		tr.volatileAddrs = make(map[Addr]bool)
+	}
+	tr.volatileAddrs[a] = true
+}
+
+// Volatile reports whether location a was declared volatile.
+func (tr *Trace) Volatile(a Addr) bool { return tr.volatileAddrs[a] }
+
+// SetInitial records the initial value of location a (default 0).
+func (tr *Trace) SetInitial(a Addr, v int64) {
+	if tr.initial == nil {
+		tr.initial = make(map[Addr]int64)
+	}
+	tr.initial[a] = v
+}
+
+// Initial returns the initial value of location a.
+func (tr *Trace) Initial(a Addr) int64 { return tr.initial[a] }
+
+// NameLoc assigns a human-readable name to a program location.
+func (tr *Trace) NameLoc(l Loc, name string) {
+	if tr.locNames == nil {
+		tr.locNames = make(map[Loc]string)
+	}
+	tr.locNames[l] = name
+}
+
+// LocName renders a program location: its registered name if any, otherwise
+// "L<n>".
+func (tr *Trace) LocName(l Loc) string {
+	if name, ok := tr.locNames[l]; ok {
+		return name
+	}
+	return fmt.Sprintf("L%d", l)
+}
+
+// Threads returns the sorted set of thread IDs appearing in the trace.
+func (tr *Trace) Threads() []TID {
+	seen := make(map[TID]bool)
+	for i := range tr.events {
+		seen[tr.events[i].Tid] = true
+	}
+	out := make([]TID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByThread returns, for each thread, the indices of its events in trace
+// order — the projection τ|t of Section 2.2.
+func (tr *Trace) ByThread() map[TID][]int {
+	out := make(map[TID][]int)
+	for i := range tr.events {
+		t := tr.events[i].Tid
+		out[t] = append(out[t], i)
+	}
+	return out
+}
+
+// Slice returns a new trace holding events[lo:hi] — the windowing
+// primitive of Section 4. Event indices in the slice are renumbered from
+// zero; notify links falling entirely inside the window are retained and
+// rebased. The volatile and location-name maps are shared with the parent,
+// but the slice gets its own copy of the initial-value map so callers (the
+// windowing driver) can install the memory state carried in from the
+// preceding windows without disturbing the parent.
+func (tr *Trace) Slice(lo, hi int) *Trace {
+	// Materialise the shared metadata maps so later mutations through
+	// either trace remain visible to both.
+	if tr.volatileAddrs == nil {
+		tr.volatileAddrs = make(map[Addr]bool)
+	}
+	if tr.locNames == nil {
+		tr.locNames = make(map[Loc]string)
+	}
+	initial := make(map[Addr]int64, len(tr.initial))
+	for a, v := range tr.initial {
+		initial[a] = v
+	}
+	w := &Trace{
+		events:        tr.events[lo:hi:hi],
+		volatileAddrs: tr.volatileAddrs,
+		initial:       initial,
+		locNames:      tr.locNames,
+	}
+	for _, ln := range tr.links {
+		if ln.Notify >= lo && ln.Notify < hi &&
+			ln.Release >= lo && ln.Release < hi &&
+			ln.Acquire >= lo && ln.Acquire < hi {
+			w.links = append(w.links, NotifyLink{
+				Notify:  ln.Notify - lo,
+				Release: ln.Release - lo,
+				Acquire: ln.Acquire - lo,
+			})
+		}
+	}
+	return w
+}
+
+// Stats summarises a trace for reporting: the Table 1 metric columns.
+type Stats struct {
+	Threads  int // #Thrd
+	Events   int // #Event
+	Accesses int // #RW: read + write events
+	Syncs    int // #Sync: acquire/release/fork/join/begin/end
+	Branches int // #Br
+	Locks    int // distinct lock addresses
+	Shared   int // distinct shared (non-volatile) locations accessed
+}
+
+// ComputeStats scans the trace once and returns its summary metrics.
+func (tr *Trace) ComputeStats() Stats {
+	var s Stats
+	threads := make(map[TID]bool)
+	locks := make(map[Addr]bool)
+	shared := make(map[Addr]bool)
+	for i := range tr.events {
+		e := &tr.events[i]
+		threads[e.Tid] = true
+		switch {
+		case e.Op.IsAccess():
+			s.Accesses++
+			if !tr.Volatile(e.Addr) {
+				shared[e.Addr] = true
+			}
+		case e.Op == OpBranch:
+			s.Branches++
+		default:
+			s.Syncs++
+			if e.Op == OpAcquire || e.Op == OpRelease {
+				locks[e.Addr] = true
+			}
+		}
+	}
+	s.Threads = len(threads)
+	s.Events = len(tr.events)
+	s.Locks = len(locks)
+	s.Shared = len(shared)
+	return s
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// figure4 builds the trace of Figure 4 in the paper (the execution of the
+// Figure 1 program), with variables x=1, y=2, z=3 and lock l=100. Event
+// indices follow the paper's line numbers minus one (line 16 produces no
+// event; the paper's lines 6 and 13 are t2's begin/end).
+func figure4() *Trace {
+	const (
+		x Addr = 1
+		y Addr = 2
+		z Addr = 3
+		l Addr = 100
+	)
+	b := NewBuilder()
+	b.At(1).Fork(1, 2)      // 1. fork(t1,t2)
+	b.At(2).Acquire(1, l)   // 2. acquire(t1,l)
+	b.At(3).Write(1, x, 1)  // 3. write(t1,x,1)
+	b.At(4).Write(1, y, 1)  // 4. write(t1,y,1)
+	b.At(5).Release(1, l)   // 5. release(t1,l)
+	b.At(6).Begin(2)        // 6. begin(t2)
+	b.At(7).Acquire(2, l)   // 7. acquire(t2,l)
+	b.At(8).Read(2, y)      // 8. read(t2,y,1)
+	b.At(9).Release(2, l)   // 9. release(t2,l)
+	b.At(10).Read(2, x)     // 10. read(t2,x,1)
+	b.At(11).Branch(2)      // 11. branch(t2)
+	b.At(12).Write(2, z, 1) // 12. write(t2,z,1)
+	b.At(13).End(2)         // 13. end(t2)
+	b.At(14).Join(1, 2)     // 14. join(t1,t2)
+	b.At(15).Read(1, z)     // 15. read(t1,z,1)
+	b.At(16).Branch(1)      // 16. branch(t1)
+	return b.Trace()
+}
+
+func TestFigure4Valid(t *testing.T) {
+	tr := figure4()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("figure 4 trace must be consistent: %v", err)
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tr.Len())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := figure4()
+	s := tr.ComputeStats()
+	want := Stats{
+		Threads:  2,
+		Events:   16,
+		Accesses: 6, // 3 writes + 3 reads
+		Syncs:    8, // fork, join, begin, end, 2x acquire, 2x release
+		Branches: 2,
+		Locks:    1,
+		Shared:   3,
+	}
+	if s != want {
+		t.Errorf("ComputeStats = %+v, want %+v", s, want)
+	}
+}
+
+func TestThreadsAndByThread(t *testing.T) {
+	tr := figure4()
+	if got := tr.Threads(); !reflect.DeepEqual(got, []TID{1, 2}) {
+		t.Errorf("Threads = %v, want [1 2]", got)
+	}
+	by := tr.ByThread()
+	if len(by[1]) != 8 || len(by[2]) != 8 {
+		t.Errorf("per-thread event counts = %d/%d, want 8/8",
+			len(by[1]), len(by[2]))
+	}
+	// Projections preserve trace order.
+	for _, idxs := range by {
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] <= idxs[i-1] {
+				t.Fatalf("projection not increasing: %v", idxs)
+			}
+		}
+	}
+}
+
+func TestCriticalSections(t *testing.T) {
+	tr := figure4()
+	cs := tr.CriticalSections()
+	if len(cs) != 2 {
+		t.Fatalf("got %d critical sections, want 2", len(cs))
+	}
+	if cs[0].Tid != 1 || cs[0].Acquire != 1 || cs[0].Release != 4 {
+		t.Errorf("first section = %+v", cs[0])
+	}
+	if cs[1].Tid != 2 || cs[1].Acquire != 6 || cs[1].Release != 8 {
+		t.Errorf("second section = %+v", cs[1])
+	}
+}
+
+func TestCriticalSectionsTruncated(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(0).Acquire(0, 1).Write(0, 9, 1).Release(0, 1).Acquire(0, 1)
+	tr := b.Trace()
+
+	// Slice starting inside the first section: release without acquire.
+	w := tr.Slice(2, 5)
+	cs := w.CriticalSections()
+	if len(cs) != 2 {
+		t.Fatalf("got %d sections, want 2: %+v", len(cs), cs)
+	}
+	if cs[0].Acquire != -1 || cs[0].Release != 1 {
+		t.Errorf("truncated-head section = %+v", cs[0])
+	}
+	if cs[1].Acquire != 2 || cs[1].Release != -1 {
+		t.Errorf("truncated-tail section = %+v", cs[1])
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := figure4()
+	w := tr.Slice(5, 13)
+	if w.Len() != 8 {
+		t.Fatalf("window Len = %d, want 8", w.Len())
+	}
+	if w.Event(0).Op != OpBegin || w.Event(0).Tid != 2 {
+		t.Errorf("window event 0 = %v, want begin(t2)", w.Event(0))
+	}
+	// Metadata is shared.
+	tr.SetVolatile(55)
+	if !w.Volatile(55) {
+		t.Error("window must share volatile metadata")
+	}
+}
+
+func TestSliceNotifyLinks(t *testing.T) {
+	b := NewBuilder()
+	b.Begin(0).Acquire(0, 1)
+	b.Wait(0, 1, func(b *Builder) int {
+		n := b.Mark()
+		b.Begin(2).Write(2, 5, 1) // stand-in for the notifying event
+		return n
+	})
+	tr := b.Trace()
+	if len(tr.NotifyLinks()) != 1 {
+		t.Fatalf("want 1 notify link, got %d", len(tr.NotifyLinks()))
+	}
+	ln := tr.NotifyLinks()[0]
+	if ln.Release != 2 || ln.Notify != 3 || ln.Acquire != 5 {
+		t.Errorf("link = %+v", ln)
+	}
+	// A slice containing the whole link keeps it, rebased.
+	w := tr.Slice(2, 6)
+	if len(w.NotifyLinks()) != 1 {
+		t.Fatalf("window should keep the link")
+	}
+	if got := w.NotifyLinks()[0]; got.Release != 0 || got.Notify != 1 || got.Acquire != 3 {
+		t.Errorf("rebased link = %+v", got)
+	}
+	// A slice cutting the link drops it.
+	if w2 := tr.Slice(3, 6); len(w2.NotifyLinks()) != 0 {
+		t.Error("partially-contained link must be dropped")
+	}
+}
+
+func TestInitialValues(t *testing.T) {
+	b := NewBuilder()
+	b.Initial(7, 42)
+	b.Begin(0).Read(0, 7)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("read of initial value must validate: %v", err)
+	}
+	if got := tr.Event(1).Value; got != 42 {
+		t.Errorf("builder read value = %d, want 42", got)
+	}
+}
+
+func TestLocNames(t *testing.T) {
+	tr := New(0)
+	tr.NameLoc(3, "Main.java:17")
+	if got := tr.LocName(3); got != "Main.java:17" {
+		t.Errorf("LocName(3) = %q", got)
+	}
+	if got := tr.LocName(9); got != "L9" {
+		t.Errorf("LocName(9) = %q, want fallback L9", got)
+	}
+}
