@@ -37,6 +37,7 @@ import (
 	"repro/internal/said"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
 	"repro/minilang"
@@ -101,6 +102,20 @@ func BenchmarkDetect(b *testing.B) {
 				core.New(core.Options{WindowSize: window,
 					SolveTimeout: time.Minute}).Detect(tr)
 			}
+			// One instrumented run (off the clock) turns the benchmark
+			// into a solver-work regression: decisions, propagations and
+			// query counts are deterministic per row.
+			b.StopTimer()
+			col := telemetry.NewCollector()
+			core.New(core.Options{WindowSize: window, SolveTimeout: time.Minute,
+				Telemetry: col}).Detect(tr)
+			m := col.Snapshot()
+			b.ReportMetric(float64(m.Solver.Decisions), "decisions")
+			b.ReportMetric(float64(m.Solver.Propagations), "propagations")
+			b.ReportMetric(float64(m.Solver.Conflicts), "conflicts")
+			b.ReportMetric(float64(m.Outcomes.Solved), "queries")
+			b.ReportMetric(float64(m.Outcomes.Enumerated), "candidates")
+			b.StartTimer()
 		})
 		b.Run(name+"/Said", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -434,6 +449,79 @@ func BenchmarkParallelDetect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// serverTrace builds the examples/server workload: request-dispatching
+// workers with a lock-protected session table, an unprotected stats
+// counter and an unsynchronised shutdown flag.
+func serverTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	const workers = 4
+	const requests = 40
+	var sb bytes.Buffer
+	sb.WriteString("shared sessions, stats, shutdown;\nlock tbl;\n")
+	sb.WriteString("thread main {\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, "  fork w%d;\n", i)
+	}
+	sb.WriteString("  shutdown = 1;\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, "  join w%d;\n", i)
+	}
+	sb.WriteString("}\n")
+	for i := 1; i <= workers; i++ {
+		fmt.Fprintf(&sb, `thread w%d {
+  i = 0;
+  while (i < %d) {
+    lock tbl;
+    sessions = sessions + 1;
+    unlock tbl;
+    stats = stats + 1;
+    i = i + 1;
+  }
+  r = shutdown;
+  if (r == 1) {
+    skip;
+  }
+}
+`, i, requests)
+	}
+	prog, err := minilang.Compile(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := prog.Run(minilang.RunOptions{
+		Scheduler: &minilang.Random{Seed: 42},
+		MaxSteps:  1 << 22,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTelemetryOverhead measures full RV detection on the
+// examples/server workload with telemetry off and on: the off/on delta is
+// the collection overhead documented in doc/observability.md.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tr := serverTrace(b)
+	const window = 2000
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(core.Options{WindowSize: window,
+				SolveTimeout: time.Minute}).Detect(tr)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := telemetry.NewCollector()
+			res := core.New(core.Options{WindowSize: window, SolveTimeout: time.Minute,
+				Telemetry: col}).Detect(tr)
+			if m := col.Snapshot(); m.Outcomes.Solved == 0 && len(res.Races) > 0 {
+				b.Fatal("telemetry recorded nothing")
+			}
+		}
+	})
 }
 
 func BenchmarkDeadlockDetect(b *testing.B) {

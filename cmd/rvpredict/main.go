@@ -7,13 +7,22 @@
 //
 // The default algorithm is the paper's maximal control-flow-aware
 // technique; -algo selects a baseline for comparison.
+//
+// Exit status is 1 when races (or deadlocks / atomicity violations) are
+// found, 0 when the trace is clean, and 2 on usage or decode errors —
+// scriptable like grep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/race"
@@ -22,124 +31,266 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rvpredict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		algoName  = flag.String("algo", "rv", "algorithm: rv, said, cp, hb or qc")
-		window    = flag.Int("window", 10000, "window size in events (0 = whole trace)")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-pair solver timeout")
-		witness   = flag.Bool("witness", false, "print a witness schedule per race")
-		dump      = flag.Bool("dump", false, "dump the trace instead of analysing it")
-		deadlocks = flag.Bool("deadlock", false, "predict lock-inversion deadlocks instead of races")
-		atomicity = flag.Bool("atomicity", false, "predict atomicity violations instead of races")
+		algoName   = fs.String("algo", "rv", "algorithm: rv, said, cp, hb or qc")
+		window     = fs.Int("window", 10000, "window size in events (0 = whole trace)")
+		timeout    = fs.Duration("timeout", 60*time.Second, "per-pair solver timeout")
+		parallel   = fs.Int("parallel", 0, "analyse windows with this many workers (rv only)")
+		witness    = fs.Bool("witness", false, "print a witness schedule per race")
+		dump       = fs.Bool("dump", false, "dump the trace instead of analysing it")
+		deadlocks  = fs.Bool("deadlock", false, "predict lock-inversion deadlocks instead of races")
+		atomicity  = fs.Bool("atomicity", false, "predict atomicity violations instead of races")
+		stats      = fs.Bool("stats", false, "print pipeline and solver statistics after the report")
+		jsonOut    = fs.Bool("json", false, "emit the full report (with telemetry) as JSON on stdout")
+		progress   = fs.Bool("progress", false, "trace per-window progress on stderr while analysing")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rvpredict [flags] trace.rvpt")
-		flag.PrintDefaults()
-		os.Exit(2)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rvpredict [flags] trace.rvpt")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rvpredict:", err)
+		return 2
 	}
 	defer f.Close()
 	tr, err := tracefile.Decode(f)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rvpredict:", err)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			pf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+			}
+		}()
 	}
 
 	if *dump {
-		if err := tracefile.Dump(os.Stdout, tr); err != nil {
-			fatal(err)
+		if err := tracefile.Dump(stdout, tr); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
 		}
-		return
-	}
-
-	if *deadlocks {
-		ws := *window
-		if ws == 0 {
-			ws = -1
-		}
-		rep := rvpredict.DetectDeadlocks(tr, rvpredict.Options{
-			WindowSize:   ws,
-			SolveTimeout: *timeout,
-			Witness:      *witness,
-		})
-		fmt.Printf("deadlocks: %d (of %d candidate inversions) in %v\n",
-			len(rep.Deadlocks), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
-		for i, d := range rep.Deadlocks {
-			fmt.Printf("  #%d %s\n", i+1, d.Description)
-			if *witness && d.Witness != nil {
-				fmt.Printf("     witness prefix:")
-				for _, idx := range d.Witness {
-					fmt.Printf(" %d", idx)
-				}
-				fmt.Println()
-			}
-		}
-		return
-	}
-
-	if *atomicity {
-		ws := *window
-		if ws == 0 {
-			ws = -1
-		}
-		rep := rvpredict.DetectAtomicityViolations(tr, rvpredict.Options{
-			WindowSize:   ws,
-			SolveTimeout: *timeout,
-			Witness:      *witness,
-		})
-		fmt.Printf("atomicity violations: %d (of %d candidates) in %v\n",
-			len(rep.Violations), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
-		for i, v := range rep.Violations {
-			fmt.Printf("  #%d %s\n", i+1, v.Description)
-		}
-		return
-	}
-
-	var algo rvpredict.Algorithm
-	switch strings.ToLower(*algoName) {
-	case "rv":
-		algo = rvpredict.MaximalCF
-	case "said":
-		algo = rvpredict.SaidEtAl
-	case "cp":
-		algo = rvpredict.CausallyPrecedes
-	case "hb":
-		algo = rvpredict.HappensBefore
-	case "qc":
-		algo = rvpredict.QuickCheck
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+		return 0
 	}
 
 	ws := *window
 	if ws == 0 {
 		ws = -1 // whole trace
 	}
-	rep := rvpredict.Detect(tr, rvpredict.Options{
-		Algorithm:    algo,
+	opt := rvpredict.Options{
 		WindowSize:   ws,
 		SolveTimeout: *timeout,
+		Parallelism:  *parallel,
 		Witness:      *witness,
-	})
+		Telemetry:    *stats || *jsonOut,
+	}
+	if *progress {
+		opt.Tracer = &progressTracer{w: stderr, start: time.Now()}
+	}
+
+	if *deadlocks {
+		rep := rvpredict.DetectDeadlocks(tr, opt)
+		if *jsonOut {
+			if err := emitJSON(stdout, rep); err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintf(stdout, "deadlocks: %d (of %d candidate inversions) in %v\n",
+				len(rep.Deadlocks), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
+			for i, d := range rep.Deadlocks {
+				fmt.Fprintf(stdout, "  #%d %s\n", i+1, d.Description)
+				if *witness && d.Witness != nil {
+					fmt.Fprintf(stdout, "     witness prefix:")
+					for _, idx := range d.Witness {
+						fmt.Fprintf(stdout, " %d", idx)
+					}
+					fmt.Fprintln(stdout)
+				}
+			}
+		}
+		if *stats && !*jsonOut {
+			printTelemetry(stdout, rep.Telemetry)
+		}
+		return foundExit(len(rep.Deadlocks))
+	}
+
+	if *atomicity {
+		rep := rvpredict.DetectAtomicityViolations(tr, opt)
+		if *jsonOut {
+			if err := emitJSON(stdout, rep); err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+				return 2
+			}
+		} else {
+			fmt.Fprintf(stdout, "atomicity violations: %d (of %d candidates) in %v\n",
+				len(rep.Violations), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
+			for i, v := range rep.Violations {
+				fmt.Fprintf(stdout, "  #%d %s\n", i+1, v.Description)
+			}
+		}
+		if *stats && !*jsonOut {
+			printTelemetry(stdout, rep.Telemetry)
+		}
+		return foundExit(len(rep.Violations))
+	}
+
+	switch strings.ToLower(*algoName) {
+	case "rv":
+		opt.Algorithm = rvpredict.MaximalCF
+	case "said":
+		opt.Algorithm = rvpredict.SaidEtAl
+	case "cp":
+		opt.Algorithm = rvpredict.CausallyPrecedes
+	case "hb":
+		opt.Algorithm = rvpredict.HappensBefore
+	case "qc":
+		opt.Algorithm = rvpredict.QuickCheck
+	default:
+		fmt.Fprintf(stderr, "rvpredict: unknown algorithm %q\n", *algoName)
+		return 2
+	}
+
+	rep := rvpredict.Detect(tr, opt)
+	if *jsonOut {
+		if err := emitJSON(stdout, rep); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		return foundExit(len(rep.Races))
+	}
 
 	s := rep.Stats
-	fmt.Printf("trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
+	fmt.Fprintf(stdout, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
 		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
-	fmt.Printf("%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
+	fmt.Fprintf(stdout, "%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
 		rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
 		rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
 	for i, r := range rep.Races {
-		fmt.Printf("  #%d %s\n", i+1, r.Description)
+		fmt.Fprintf(stdout, "  #%d %s\n", i+1, r.Description)
 		if *witness && r.Witness != nil {
-			fmt.Print(race.RenderWitness(tr, r.Witness))
+			fmt.Fprint(stdout, race.RenderWitness(tr, r.Witness))
 		}
 	}
+	if *stats {
+		printTelemetry(stdout, rep.Telemetry)
+	}
+	return foundExit(len(rep.Races))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rvpredict:", err)
-	os.Exit(1)
+// foundExit maps a finding count to the command's exit status.
+func foundExit(findings int) int {
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+func emitJSON(w io.Writer, rep any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// printTelemetry renders the -stats block: phase timings first, then the
+// candidate funnel, then the solver-stack counters.
+func printTelemetry(w io.Writer, t *rvpredict.Telemetry) {
+	if t == nil {
+		return
+	}
+	ms := func(ns int64) string {
+		return time.Duration(ns).Round(10 * time.Microsecond).String()
+	}
+	fmt.Fprintln(w, "--- stats ---")
+	fmt.Fprintf(w, "phases: scan %s, enumerate %s, quick-check %s, encode %s, solve %s, witness %s\n",
+		ms(t.Phases.TraceScan), ms(t.Phases.Enumerate), ms(t.Phases.QuickCheck),
+		ms(t.Phases.Encode), ms(t.Phases.Solve), ms(t.Phases.Witness))
+	o := t.Outcomes
+	fmt.Fprintf(w, "candidates: %d enumerated, %d quick-check filtered, %d MHB filtered, %d dedup hits\n",
+		o.Enumerated, o.QuickCheckFiltered, o.MHBFiltered, o.SigDedupHits)
+	fmt.Fprintf(w, "queries: %d solved — %d sat, %d unsat, %d timeout, %d conflict-budget\n",
+		o.Solved, o.Sat, o.Unsat, o.Timeout, o.ConflictBudget)
+	sc := t.Solver
+	fmt.Fprintf(w, "sat: %d decisions, %d propagations, %d conflicts, %d restarts, %d learned\n",
+		sc.Decisions, sc.Propagations, sc.Conflicts, sc.Restarts, sc.Learned)
+	fmt.Fprintf(w, "idl: %d atom asserts, %d negative cycles, %d repair steps (%d theory props, %d theory conflicts)\n",
+		sc.IDLAsserts, sc.IDLNegativeCycles, sc.IDLRepairSteps, sc.TheoryProps, sc.TheoryConflicts)
+	fmt.Fprintf(w, "encode: %d interned atoms, %d tseitin vars, %d tseitin clauses; %d bool vars, %d clauses, %d int vars across %d solver(s)\n",
+		sc.InternedAtoms, sc.TseitinVars, sc.TseitinClauses, sc.BoolVars, sc.Clauses, sc.IntVars, sc.Solvers)
+	fmt.Fprintf(w, "windows: %d\n", t.WindowCount)
+}
+
+// progressTracer prints window lifecycle lines — and noteworthy query
+// verdicts (findings and solver aborts) — to stderr as analysis runs.
+// Methods may be called concurrently when -parallel > 1.
+type progressTracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+}
+
+func (p *progressTracer) stamp() string {
+	return time.Since(p.start).Round(time.Millisecond).String()
+}
+
+func (p *progressTracer) WindowStart(index, events int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] window %d: %d events\n", p.stamp(), index, events)
+}
+
+func (p *progressTracer) WindowDone(index, findings int, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] window %d done: %d finding(s) in %v\n",
+		p.stamp(), index, findings, elapsed.Round(time.Millisecond))
+}
+
+func (p *progressTracer) QuerySolved(index, a, b int, outcome rvpredict.Outcome, elapsed time.Duration) {
+	if outcome != rvpredict.OutcomeSat && !outcome.Aborted() {
+		return // unsat is the common, quiet case
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] window %d: events %d,%d → %s (%v)\n",
+		p.stamp(), index, a, b, outcome, elapsed.Round(time.Millisecond))
 }

@@ -10,10 +10,15 @@
 //
 // Usage:
 //
-//	table1 [-scale N] [-rows regexp] [-timeout d] [-skip-said]
+//	table1 [-scale N] [-rows regexp] [-timeout d] [-skip-said] [-csv | -json]
+//
+// -json emits one JSON record per row (newline-delimited), each carrying
+// the trace metrics, every technique's counts and timings, the planted
+// ground truth, and the RV run's telemetry snapshot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +31,41 @@ import (
 	"repro/internal/lockset"
 	"repro/internal/race"
 	"repro/internal/said"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 	"repro/trace"
 )
+
+// techResult is one technique's measured outcome on one row.
+type techResult struct {
+	Races     int   `json:"races"`
+	Pairs     int   `json:"pairs_checked"`
+	Windows   int   `json:"windows"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// rowRecord is one -json output line: everything a Table 1 row carries,
+// plus the RV run's telemetry snapshot.
+type rowRecord struct {
+	Program   string             `json:"program"`
+	Stats     trace.Stats        `json:"stats"`
+	QC        techResult         `json:"qc"`
+	RV        techResult         `json:"rv"`
+	Said      *techResult        `json:"said,omitempty"`
+	CP        techResult         `json:"cp"`
+	HB        techResult         `json:"hb"`
+	Planted   workloads.Expect   `json:"planted"`
+	Telemetry *telemetry.Metrics `json:"telemetry"`
+}
+
+func tech(r race.Result) techResult {
+	return techResult{
+		Races:     r.Count(),
+		Pairs:     r.COPsChecked,
+		Windows:   r.Windows,
+		ElapsedNS: int64(r.Elapsed),
+	}
+}
 
 func main() {
 	var (
@@ -37,6 +74,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-pair solver timeout")
 		skipSaid = flag.Bool("skip-said", false, "skip the Said baseline (slowest column)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the aligned table")
+		jsonOut  = flag.Bool("json", false, "emit one JSON record per row (with RV telemetry) instead of the table")
 	)
 	flag.Parse()
 
@@ -50,24 +88,29 @@ func main() {
 		}
 	}
 
-	if *csv {
+	if *csv && !*jsonOut {
 		fmt.Println("program,threads,events,rw,sync,branch,qc,rv,said,cp,hb," +
 			"t_rv_ms,t_said_ms,t_cp_ms,t_hb_ms,planted_qc,planted_rv,planted_said,planted_cp,planted_hb")
-	} else {
+	} else if !*jsonOut {
 		fmt.Printf("%-11s %5s %8s %8s %7s %7s | %5s %5s %5s %5s %5s | %9s %9s %9s %9s | %s\n",
 			"Program", "#Thrd", "#Event", "#RW", "#Sync", "#Br",
 			"QC", "RV", "Said", "CP", "HB",
 			"t(RV)", "t(Said)", "t(CP)", "t(HB)", "planted QC/RV/Said/CP/HB")
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	run := func(name string, tr *trace.Trace, window int, want workloads.Expect) {
 		if filter != nil && !filter.MatchString(name) {
 			return
 		}
 		st := tr.ComputeStats()
 
+		var col *telemetry.Collector
+		if *jsonOut {
+			col = telemetry.NewCollector()
+		}
 		qc := lockset.New(lockset.Options{WindowSize: window}).Detect(tr)
-		rv := core.New(core.Options{WindowSize: window, SolveTimeout: *timeout}).Detect(tr)
+		rv := core.New(core.Options{WindowSize: window, SolveTimeout: *timeout, Telemetry: col}).Detect(tr)
 		var sd race.Result
 		sdTime := "-"
 		if !*skipSaid {
@@ -77,6 +120,27 @@ func main() {
 		cpr := cp.New(cp.Options{WindowSize: window}).Detect(tr)
 		hbr := hb.New(hb.Options{WindowSize: window}).Detect(tr)
 
+		if *jsonOut {
+			rec := rowRecord{
+				Program:   name,
+				Stats:     st,
+				QC:        tech(qc),
+				RV:        tech(rv),
+				CP:        tech(cpr),
+				HB:        tech(hbr),
+				Planted:   want,
+				Telemetry: col.Snapshot(),
+			}
+			if !*skipSaid {
+				s := tech(sd)
+				rec.Said = &s
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "table1:", err)
+				os.Exit(2)
+			}
+			return
+		}
 		if *csv {
 			fmt.Printf("%s,%d,%d,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d\n",
 				name, st.Threads, st.Events, st.Accesses, st.Syncs, st.Branches,

@@ -29,6 +29,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 	"repro/trace"
 )
@@ -44,6 +45,11 @@ type Options struct {
 	MaxConflicts int64
 	// Witness requests witness schedules.
 	Witness bool
+	// Telemetry, when non-nil, accumulates phase timings, solver counters
+	// and outcome tallies; enabling it changes no detection result.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, receives live progress callbacks.
+	Tracer telemetry.Tracer
 }
 
 // Violation is one detected atomicity violation.
@@ -120,49 +126,110 @@ type candidate struct {
 // Detect finds all feasible atomicity violations of tr.
 func (d *Detector) Detect(tr *trace.Trace) Result {
 	start := time.Now()
+	col := d.opt.Telemetry
+	tracer := d.opt.Tracer
+	instrumented := col != nil || tracer != nil
 	var res Result
 	type sigKey [3]trace.Loc
 	seen := make(map[sigKey]bool)
+	widx := 0
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		wi := widx
+		widx++
+		if tracer != nil {
+			tracer.WindowStart(wi, w.Len())
+		}
+		var wstart time.Time
+		if instrumented {
+			wstart = time.Now()
+		}
+		foundBefore := len(res.Violations)
+		candsBefore := res.Candidates
+
+		windowDone := func() {
+			if col != nil {
+				col.WindowDone(telemetry.WindowRecord{
+					Offset:     offset,
+					Events:     w.Len(),
+					Candidates: res.Candidates - candsBefore,
+					Solved:     res.Candidates - candsBefore,
+					Findings:   len(res.Violations) - foundBefore,
+					ElapsedNS:  int64(time.Since(wstart)),
+				})
+			}
+			if tracer != nil {
+				tracer.WindowDone(wi, len(res.Violations)-foundBefore, time.Since(wstart))
+			}
+		}
+
+		span := col.StartPhase(telemetry.PhaseEnumerate)
 		cands := candidates(w)
+		span.End()
 		if len(cands) == 0 {
+			windowDone()
 			return
 		}
+		span = col.StartPhase(telemetry.PhaseEncode)
 		mhb := vc.ComputeMHB(w)
 		s := smt.NewSolver()
 		enc := encode.New(w, s, mhb, -1, -1)
 		cf := encode.NewCF(enc, s, 0)
 		if err := enc.AssertMHB(); err != nil {
+			span.End()
+			col.AddSolver(s)
+			windowDone()
 			return
 		}
 		if err := enc.AssertLocks(); err != nil {
+			span.End()
+			col.AddSolver(s)
+			windowDone()
 			return
 		}
+		span.End()
 		for _, c := range cands {
 			key := sigKey{w.Event(c.e1).Loc, w.Event(c.e3).Loc, w.Event(c.e2).Loc}
 			if seen[key] {
+				col.CountSigDedup()
 				continue
 			}
 			// MHB-ordered remotes can never move inside the region.
 			if mhb.Before(c.e3, c.e1) || mhb.Before(c.e2, c.e3) {
+				col.CountMHBFiltered()
 				continue
 			}
 			res.Candidates++
+			col.CountEnumerated(1)
+			var qstart time.Time
+			if tracer != nil {
+				qstart = time.Now()
+			}
+			span = col.StartPhase(telemetry.PhaseEncode)
 			g := s.NewBoolLit()
 			sandwich := smt.And(
 				smt.Less(enc.Var(c.e1), enc.Var(c.e3)),
 				smt.Less(enc.Var(c.e3), enc.Var(c.e2)),
 				cf.ControlFlow(c.e1), cf.ControlFlow(c.e2), cf.ControlFlow(c.e3))
 			if err := s.Implies(g, sandwich); err != nil {
+				span.End()
 				continue
 			}
+			span.End()
 			if d.opt.SolveTimeout > 0 {
 				s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
 			}
 			if d.opt.MaxConflicts > 0 {
 				s.SetMaxConflicts(d.opt.MaxConflicts)
 			}
-			switch s.SolveAssuming(g) {
+			span = col.StartPhase(telemetry.PhaseSolve)
+			verdict := s.SolveAssuming(g)
+			span.End()
+			outcome := telemetry.OutcomeOf(s, verdict == sat.Sat, verdict == sat.Aborted)
+			col.CountOutcome(outcome)
+			if tracer != nil {
+				tracer.QuerySolved(wi, c.e1+offset, c.e2+offset, outcome, time.Since(qstart))
+			}
+			switch verdict {
 			case sat.Sat:
 				seen[key] = true
 				v := Violation{
@@ -173,7 +240,9 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 					Split:  c.split,
 				}
 				if d.opt.Witness {
+					span = col.StartPhase(telemetry.PhaseWitness)
 					v.Witness = sandwichWitness(enc, s, c)
+					span.End()
 					for k := range v.Witness {
 						v.Witness[k] += offset
 					}
@@ -183,6 +252,8 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 				res.SolverAborts++
 			}
 		}
+		col.AddSolver(s)
+		windowDone()
 	})
 	res.Elapsed = time.Since(start)
 	return res

@@ -25,6 +25,12 @@
 // Satisfiable ⇒ the COP is a real race, with the model yielding a witness
 // schedule (Theorem 3, soundness); unsatisfiable ⇒ no sound detector can
 // report it from this trace (Theorem 3, maximality).
+//
+// The detector is fully instrumented (see internal/telemetry): with a
+// collector and/or tracer in Options it reports phase timings, solver
+// counters, candidate-funnel tallies and per-window records. Telemetry
+// never influences detection — the reported race set is identical with it
+// on or off — and the disabled path performs no clock reads.
 package core
 
 import (
@@ -36,6 +42,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 	"repro/trace"
 )
@@ -85,6 +92,15 @@ type Options struct {
 	// conservative full-history axioms cannot justify. 0 (default) keeps
 	// the paper's conservative semantics.
 	BranchDepWindow int
+	// Telemetry, when non-nil, accumulates phase timings, solver counters,
+	// outcome tallies and per-window records. The collector is safe to
+	// share across Parallelism workers, and enabling it changes no
+	// detection result.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, receives live progress callbacks (window
+	// lifecycle, per-COP verdicts). With Parallelism > 1 the callbacks
+	// arrive concurrently; implementations must serialise internally.
+	Tracer telemetry.Tracer
 }
 
 // Detector is the paper's maximal race detector ("RV" in Table 1).
@@ -95,6 +111,13 @@ type Detector struct {
 	// parallel window workers (see detectParallel).
 	skipSig  func(race.Signature) bool
 	foundSig func(race.Signature)
+
+	// winBase and traceOffset localise telemetry when this detector
+	// analyses one slice of a larger trace (parallel mode): winBase is the
+	// global index of the first window, traceOffset the slice's first
+	// event index in the full trace.
+	winBase     int
+	traceOffset int
 }
 
 // New returns a detector with the given options.
@@ -109,53 +132,97 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 		return d.detectParallel(tr)
 	}
 	start := time.Now()
+	col := d.opt.Telemetry
+	tracer := d.opt.Tracer
+	instrumented := col != nil || tracer != nil
 	var res race.Result
 	seen := make(map[race.Signature]bool)
 	attempts := make(map[race.Signature]int)
+	localWin := 0
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		widx := d.winBase + localWin
+		localWin++
+		if tracer != nil {
+			tracer.WindowStart(widx, w.Len())
+		}
+		var wstart time.Time
+		if instrumented {
+			wstart = time.Now()
+		}
+		racesBefore := len(res.Races)
+		solved := 0
+
+		span := col.StartPhase(telemetry.PhaseEnumerate)
+		cops := race.EnumerateCOPs(w)
+		span.End()
+		col.CountEnumerated(len(cops))
+
 		var (
 			sets   *lockset.Sets
 			mhb    *vc.MHB
 			shared *windowSolver
 		)
-		for _, cop := range race.EnumerateCOPs(w) {
+		for _, cop := range cops {
 			sig := race.SigOf(w, cop.A, cop.B)
 			if seen[sig] {
+				col.CountSigDedup()
 				continue
 			}
 			if d.skipSig != nil && d.skipSig(sig) {
+				col.CountSigDedup()
 				continue
 			}
 			if d.opt.MaxAttemptsPerSig > 0 && attempts[sig] >= d.opt.MaxAttemptsPerSig {
+				col.CountSigDedup()
 				continue
 			}
 			if mhb == nil {
+				span = col.StartPhase(telemetry.PhaseEncode)
 				mhb = vc.ComputeMHB(w)
+				span.End()
 				if !d.opt.NoQuickCheck {
+					span = col.StartPhase(telemetry.PhaseQuickCheck)
 					sets = lockset.Compute(w)
+					span.End()
 				}
 			}
-			if sets != nil && !sets.Pass(cop.A, cop.B) {
-				continue
+			if sets != nil {
+				span = col.StartPhase(telemetry.PhaseQuickCheck)
+				pass := sets.Pass(cop.A, cop.B)
+				span.End()
+				if !pass {
+					col.CountQuickCheckFiltered()
+					continue
+				}
 			}
 			res.COPsChecked++
+			solved++
 			attempts[sig]++
+			var qstart time.Time
+			if tracer != nil {
+				qstart = time.Now()
+			}
 			var (
 				isRace  bool
 				witness []int
-				aborted bool
+				outcome telemetry.Outcome
 			)
 			if d.opt.MergeRaceVars {
 				// Merging fuses the pair onto one order variable, so the
 				// encoding is rebuilt per COP (the ablation path).
-				isRace, witness, aborted = d.checkMerged(w, mhb, cop)
+				isRace, witness, outcome = d.checkMerged(w, mhb, cop)
 			} else {
 				if shared == nil {
 					shared = d.newWindowSolver(w, mhb)
 				}
-				isRace, witness, aborted = shared.check(d, cop)
+				isRace, witness, outcome = shared.check(d, cop)
 			}
-			if aborted {
+			col.CountOutcome(outcome)
+			if tracer != nil {
+				tracer.QuerySolved(widx, cop.A+offset+d.traceOffset,
+					cop.B+offset+d.traceOffset, outcome, time.Since(qstart))
+			}
+			if outcome.Aborted() {
 				res.SolverAborts++
 			}
 			if isRace {
@@ -172,6 +239,22 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 				}
 				res.Races = append(res.Races, r)
 			}
+		}
+		if shared != nil {
+			col.AddSolver(shared.s)
+		}
+		if col != nil {
+			col.WindowDone(telemetry.WindowRecord{
+				Offset:     d.traceOffset + offset,
+				Events:     w.Len(),
+				Candidates: len(cops),
+				Solved:     solved,
+				Findings:   len(res.Races) - racesBefore,
+				ElapsedNS:  int64(time.Since(wstart)),
+			})
+		}
+		if tracer != nil {
+			tracer.WindowDone(widx, len(res.Races)-racesBefore, time.Since(wstart))
 		}
 	})
 	res.Elapsed = time.Since(start)
@@ -214,7 +297,13 @@ func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			perWindow[i] = single.Detect(slices[i].Trace)
+			// A per-goroutine copy carries the window's global index and
+			// offset so telemetry records and tracer callbacks stay in
+			// whole-trace coordinates. The shared collector is atomic.
+			worker := single
+			worker.winBase = i
+			worker.traceOffset = slices[i].Offset
+			perWindow[i] = worker.Detect(slices[i].Trace)
 		}(i)
 	}
 	wg.Wait()
@@ -255,6 +344,8 @@ type windowSolver struct {
 }
 
 func (d *Detector) newWindowSolver(w *trace.Trace, mhb *vc.MHB) *windowSolver {
+	span := d.opt.Telemetry.StartPhase(telemetry.PhaseEncode)
+	defer span.End()
 	s := smt.NewSolver()
 	enc := encode.New(w, s, mhb, -1, -1)
 	enc.Pruning = !d.opt.NoPruning
@@ -269,73 +360,97 @@ func (d *Detector) newWindowSolver(w *trace.Trace, mhb *vc.MHB) *windowSolver {
 }
 
 // check decides one COP on the shared window solver.
-func (ws *windowSolver) check(d *Detector, cop race.COP) (isRace bool, witness []int, aborted bool) {
+func (ws *windowSolver) check(d *Detector, cop race.COP) (isRace bool, witness []int, outcome telemetry.Outcome) {
 	if ws.bad {
-		return false, nil, false
+		return false, nil, telemetry.OutcomeUnsat
 	}
+	col := d.opt.Telemetry
+	span := col.StartPhase(telemetry.PhaseEncode)
 	g := ws.s.NewBoolLit()
 	if err := ws.s.Implies(g, ws.enc.Adjacent(cop.A, cop.B)); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.A)); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.B)); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
+	span.End()
 	if d.opt.SolveTimeout > 0 {
 		ws.s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
 	}
 	if d.opt.MaxConflicts > 0 {
 		ws.s.SetMaxConflicts(d.opt.MaxConflicts)
 	}
-	switch ws.s.SolveAssuming(g) {
+	span = col.StartPhase(telemetry.PhaseSolve)
+	verdict := ws.s.SolveAssuming(g)
+	span.End()
+	switch verdict {
 	case sat.Sat:
 		if d.opt.Witness {
+			span = col.StartPhase(telemetry.PhaseWitness)
 			witness = ws.enc.Witness(cop.A, cop.B)
+			span.End()
 		}
-		return true, witness, false
+		return true, witness, telemetry.OutcomeSat
 	case sat.Aborted:
-		return false, nil, true
+		return false, nil, telemetry.OutcomeOf(ws.s, false, true)
 	}
-	return false, nil, false
+	return false, nil, telemetry.OutcomeUnsat
 }
 
 // checkMerged decides one COP with the paper's variable-merging encoding
-// (ablation path; one solver per COP).
-func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP) (isRace bool, witness []int, aborted bool) {
+// (ablation path; one solver per COP, rolled into telemetry individually).
+func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP) (isRace bool, witness []int, outcome telemetry.Outcome) {
+	col := d.opt.Telemetry
 	s := smt.NewSolver()
+	defer col.AddSolver(s)
 	if d.opt.SolveTimeout > 0 {
 		s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
 	}
 	if d.opt.MaxConflicts > 0 {
 		s.SetMaxConflicts(d.opt.MaxConflicts)
 	}
+	span := col.StartPhase(telemetry.PhaseEncode)
 	enc := encode.New(w, s, mhb, cop.A, cop.B)
 	enc.Pruning = !d.opt.NoPruning
 	if err := enc.AssertMHB(); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := enc.AssertLocks(); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	cf := encode.NewCF(enc, s, d.opt.BranchDepWindow)
 	if err := cf.AssertControlFlow(cop.A); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := cf.AssertControlFlow(cop.B); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
-	switch s.Solve() {
+	span.End()
+	span = col.StartPhase(telemetry.PhaseSolve)
+	verdict := s.Solve()
+	span.End()
+	switch verdict {
 	case sat.Sat:
 		if d.opt.Witness {
+			span = col.StartPhase(telemetry.PhaseWitness)
 			witness = enc.Witness(cop.A, cop.B)
+			span.End()
 		}
-		return true, witness, false
+		return true, witness, telemetry.OutcomeSat
 	case sat.Aborted:
-		return false, nil, true
+		return false, nil, telemetry.OutcomeOf(s, false, true)
 	}
-	return false, nil, false
+	return false, nil, telemetry.OutcomeUnsat
 }
 
 func rebase(idxs []int, offset int) []int {

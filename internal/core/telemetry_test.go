@@ -1,0 +1,166 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/trace"
+)
+
+// multiWindowTrace builds a trace with racy write/read pairs spread over
+// several 50-event windows (the same shape as the parallelism test).
+func multiWindowTrace() *trace.Trace {
+	b := trace.NewBuilder()
+	loc := trace.Loc(1)
+	for i := 0; i < 12; i++ {
+		x := trace.Addr(10 + i)
+		b.At(loc).Write(1, x, 1)
+		loc++
+		b.At(loc).ReadV(2, x, 1)
+		loc++
+		for j := 0; j < 20; j++ {
+			b.At(0).Branch(3)
+		}
+	}
+	return b.Trace()
+}
+
+// TestTelemetryDoesNotChangeResults runs the same trace with telemetry off
+// and on, sequentially and in parallel: the detected signature sets must be
+// identical in every configuration. Run under -race, the parallel+telemetry
+// configurations are also the concurrency check for the collector wiring.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	tr := multiWindowTrace()
+	base := detect(t, tr, Options{WindowSize: 50})
+	if len(base.Races) == 0 {
+		t.Fatal("expected races in the fixture")
+	}
+	want := sigs(base)
+
+	for _, par := range []int{1, 2, 4} {
+		col := telemetry.NewCollector()
+		res := detect(t, tr, Options{WindowSize: 50, Parallelism: par, Telemetry: col})
+		if got := sigs(res); !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d with telemetry: races %v, want %v", par, got, want)
+		}
+		m := col.Snapshot()
+		if m.WindowCount != res.Windows {
+			t.Errorf("parallelism %d: window records = %d, report windows = %d",
+				par, m.WindowCount, res.Windows)
+		}
+		if m.Outcomes.Solved == 0 || m.Outcomes.Sat == 0 {
+			t.Errorf("parallelism %d: no solver outcomes recorded: %+v", par, m.Outcomes)
+		}
+		if m.Solver.Solvers == 0 || m.Solver.Propagations == 0 {
+			t.Errorf("parallelism %d: no solver counters recorded: %+v", par, m.Solver)
+		}
+	}
+}
+
+// TestTelemetryDeterministic runs sequential detection twice with
+// telemetry: every non-timing metric must be bit-identical across runs.
+func TestTelemetryDeterministic(t *testing.T) {
+	tr := multiWindowTrace()
+	snap := func() telemetry.Metrics {
+		col := telemetry.NewCollector()
+		detect(t, tr, Options{WindowSize: 50, Telemetry: col})
+		return col.Snapshot().NonTiming()
+	}
+	a, b := snap(), snap()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sequential telemetry not deterministic:\n run1 %+v\n run2 %+v", a, b)
+	}
+}
+
+// countingTracer records callbacks; safe for concurrent use.
+type countingTracer struct {
+	starts, dones atomic.Int64
+	mu            sync.Mutex
+	queries       []telemetry.Outcome
+	events        map[int]int // window index → event count
+}
+
+func (c *countingTracer) WindowStart(index, events int) {
+	c.starts.Add(1)
+	c.mu.Lock()
+	if c.events == nil {
+		c.events = make(map[int]int)
+	}
+	c.events[index] = events
+	c.mu.Unlock()
+}
+
+func (c *countingTracer) WindowDone(index, findings int, elapsed time.Duration) {
+	c.dones.Add(1)
+}
+
+func (c *countingTracer) QuerySolved(index, a, b int, outcome telemetry.Outcome, elapsed time.Duration) {
+	c.mu.Lock()
+	c.queries = append(c.queries, outcome)
+	c.mu.Unlock()
+}
+
+// TestTracerCallbacks checks the tracer sees every window (balanced
+// start/done) and every solver query, sequentially and in parallel.
+func TestTracerCallbacks(t *testing.T) {
+	tr := multiWindowTrace()
+	for _, par := range []int{1, 4} {
+		tracer := &countingTracer{}
+		res := New(Options{WindowSize: 50, Parallelism: par, Tracer: tracer}).Detect(tr)
+		if got := int(tracer.starts.Load()); got != res.Windows {
+			t.Errorf("parallelism %d: WindowStart × %d, want %d", par, got, res.Windows)
+		}
+		if tracer.starts.Load() != tracer.dones.Load() {
+			t.Errorf("parallelism %d: %d starts vs %d dones",
+				par, tracer.starts.Load(), tracer.dones.Load())
+		}
+		sat := 0
+		for _, o := range tracer.queries {
+			if o == telemetry.OutcomeSat {
+				sat++
+			}
+		}
+		if sat != len(res.Races) {
+			t.Errorf("parallelism %d: %d sat callbacks, want %d (one per race)",
+				par, sat, len(res.Races))
+		}
+	}
+}
+
+// TestTelemetryWindowRecordsAddUp cross-checks the per-window records
+// against the whole-run report.
+func TestTelemetryWindowRecordsAddUp(t *testing.T) {
+	tr := multiWindowTrace()
+	col := telemetry.NewCollector()
+	res := New(Options{WindowSize: 50, Telemetry: col}).Detect(tr)
+	m := col.Snapshot()
+
+	events, solved, findings := 0, 0, 0
+	for i, w := range m.Windows {
+		if w.Index != i {
+			t.Errorf("window %d has index %d", i, w.Index)
+		}
+		events += w.Events
+		solved += w.Solved
+		findings += w.Findings
+	}
+	if events != tr.Len() {
+		t.Errorf("window events sum = %d, want trace length %d", events, tr.Len())
+	}
+	if solved != res.COPsChecked {
+		t.Errorf("window solved sum = %d, want COPsChecked %d", solved, res.COPsChecked)
+	}
+	if findings != len(res.Races) {
+		t.Errorf("window findings sum = %d, want %d races", findings, len(res.Races))
+	}
+	if m.Outcomes.Solved != int64(res.COPsChecked) {
+		t.Errorf("outcome solved = %d, want COPsChecked %d", m.Outcomes.Solved, res.COPsChecked)
+	}
+	if int(m.Outcomes.Sat) != len(res.Races) {
+		t.Errorf("sat outcomes = %d, want %d races", m.Outcomes.Sat, len(res.Races))
+	}
+}

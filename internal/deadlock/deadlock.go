@@ -35,6 +35,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 	"repro/trace"
 )
@@ -50,6 +51,11 @@ type Options struct {
 	MaxConflicts int64
 	// Witness requests witness schedules.
 	Witness bool
+	// Telemetry, when non-nil, accumulates phase timings, solver counters
+	// and outcome tallies; enabling it changes no detection result.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, receives live progress callbacks.
+	Tracer telemetry.Tracer
 }
 
 // Deadlock is one detected two-thread deadlock.
@@ -106,12 +112,32 @@ type nested struct {
 // Detect finds all feasible two-thread lock-inversion deadlocks.
 func (d *Detector) Detect(tr *trace.Trace) Result {
 	start := time.Now()
+	col := d.opt.Telemetry
+	tracer := d.opt.Tracer
+	instrumented := col != nil || tracer != nil
 	var res Result
 	type sigKey [4]trace.Loc
 	seen := make(map[sigKey]bool)
+	widx := 0
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		wi := widx
+		widx++
+		if tracer != nil {
+			tracer.WindowStart(wi, w.Len())
+		}
+		var wstart time.Time
+		if instrumented {
+			wstart = time.Now()
+		}
+		foundBefore := len(res.Deadlocks)
+		candsBefore := res.Candidates
+
+		span := col.StartPhase(telemetry.PhaseEnumerate)
 		sites := nestedSites(w)
+		span.End()
+		span = col.StartPhase(telemetry.PhaseEncode)
 		mhb := vc.ComputeMHB(w)
+		span.End()
 		for i := 0; i < len(sites); i++ {
 			for j := i + 1; j < len(sites); j++ {
 				s1, s2 := sites[i], sites[j] // s1.acqB < s2.acqB by sort order
@@ -126,11 +152,22 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 				}
 				key := sigKey{p1[0], p1[1], p2[0], p2[1]}
 				if seen[key] {
+					col.CountSigDedup()
 					continue
 				}
 				res.Candidates++
-				ok, witness, aborted := d.check(w, mhb, s1, s2)
-				if aborted {
+				col.CountEnumerated(1)
+				var qstart time.Time
+				if tracer != nil {
+					qstart = time.Now()
+				}
+				ok, witness, outcome := d.check(w, mhb, s1, s2)
+				col.CountOutcome(outcome)
+				if tracer != nil {
+					tracer.QuerySolved(wi, s1.acqB+offset, s2.acqB+offset,
+						outcome, time.Since(qstart))
+				}
+				if outcome.Aborted() {
 					res.SolverAborts++
 				}
 				if ok {
@@ -149,6 +186,19 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 					res.Deadlocks = append(res.Deadlocks, dl)
 				}
 			}
+		}
+		if col != nil {
+			col.WindowDone(telemetry.WindowRecord{
+				Offset:     offset,
+				Events:     w.Len(),
+				Candidates: res.Candidates - candsBefore,
+				Solved:     res.Candidates - candsBefore,
+				Findings:   len(res.Deadlocks) - foundBefore,
+				ElapsedNS:  int64(time.Since(wstart)),
+			})
+		}
+		if tracer != nil {
+			tracer.WindowDone(wi, len(res.Deadlocks)-foundBefore, time.Since(wstart))
 		}
 	})
 	res.Elapsed = time.Since(start)
@@ -194,17 +244,21 @@ func nestedSites(tr *trace.Trace) []nested {
 }
 
 // check decides one candidate pair.
-func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested) (isDeadlock bool, witness []int, aborted bool) {
+func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested) (isDeadlock bool, witness []int, outcome telemetry.Outcome) {
+	col := d.opt.Telemetry
 	s := smt.NewSolver()
+	defer col.AddSolver(s)
 	if d.opt.SolveTimeout > 0 {
 		s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
 	}
 	if d.opt.MaxConflicts > 0 {
 		s.SetMaxConflicts(d.opt.MaxConflicts)
 	}
+	span := col.StartPhase(telemetry.PhaseEncode)
 	enc := encode.New(w, s, mhb, -1, -1)
 	if err := enc.AssertMHB(); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	// The cut: both threads have executed up to just before their blocked
 	// acquire. The blocked acquires themselves sit after the cut — they
@@ -213,7 +267,8 @@ func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested) (isDeadlock
 	// encode.AssertLocksCut).
 	cut := s.IntVar()
 	if err := enc.AssertLocksCut(cut); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := s.Assert(smt.And(
 		smt.Less(enc.Var(s1.predAcqB), cut),
@@ -221,25 +276,34 @@ func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested) (isDeadlock
 		smt.Less(enc.Var(s2.predAcqB), cut),
 		smt.Less(cut, enc.Var(s2.acqB)),
 	)); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	cf := encode.NewCF(enc, s, 0)
 	if err := cf.AssertControlFlow(s1.acqB); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
 	if err := cf.AssertControlFlow(s2.acqB); err != nil {
-		return false, nil, false
+		span.End()
+		return false, nil, telemetry.OutcomeUnsat
 	}
-	switch s.Solve() {
+	span.End()
+	span = col.StartPhase(telemetry.PhaseSolve)
+	verdict := s.Solve()
+	span.End()
+	switch verdict {
 	case sat.Sat:
 		if d.opt.Witness {
+			span = col.StartPhase(telemetry.PhaseWitness)
 			witness = cutWitness(enc, s, cut)
+			span.End()
 		}
-		return true, witness, false
+		return true, witness, telemetry.OutcomeSat
 	case sat.Aborted:
-		return false, nil, true
+		return false, nil, telemetry.OutcomeOf(s, false, true)
 	}
-	return false, nil, false
+	return false, nil, telemetry.OutcomeUnsat
 }
 
 // cutWitness returns the events ordered before the cut, sorted by model

@@ -32,6 +32,25 @@ type edge struct {
 	tag      Tag
 }
 
+// Stats aggregates theory-solver counters, mirroring sat.Stats one layer
+// down: how many atom constraints were asserted, how many assertions
+// certified a negative cycle (theory conflicts), and how many node
+// settlements the Cotton–Maler potential repair performed — the theory
+// solver's unit of work, the counter that grows when the search strays far
+// from the seeded trace order.
+type Stats struct {
+	Asserts        int64 // constraints asserted (including conflicting ones)
+	NegativeCycles int64 // assertions rejected with a negative-cycle conflict
+	RepairSteps    int64 // nodes settled during potential repair
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Asserts += other.Asserts
+	s.NegativeCycles += other.NegativeCycles
+	s.RepairSteps += other.RepairSteps
+}
+
 // Solver is an incremental IDL solver. The zero value is not usable;
 // construct with New.
 type Solver struct {
@@ -47,6 +66,9 @@ type Solver struct {
 
 	// rollback log of potential changes during a failed relaxation
 	undo []potChange
+
+	// Stats counts assertions, conflicts and repair work (see Stats).
+	Stats Stats
 }
 
 type potChange struct {
@@ -115,12 +137,17 @@ func (s *Solver) Pop(n int) {
 // this one. On conflict the constraint is not retained and the solver state
 // is unchanged.
 func (s *Solver) Assert(x, y VarID, c int64, tag Tag) []Tag {
+	s.Stats.Asserts++
 	// Edge y→x with weight c; feasibility requires pot[x] − pot[y] ≤ c.
 	if s.pot[x]-s.pot[y] <= c {
 		s.addEdge(edge{from: y, to: x, weight: c, tag: tag})
 		return nil
 	}
-	return s.relax(edge{from: y, to: x, weight: c, tag: tag})
+	tags := s.relax(edge{from: y, to: x, weight: c, tag: tag})
+	if tags != nil {
+		s.Stats.NegativeCycles++
+	}
+	return tags
 }
 
 func (s *Solver) addEdge(e edge) {
@@ -165,6 +192,7 @@ func (s *Solver) relax(ne edge) []Tag {
 			continue
 		}
 		// Settle t: apply its improvement.
+		s.Stats.RepairSteps++
 		s.undo = append(s.undo, potChange{v: t, old: s.pot[t]})
 		s.pot[t] += s.gamma[t]
 		s.gamma[t] = 0

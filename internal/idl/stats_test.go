@@ -1,0 +1,78 @@
+package idl
+
+import "testing"
+
+// TestStatsCountAsserts checks every Assert — accepted or conflicting —
+// increments the assertion counter.
+func TestStatsCountAsserts(t *testing.T) {
+	s := New()
+	x, y, z := s.NewVar(), s.NewVar(), s.NewVar()
+	if c := s.Assert(x, y, -1, 1); c != nil {
+		t.Fatalf("conflict: %v", c)
+	}
+	if c := s.Assert(y, z, -1, 2); c != nil {
+		t.Fatalf("conflict: %v", c)
+	}
+	if s.Stats.Asserts != 2 {
+		t.Errorf("Asserts = %d, want 2", s.Stats.Asserts)
+	}
+	if s.Stats.NegativeCycles != 0 {
+		t.Errorf("NegativeCycles = %d, want 0 before any conflict", s.Stats.NegativeCycles)
+	}
+	if s.Stats.RepairSteps == 0 {
+		t.Error("RepairSteps = 0, want > 0 after accepted edges moved potentials")
+	}
+}
+
+// TestStatsCountNegativeCycles checks a rejected assertion is tallied as a
+// negative cycle (and still counted as an assert).
+func TestStatsCountNegativeCycles(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	if c := s.Assert(x, y, -1, 1); c != nil {
+		t.Fatalf("x<y alone must be sat")
+	}
+	if c := s.Assert(y, x, -1, 2); c == nil {
+		t.Fatal("x<y ∧ y<x must conflict")
+	}
+	if s.Stats.Asserts != 2 {
+		t.Errorf("Asserts = %d, want 2", s.Stats.Asserts)
+	}
+	if s.Stats.NegativeCycles != 1 {
+		t.Errorf("NegativeCycles = %d, want 1", s.Stats.NegativeCycles)
+	}
+
+	// Self-loop with negative weight conflicts immediately; it must count
+	// too even though no graph relaxation runs.
+	s2 := New()
+	v := s2.NewVar()
+	if c := s2.Assert(v, v, -1, 3); c == nil {
+		t.Fatal("v−v ≤ −1 must conflict")
+	}
+	if s2.Stats.NegativeCycles != 1 {
+		t.Errorf("self-loop NegativeCycles = %d, want 1", s2.Stats.NegativeCycles)
+	}
+}
+
+// TestStatsSurviveBacktrack checks Pop does not rewind counters: Stats are
+// cumulative work done, not current state.
+func TestStatsSurviveBacktrack(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	s.Push()
+	s.Assert(x, y, -1, 1)
+	before := s.Stats
+	s.Pop(1)
+	if s.Stats != before {
+		t.Errorf("Stats changed across Pop: %+v → %+v", before, s.Stats)
+	}
+}
+
+// TestStatsAdd checks the Add helper sums fieldwise.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Asserts: 1, NegativeCycles: 2, RepairSteps: 3}
+	a.Add(Stats{Asserts: 10, NegativeCycles: 20, RepairSteps: 30})
+	if a != (Stats{Asserts: 11, NegativeCycles: 22, RepairSteps: 33}) {
+		t.Errorf("Add = %+v", a)
+	}
+}

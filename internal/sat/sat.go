@@ -132,6 +132,31 @@ type Stats struct {
 	TheoryConfl  int64
 }
 
+// Add accumulates other into s (used when rolling several solvers' stats
+// into one telemetry total).
+func (s *Stats) Add(other Stats) {
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.Conflicts += other.Conflicts
+	s.Restarts += other.Restarts
+	s.Learned += other.Learned
+	s.TheoryProps += other.TheoryProps
+	s.TheoryConfl += other.TheoryConfl
+}
+
+// AbortCause says why a Solve call returned Aborted.
+type AbortCause int8
+
+// Abort causes.
+const (
+	// AbortNone: the most recent Solve did not abort.
+	AbortNone AbortCause = iota
+	// AbortConflicts: the MaxConflicts budget was exhausted.
+	AbortConflicts
+	// AbortDeadline: the wall-clock Deadline passed.
+	AbortDeadline
+)
+
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
 // New. A Solver may be reused for multiple Solve calls with growing clause
 // sets (incremental use), but is not safe for concurrent use.
@@ -174,8 +199,9 @@ type Solver struct {
 
 	Stats Stats
 
-	rootUnsat bool
-	model     []Value
+	abortCause AbortCause
+	rootUnsat  bool
+	model      []Value
 }
 
 // New returns an empty solver. If theory is nil the solver is a plain SAT
@@ -673,6 +699,7 @@ func (s *Solver) Solve() Result { return s.SolveAssuming(nil) }
 // solver: later calls with different assumptions may succeed.
 func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 	s.assumps = assumptions
+	s.abortCause = AbortNone
 	defer func() { s.assumps = nil }()
 	if s.rootUnsat {
 		return Unsat
@@ -771,10 +798,12 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 		s.decayVarActivity()
 		s.decayClauseActivity()
 		if s.MaxConflicts > 0 && conflicts >= s.MaxConflicts {
+			s.abortCause = AbortConflicts
 			s.backtrack(0)
 			return Aborted
 		}
-		if !s.Deadline.IsZero() && conflicts%64 == 0 && time.Now().After(s.Deadline) {
+		if !s.Deadline.IsZero() && conflicts%64 == 1 && time.Now().After(s.Deadline) {
+			s.abortCause = AbortDeadline
 			s.backtrack(0)
 			return Aborted
 		}
@@ -803,6 +832,12 @@ func (s *Solver) learn(lits []Lit) {
 	s.watchClause(c)
 	s.enqueue(lits[0], c)
 }
+
+// LastAbortCause reports why the most recent Solve call returned Aborted
+// (AbortNone if it returned Sat or Unsat). The telemetry layer uses it to
+// split the paper's single "gave up" bucket into timeout versus
+// conflict-budget exhaustion.
+func (s *Solver) LastAbortCause() AbortCause { return s.abortCause }
 
 // ModelValue returns the value of v in the most recent Sat model.
 func (s *Solver) ModelValue(v Var) Value {

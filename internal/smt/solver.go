@@ -17,8 +17,30 @@ type Solver struct {
 	atoms map[Atom]sat.Var     // interned atoms
 	enc   map[*Formula]sat.Lit // Tseitin encodings of composite nodes
 
+	estats EncodeStats
+
 	// model snapshot (potentials) captured at the successful theory check
 	model []int64
+}
+
+// EncodeStats counts the work of the formula-to-clause translation,
+// mirroring sat.Stats (search) and idl.Stats (theory) for the encoding
+// layer: distinct IDL atoms interned as SAT variables, auxiliary Tseitin
+// variables allocated for shared composite nodes, and the clauses those
+// nodes expanded to. Because composite nodes are encoded once per shared
+// pointer, TseitinVars is exactly the number of distinct AND/OR DAG nodes
+// reaching the solver — the deduplicated formula size.
+type EncodeStats struct {
+	InternedAtoms  int64 // distinct IDL atoms given SAT variables
+	TseitinVars    int64 // auxiliary variables for composite nodes
+	TseitinClauses int64 // clauses emitted by the Tseitin translation
+}
+
+// Add accumulates other into s.
+func (s *EncodeStats) Add(other EncodeStats) {
+	s.InternedAtoms += other.InternedAtoms
+	s.TseitinVars += other.TseitinVars
+	s.TseitinClauses += other.TseitinClauses
 }
 
 // NewSolver returns an empty SMT solver.
@@ -41,6 +63,16 @@ func (s *Solver) SetDeadline(t time.Time) { s.sat.Deadline = t }
 
 // Stats exposes the SAT core's search counters.
 func (s *Solver) Stats() sat.Stats { return s.sat.Stats }
+
+// TheoryStats exposes the IDL theory solver's counters.
+func (s *Solver) TheoryStats() idl.Stats { return s.idl.Stats }
+
+// EncStats exposes the formula-translation counters.
+func (s *Solver) EncStats() EncodeStats { return s.estats }
+
+// LastAbortCause reports why the most recent Solve returned sat.Aborted
+// (sat.AbortNone otherwise): wall-clock deadline or conflict budget.
+func (s *Solver) LastAbortCause() sat.AbortCause { return s.sat.LastAbortCause() }
 
 // Size reports the encoding size so far: boolean variables, problem
 // clauses and currently retained learned clauses.
@@ -73,6 +105,7 @@ func (s *Solver) atomVar(a Atom) sat.Var {
 	s.sat.SetPhase(v, s.idl.Value(a.X)-s.idl.Value(a.Y) <= a.C)
 	s.atoms[a] = v
 	s.th.register(v, a)
+	s.estats.InternedAtoms++
 	return v
 }
 
@@ -90,9 +123,11 @@ func (s *Solver) encode(f *Formula) sat.Lit {
 		}
 		p := sat.MkLit(s.sat.NewVar(), true)
 		s.enc[f] = p
+		s.estats.TseitinVars++
 		if f.kind == kAnd {
 			// p → k for each conjunct.
 			for _, k := range f.kids {
+				s.estats.TseitinClauses++
 				if err := s.sat.AddClause(p.Neg(), s.encode(k)); err != nil {
 					// Clause (¬p ∨ l) can only fail if the solver is
 					// already root-unsat; propagate via a poisoned lit is
@@ -107,6 +142,7 @@ func (s *Solver) encode(f *Formula) sat.Lit {
 			for _, k := range f.kids {
 				cl = append(cl, s.encode(k))
 			}
+			s.estats.TseitinClauses++
 			if err := s.sat.AddClause(cl...); err != nil {
 				return p
 			}

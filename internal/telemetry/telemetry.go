@@ -1,0 +1,506 @@
+// Package telemetry instruments the detection pipeline: where the time
+// goes (per phase), what the solvers did (CDCL, theory and encoding
+// counters), how each conflicting-pair query ended (SAT / UNSAT / timeout /
+// conflict-budget), and how the work distributed over trace windows.
+//
+// The literature is unambiguous that SMT solving dominates predictive
+// race-detection cost — the linear-time lines of work (Kini et al.,
+// Pavlogiannis) exist precisely because of this bottleneck — so every
+// future performance change to this repository (sharding, incremental
+// solving, window-parallelism tuning) needs numbers to regress against.
+// This package provides them without perturbing what it measures:
+//
+//   - Collector is a set of atomic counters and timers safe under
+//     core.Options.Parallelism > 1. All methods are nil-receiver safe: a
+//     nil *Collector is the disabled state, and every record call returns
+//     immediately without reading the clock, so the instrumented code path
+//     costs nothing measurable when telemetry is off.
+//   - Tracer is a callback interface for live progress (window lifecycle,
+//     per-query verdicts). A nil Tracer is never invoked; implementations
+//     must be safe for concurrent use when windows are analysed in
+//     parallel.
+//   - Metrics is the machine-readable snapshot (stable JSON field names)
+//     exposed on rvpredict.Report and by cmd/rvpredict -json and
+//     cmd/table1 -json.
+//
+// Only timing fields vary between runs; every count in Metrics is
+// deterministic for a sequential run, and enabling telemetry never changes
+// a detector's reported result set (asserted by the determinism tests in
+// internal/core).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Phase identifies one stage of the detection pipeline.
+type Phase uint8
+
+// Pipeline phases, in pipeline order.
+const (
+	// PhaseTraceScan is the initial trace statistics/metadata scan.
+	PhaseTraceScan Phase = iota
+	// PhaseEnumerate is conflicting-pair (or candidate) enumeration.
+	PhaseEnumerate
+	// PhaseQuickCheck is the hybrid lockset/weak-HB prefilter.
+	PhaseQuickCheck
+	// PhaseEncode is constraint generation (Φ_mhb, Φ_lock, cf, queries).
+	PhaseEncode
+	// PhaseSolve is DPLL(T) solving.
+	PhaseSolve
+	// PhaseWitness is witness-schedule reconstruction from models.
+	PhaseWitness
+
+	numPhases
+)
+
+// String returns the phase's stable lower-case name (the JSON vocabulary).
+func (p Phase) String() string {
+	switch p {
+	case PhaseTraceScan:
+		return "trace_scan"
+	case PhaseEnumerate:
+		return "cop_enumeration"
+	case PhaseQuickCheck:
+		return "quick_check"
+	case PhaseEncode:
+		return "encode"
+	case PhaseSolve:
+		return "solve"
+	case PhaseWitness:
+		return "witness"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Outcome classifies how one solver query (one COP, deadlock candidate or
+// atomicity candidate) ended.
+type Outcome uint8
+
+// Query outcomes.
+const (
+	// OutcomeSat: the query is satisfiable — a real race/deadlock/violation.
+	OutcomeSat Outcome = iota
+	// OutcomeUnsat: proven infeasible.
+	OutcomeUnsat
+	// OutcomeTimeout: the wall-clock solve deadline expired.
+	OutcomeTimeout
+	// OutcomeConflictBudget: the CDCL conflict budget was exhausted.
+	OutcomeConflictBudget
+)
+
+// String returns the outcome's stable lower-case name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSat:
+		return "sat"
+	case OutcomeUnsat:
+		return "unsat"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeConflictBudget:
+		return "conflict_budget"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Aborted reports whether the outcome is a budget abort (timeout or
+// conflict budget) rather than a verdict.
+func (o Outcome) Aborted() bool {
+	return o == OutcomeTimeout || o == OutcomeConflictBudget
+}
+
+// Tracer receives live progress callbacks from the detectors. All methods
+// may be called concurrently when windows are analysed in parallel; a
+// tracer that prints should serialise internally. Implementations must be
+// cheap — they run on the detection hot path.
+//
+// The zero number of guaranteed callbacks is deliberate: detectors only
+// call a non-nil tracer, so passing no tracer costs one nil check per
+// site.
+type Tracer interface {
+	// WindowStart fires when a window's analysis begins. index is the
+	// window's position in the trace (0-based, in trace order even when
+	// windows run in parallel); events is the window length.
+	WindowStart(index, events int)
+	// WindowDone fires when a window's analysis completes, with the number
+	// of findings attributed to the window and its wall-clock time.
+	WindowDone(index, findings int, elapsed time.Duration)
+	// QuerySolved fires after each solver query: the window index, the
+	// defining event indices (in whole-trace coordinates; a and b are the
+	// COP for races, the two blocked acquires for deadlocks, the two local
+	// accesses for atomicity), the outcome and the query wall-clock time.
+	QuerySolved(index, a, b int, outcome Outcome, elapsed time.Duration)
+}
+
+// Collector accumulates pipeline metrics. A nil *Collector is the disabled
+// state: every method returns immediately. Construct with NewCollector;
+// the zero value is also usable. All methods are safe for concurrent use.
+type Collector struct {
+	phases [numPhases]atomic.Int64 // nanoseconds per phase
+
+	// CDCL core counters (rolled up from sat.Stats per solver).
+	decisions    atomic.Int64
+	propagations atomic.Int64
+	conflicts    atomic.Int64
+	restarts     atomic.Int64
+	learned      atomic.Int64
+	theoryProps  atomic.Int64
+	theoryConfl  atomic.Int64
+
+	// IDL theory counters (mirrored by idl.Stats).
+	idlAsserts   atomic.Int64
+	idlNegCycles atomic.Int64
+	idlRepairs   atomic.Int64
+
+	// Encoding counters (mirrored by smt.EncodeStats) and sizes.
+	internedAtoms  atomic.Int64
+	tseitinVars    atomic.Int64
+	tseitinClauses atomic.Int64
+	boolVars       atomic.Int64
+	clauses        atomic.Int64
+	intVars        atomic.Int64
+	solvers        atomic.Int64
+
+	// Query outcome tallies.
+	outSat    atomic.Int64
+	outUnsat  atomic.Int64
+	outTime   atomic.Int64
+	outBudget atomic.Int64
+
+	// Pipeline funnel tallies.
+	enumerated    atomic.Int64
+	quickFiltered atomic.Int64
+	sigDedups     atomic.Int64
+	mhbFiltered   atomic.Int64
+
+	mu      sync.Mutex
+	windows []WindowRecord
+}
+
+// NewCollector returns an empty, enabled collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Enabled reports whether the collector records anything (i.e. is
+// non-nil). Detectors use it to skip work that only feeds telemetry.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Span is an in-flight phase measurement returned by StartPhase. The zero
+// Span (from a nil collector) is inert.
+type Span struct {
+	c     *Collector
+	phase Phase
+	t0    time.Time
+}
+
+// StartPhase begins timing one occurrence of phase p. On a nil collector
+// it returns an inert span without reading the clock.
+func (c *Collector) StartPhase(p Phase) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, phase: p, t0: time.Now()}
+}
+
+// End stops the span and accumulates its duration, returning it.
+func (s Span) End() time.Duration {
+	if s.c == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.c.phases[s.phase].Add(int64(d))
+	return d
+}
+
+// AddPhase accumulates an externally measured duration for phase p.
+func (c *Collector) AddPhase(p Phase, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.phases[p].Add(int64(d))
+}
+
+// AddSAT rolls the CDCL core counters of one solver into the collector.
+// Call it once per solver lifetime (the per-window shared solver, or each
+// per-query solver on the ablation paths) — sat.Stats counters are
+// cumulative, so adding a live solver twice double-counts.
+func (c *Collector) AddSAT(st sat.Stats) {
+	if c == nil {
+		return
+	}
+	c.decisions.Add(st.Decisions)
+	c.propagations.Add(st.Propagations)
+	c.conflicts.Add(st.Conflicts)
+	c.restarts.Add(st.Restarts)
+	c.learned.Add(st.Learned)
+	c.theoryProps.Add(st.TheoryProps)
+	c.theoryConfl.Add(st.TheoryConfl)
+}
+
+// AddIDL rolls up the IDL theory counters of one solver (see idl.Stats;
+// the parameters mirror its fields to keep this package free of an idl
+// import cycle risk — idl must stay importable by sat-level code).
+func (c *Collector) AddIDL(asserts, negCycles, repairSteps int64) {
+	if c == nil {
+		return
+	}
+	c.idlAsserts.Add(asserts)
+	c.idlNegCycles.Add(negCycles)
+	c.idlRepairs.Add(repairSteps)
+}
+
+// AddEncoding rolls up one solver's encoding counters: interned IDL atoms,
+// Tseitin auxiliary variables and clauses (see smt.EncodeStats), and the
+// final encoding sizes (boolean variables, problem clauses, integer
+// variables).
+func (c *Collector) AddEncoding(atoms, tvars, tclauses, boolVars, clauses, intVars int64) {
+	if c == nil {
+		return
+	}
+	c.internedAtoms.Add(atoms)
+	c.tseitinVars.Add(tvars)
+	c.tseitinClauses.Add(tclauses)
+	c.boolVars.Add(boolVars)
+	c.clauses.Add(clauses)
+	c.intVars.Add(intVars)
+	c.solvers.Add(1)
+}
+
+// CountOutcome tallies one solver-query outcome.
+func (c *Collector) CountOutcome(o Outcome) {
+	if c == nil {
+		return
+	}
+	switch o {
+	case OutcomeSat:
+		c.outSat.Add(1)
+	case OutcomeUnsat:
+		c.outUnsat.Add(1)
+	case OutcomeTimeout:
+		c.outTime.Add(1)
+	case OutcomeConflictBudget:
+		c.outBudget.Add(1)
+	}
+}
+
+// CountEnumerated tallies n enumerated candidates (COPs, inversions,
+// triples).
+func (c *Collector) CountEnumerated(n int) {
+	if c == nil {
+		return
+	}
+	c.enumerated.Add(int64(n))
+}
+
+// CountQuickCheckFiltered tallies one candidate removed by the hybrid
+// quick-check prefilter.
+func (c *Collector) CountQuickCheckFiltered() {
+	if c == nil {
+		return
+	}
+	c.quickFiltered.Add(1)
+}
+
+// CountSigDedup tallies one candidate skipped because its signature was
+// already decided (seen-set hit, shared parallel verdict, or per-signature
+// attempt budget).
+func (c *Collector) CountSigDedup() {
+	if c == nil {
+		return
+	}
+	c.sigDedups.Add(1)
+}
+
+// CountMHBFiltered tallies one candidate discarded by a must-happen-before
+// pre-check without reaching the solver.
+func (c *Collector) CountMHBFiltered() {
+	if c == nil {
+		return
+	}
+	c.mhbFiltered.Add(1)
+}
+
+// WindowDone appends one window's record. Records may arrive in any order
+// (parallel mode); Snapshot sorts them by offset.
+func (c *Collector) WindowDone(rec WindowRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.windows = append(c.windows, rec)
+	c.mu.Unlock()
+}
+
+// Snapshot returns the collector's current totals as a Metrics value. The
+// collector may keep accumulating afterwards; the snapshot is detached.
+func (c *Collector) Snapshot() *Metrics {
+	if c == nil {
+		return nil
+	}
+	m := &Metrics{
+		Phases: PhaseNanos{
+			TraceScan:  c.phases[PhaseTraceScan].Load(),
+			Enumerate:  c.phases[PhaseEnumerate].Load(),
+			QuickCheck: c.phases[PhaseQuickCheck].Load(),
+			Encode:     c.phases[PhaseEncode].Load(),
+			Solve:      c.phases[PhaseSolve].Load(),
+			Witness:    c.phases[PhaseWitness].Load(),
+		},
+		Solver: SolverCounters{
+			Decisions:         c.decisions.Load(),
+			Propagations:      c.propagations.Load(),
+			Conflicts:         c.conflicts.Load(),
+			Restarts:          c.restarts.Load(),
+			Learned:           c.learned.Load(),
+			TheoryProps:       c.theoryProps.Load(),
+			TheoryConflicts:   c.theoryConfl.Load(),
+			IDLAsserts:        c.idlAsserts.Load(),
+			IDLNegativeCycles: c.idlNegCycles.Load(),
+			IDLRepairSteps:    c.idlRepairs.Load(),
+			InternedAtoms:     c.internedAtoms.Load(),
+			TseitinVars:       c.tseitinVars.Load(),
+			TseitinClauses:    c.tseitinClauses.Load(),
+			BoolVars:          c.boolVars.Load(),
+			Clauses:           c.clauses.Load(),
+			IntVars:           c.intVars.Load(),
+			Solvers:           c.solvers.Load(),
+		},
+		Outcomes: OutcomeTally{
+			Sat:                c.outSat.Load(),
+			Unsat:              c.outUnsat.Load(),
+			Timeout:            c.outTime.Load(),
+			ConflictBudget:     c.outBudget.Load(),
+			Enumerated:         c.enumerated.Load(),
+			QuickCheckFiltered: c.quickFiltered.Load(),
+			SigDedupHits:       c.sigDedups.Load(),
+			MHBFiltered:        c.mhbFiltered.Load(),
+		},
+	}
+	m.Outcomes.Solved = m.Outcomes.Sat + m.Outcomes.Unsat +
+		m.Outcomes.Timeout + m.Outcomes.ConflictBudget
+
+	c.mu.Lock()
+	m.Windows = append([]WindowRecord(nil), c.windows...)
+	c.mu.Unlock()
+	sort.Slice(m.Windows, func(i, j int) bool {
+		return m.Windows[i].Offset < m.Windows[j].Offset
+	})
+	for i := range m.Windows {
+		m.Windows[i].Index = i
+	}
+	m.WindowCount = len(m.Windows)
+	return m
+}
+
+// Metrics is the machine-readable telemetry snapshot. Field names are
+// stable: they are the contract of cmd/rvpredict -json and cmd/table1
+// -json, tracked across PRs to follow the performance trajectory.
+//
+// All durations are integer nanoseconds so the structure round-trips
+// losslessly through encoding/json. Only the *_ns fields and WindowRecord
+// elapsed times vary between runs; every other field is deterministic for
+// a sequential run.
+type Metrics struct {
+	Phases      PhaseNanos     `json:"phases"`
+	Solver      SolverCounters `json:"solver"`
+	Outcomes    OutcomeTally   `json:"outcomes"`
+	WindowCount int            `json:"window_count"`
+	Windows     []WindowRecord `json:"windows,omitempty"`
+}
+
+// NonTiming returns a copy of m with every timing field zeroed — the
+// deterministic remainder used by regression and determinism tests.
+func (m *Metrics) NonTiming() Metrics {
+	out := *m
+	out.Phases = PhaseNanos{}
+	out.Windows = append([]WindowRecord(nil), m.Windows...)
+	for i := range out.Windows {
+		out.Windows[i].ElapsedNS = 0
+	}
+	return out
+}
+
+// PhaseNanos is cumulative wall-clock time per pipeline phase, in
+// nanoseconds. Parallel windows accumulate concurrently, so the phase sum
+// can exceed the report's elapsed wall-clock time.
+type PhaseNanos struct {
+	TraceScan  int64 `json:"trace_scan_ns"`
+	Enumerate  int64 `json:"cop_enumeration_ns"`
+	QuickCheck int64 `json:"quick_check_ns"`
+	Encode     int64 `json:"encode_ns"`
+	Solve      int64 `json:"solve_ns"`
+	Witness    int64 `json:"witness_ns"`
+}
+
+// Total returns the summed phase time.
+func (p PhaseNanos) Total() time.Duration {
+	return time.Duration(p.TraceScan + p.Enumerate + p.QuickCheck +
+		p.Encode + p.Solve + p.Witness)
+}
+
+// SolverCounters aggregates the solver-stack counters over every solver
+// the run constructed: the CDCL core (sat.Stats), the IDL theory
+// (idl.Stats) and the formula encoder (smt.EncodeStats), plus final
+// encoding sizes.
+type SolverCounters struct {
+	// CDCL core (sat.Stats).
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Conflicts       int64 `json:"conflicts"`
+	Restarts        int64 `json:"restarts"`
+	Learned         int64 `json:"learned_clauses"`
+	TheoryProps     int64 `json:"theory_propagations"`
+	TheoryConflicts int64 `json:"theory_conflicts"`
+	// IDL theory (idl.Stats).
+	IDLAsserts        int64 `json:"idl_atom_assertions"`
+	IDLNegativeCycles int64 `json:"idl_negative_cycles"`
+	IDLRepairSteps    int64 `json:"idl_repair_steps"`
+	// Encoder (smt.EncodeStats) and encoding sizes.
+	InternedAtoms  int64 `json:"interned_atoms"`
+	TseitinVars    int64 `json:"tseitin_vars"`
+	TseitinClauses int64 `json:"tseitin_clauses"`
+	BoolVars       int64 `json:"bool_vars"`
+	Clauses        int64 `json:"clauses"`
+	IntVars        int64 `json:"int_vars"`
+	// Solvers is how many solver instances contributed to the sizes above.
+	Solvers int64 `json:"solvers"`
+}
+
+// OutcomeTally is the candidate funnel: how many candidates were
+// enumerated, how many each prefilter removed, and how every solver query
+// ended.
+type OutcomeTally struct {
+	Enumerated         int64 `json:"candidates_enumerated"`
+	QuickCheckFiltered int64 `json:"quick_check_filtered"`
+	SigDedupHits       int64 `json:"signature_dedup_hits"`
+	MHBFiltered        int64 `json:"mhb_filtered"`
+	Solved             int64 `json:"queries_solved"`
+	Sat                int64 `json:"sat"`
+	Unsat              int64 `json:"unsat"`
+	Timeout            int64 `json:"timeout"`
+	ConflictBudget     int64 `json:"conflict_budget_exhausted"`
+}
+
+// WindowRecord summarises one analysis window.
+type WindowRecord struct {
+	// Index is the window's position in trace order (assigned by
+	// Snapshot); Offset is the index of its first event in the input
+	// trace.
+	Index  int `json:"index"`
+	Offset int `json:"offset"`
+	// Events is the window length; Candidates the enumerated candidate
+	// count; Solved the solver queries issued; Findings the
+	// races/deadlocks/violations attributed to the window.
+	Events     int `json:"events"`
+	Candidates int `json:"candidates"`
+	Solved     int `json:"solved"`
+	Findings   int `json:"findings"`
+	// ElapsedNS is the window's wall-clock analysis time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}

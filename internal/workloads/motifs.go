@@ -22,7 +22,11 @@ import (
 
 // Expect is a row's expected detection counts (distinct race signatures).
 type Expect struct {
-	QC, HB, CP, Said, RV int
+	QC   int `json:"qc"`
+	HB   int `json:"hb"`
+	CP   int `json:"cp"`
+	Said int `json:"said"`
+	RV   int `json:"rv"`
 }
 
 func (e *Expect) add(d Expect) {

@@ -24,6 +24,7 @@
 package rvpredict
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/lockset"
 	"repro/internal/race"
 	"repro/internal/said"
+	"repro/internal/telemetry"
 	"repro/trace"
 )
 
@@ -75,6 +77,54 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// MarshalJSON encodes the algorithm as its Table 1 column name.
+func (a Algorithm) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON decodes a Table 1 column name (or a legacy integer).
+func (a *Algorithm) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		var n int
+		if err2 := json.Unmarshal(data, &n); err2 != nil {
+			return err
+		}
+		*a = Algorithm(n)
+		return nil
+	}
+	for _, cand := range []Algorithm{MaximalCF, SaidEtAl, CausallyPrecedes, HappensBefore, QuickCheck} {
+		if cand.String() == name {
+			*a = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("rvpredict: unknown algorithm %q", name)
+}
+
+// Telemetry is the machine-readable metrics snapshot attached to reports
+// when Options.Telemetry is set: phase timings, solver-stack counters
+// (CDCL, IDL theory, encoder), candidate-funnel outcome tallies, and
+// per-window records. See internal/telemetry for field documentation and
+// doc/observability.md for the counter glossary.
+type Telemetry = telemetry.Metrics
+
+// Tracer receives live progress callbacks during detection (window
+// lifecycle and per-query verdicts). Implementations must be safe for
+// concurrent use when Options.Parallelism > 1.
+type Tracer = telemetry.Tracer
+
+// Outcome classifies how one solver query ended (see Tracer.QuerySolved).
+type Outcome = telemetry.Outcome
+
+// Query outcomes reported to tracers.
+const (
+	OutcomeSat            = telemetry.OutcomeSat
+	OutcomeUnsat          = telemetry.OutcomeUnsat
+	OutcomeTimeout        = telemetry.OutcomeTimeout
+	OutcomeConflictBudget = telemetry.OutcomeConflictBudget
+)
+
 // Options configures Detect. The zero value runs the paper's algorithm
 // with its defaults: 10K-event windows and a 60-second per-pair solver
 // timeout.
@@ -95,6 +145,15 @@ type Options struct {
 	// Parallelism > 1 analyses trace windows concurrently with that many
 	// workers (MaximalCF only); reports stay deterministic.
 	Parallelism int
+	// Telemetry attaches a Telemetry metrics snapshot to the report:
+	// phase timings, solver counters and outcome tallies. Collection is
+	// allocation-light but not free; leave it off on hot paths. Enabling
+	// it never changes what is detected.
+	Telemetry bool
+	// Tracer, when non-nil, receives live progress callbacks (window
+	// lifecycle, per-query verdicts) during SMT-based detection. It is
+	// independent of Telemetry.
+	Tracer Tracer
 }
 
 func (o Options) normalise() Options {
@@ -117,35 +176,38 @@ func (o Options) normalise() Options {
 type Race struct {
 	// First and Second are the indices of the racing events in the input
 	// trace, in trace order.
-	First, Second int
+	First  int `json:"first"`
+	Second int `json:"second"`
 	// Locations are the static program locations of the two accesses (the
 	// race's deduplication signature), rendered through the trace's
 	// location names.
-	Locations [2]string
+	Locations [2]string `json:"locations"`
 	// Description is a human-readable one-liner.
-	Description string
+	Description string `json:"description"`
 	// Witness, when requested and available, is a consistent reordered
 	// prefix of event indices ending with the two racing accesses
 	// scheduled back to back (Definition 4's τ₁ab).
-	Witness []int
+	Witness []int `json:"witness,omitempty"`
 }
 
 // Report is the result of one Detect call.
 type Report struct {
 	// Algorithm that produced the report.
-	Algorithm Algorithm
+	Algorithm Algorithm `json:"algorithm"`
 	// Races found, one per location pair.
-	Races []Race
+	Races []Race `json:"races"`
 	// Stats summarises the input trace (Table 1's metric columns).
-	Stats trace.Stats
+	Stats trace.Stats `json:"stats"`
 	// PairsChecked counts conflicting pairs examined.
-	PairsChecked int
+	PairsChecked int `json:"pairs_checked"`
 	// Windows is the number of analysis windows.
-	Windows int
+	Windows int `json:"windows"`
 	// SolverTimeouts counts pairs abandoned at the solver budget.
-	SolverTimeouts int
-	// Elapsed is the wall-clock analysis time.
-	Elapsed time.Duration
+	SolverTimeouts int `json:"solver_timeouts"`
+	// Elapsed is the wall-clock analysis time in nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // Detect runs the selected race detection technique over tr.
@@ -155,6 +217,7 @@ type Report struct {
 // reconstruct. Detect never modifies tr.
 func Detect(tr *trace.Trace, opt Options) Report {
 	opt = opt.normalise()
+	col := newCollector(opt)
 	var det race.Detector
 	switch opt.Algorithm {
 	case SaidEtAl:
@@ -177,16 +240,22 @@ func Detect(tr *trace.Trace, opt Options) Report {
 			MaxConflicts: opt.MaxConflicts,
 			Witness:      opt.Witness,
 			Parallelism:  opt.Parallelism,
+			Telemetry:    col,
+			Tracer:       opt.Tracer,
 		})
 	}
 	res := det.Detect(tr)
+	scan := col.StartPhase(telemetry.PhaseTraceScan)
+	stats := tr.ComputeStats()
+	scan.End()
 	rep := Report{
 		Algorithm:      opt.Algorithm,
-		Stats:          tr.ComputeStats(),
+		Stats:          stats,
 		PairsChecked:   res.COPsChecked,
 		Windows:        res.Windows,
 		SolverTimeouts: res.SolverAborts,
 		Elapsed:        res.Elapsed,
+		Telemetry:      col.Snapshot(),
 	}
 	for _, r := range res.Races {
 		rep.Races = append(rep.Races, Race{
@@ -203,6 +272,15 @@ func Detect(tr *trace.Trace, opt Options) Report {
 	return rep
 }
 
+// newCollector returns a live collector when telemetry was requested, or
+// a nil collector — every method of which is a no-op — otherwise.
+func newCollector(opt Options) *telemetry.Collector {
+	if !opt.Telemetry {
+		return nil
+	}
+	return telemetry.NewCollector()
+}
+
 // CheckWitness validates a witness schedule against the trace: program
 // order, fork/join, wait/notify and lock discipline must hold and the
 // racing pair must come last. It returns nil for a valid witness.
@@ -213,27 +291,30 @@ func CheckWitness(tr *trace.Trace, witness []int, first, second int) error {
 // DeadlockReport is the result of DetectDeadlocks.
 type DeadlockReport struct {
 	// Deadlocks found, one per static lock-inversion site pair.
-	Deadlocks []PredictedDeadlock
+	Deadlocks []PredictedDeadlock `json:"deadlocks"`
 	// Candidates is the number of lock-inversion patterns examined.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// Windows is the number of analysis windows.
-	Windows int
-	// Elapsed is the wall-clock analysis time.
-	Elapsed time.Duration
+	Windows int `json:"windows"`
+	// Elapsed is the wall-clock analysis time in nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // PredictedDeadlock is one predicted two-thread deadlock.
 type PredictedDeadlock struct {
 	// Description is a human-readable one-liner naming threads, locks and
 	// program locations.
-	Description string
+	Description string `json:"description"`
 	// HeldAcquires and BlockedAcquires are the event indices of the two
 	// held acquires and the two acquires that block in the predicted
 	// deadlocked state.
-	HeldAcquires, BlockedAcquires [2]int
+	HeldAcquires    [2]int `json:"held_acquires"`
+	BlockedAcquires [2]int `json:"blocked_acquires"`
 	// Witness, when requested, is a feasible schedule prefix reaching the
 	// deadlocked state (both locks held, both next acquires blocked).
-	Witness []int
+	Witness []int `json:"witness,omitempty"`
 }
 
 // DetectDeadlocks predicts two-thread lock-inversion deadlocks from the
@@ -243,16 +324,20 @@ type PredictedDeadlock struct {
 // control-flow-guarded inversions are proved safe rather than reported.
 func DetectDeadlocks(tr *trace.Trace, opt Options) DeadlockReport {
 	opt = opt.normalise()
+	col := newCollector(opt)
 	res := deadlock.New(deadlock.Options{
 		WindowSize:   opt.WindowSize,
 		SolveTimeout: opt.SolveTimeout,
 		MaxConflicts: opt.MaxConflicts,
 		Witness:      opt.Witness,
+		Telemetry:    col,
+		Tracer:       opt.Tracer,
 	}).Detect(tr)
 	rep := DeadlockReport{
 		Candidates: res.Candidates,
 		Windows:    res.Windows,
 		Elapsed:    res.Elapsed,
+		Telemetry:  col.Snapshot(),
 	}
 	for _, d := range res.Deadlocks {
 		rep.Deadlocks = append(rep.Deadlocks, PredictedDeadlock{
@@ -268,13 +353,15 @@ func DetectDeadlocks(tr *trace.Trace, opt Options) DeadlockReport {
 // AtomicityReport is the result of DetectAtomicityViolations.
 type AtomicityReport struct {
 	// Violations found, one per static (first, remote, second) site triple.
-	Violations []AtomicityViolation
+	Violations []AtomicityViolation `json:"violations"`
 	// Candidates is the number of unserializable triples examined.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// Windows is the number of analysis windows.
-	Windows int
-	// Elapsed is the wall-clock analysis time.
-	Elapsed time.Duration
+	Windows int `json:"windows"`
+	// Elapsed is the wall-clock analysis time in nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 // AtomicityViolation is one predicted atomicity violation: a remote access
@@ -282,14 +369,16 @@ type AtomicityReport struct {
 // accesses of a critical section, with an unserializable result.
 type AtomicityViolation struct {
 	// Description is a human-readable one-liner.
-	Description string
+	Description string `json:"description"`
 	// First and Second are the region's two accesses; Remote is the
 	// interleaving access (event indices).
-	First, Second, Remote int
+	First  int `json:"first"`
+	Second int `json:"second"`
+	Remote int `json:"remote"`
 	// Witness, when requested, is a feasible schedule prefix ending with
 	// the second region access, with the remote access strictly between
 	// the two.
-	Witness []int
+	Witness []int `json:"witness,omitempty"`
 }
 
 // DetectAtomicityViolations predicts atomicity violations of critical
@@ -298,16 +387,20 @@ type AtomicityViolation struct {
 // deadlocks) expressible on the paper's maximal causal model (Section 2.5).
 func DetectAtomicityViolations(tr *trace.Trace, opt Options) AtomicityReport {
 	opt = opt.normalise()
+	col := newCollector(opt)
 	res := atomicity.New(atomicity.Options{
 		WindowSize:   opt.WindowSize,
 		SolveTimeout: opt.SolveTimeout,
 		MaxConflicts: opt.MaxConflicts,
 		Witness:      opt.Witness,
+		Telemetry:    col,
+		Tracer:       opt.Tracer,
 	}).Detect(tr)
 	rep := AtomicityReport{
 		Candidates: res.Candidates,
 		Windows:    res.Windows,
 		Elapsed:    res.Elapsed,
+		Telemetry:  col.Snapshot(),
 	}
 	for _, v := range res.Violations {
 		rep.Violations = append(rep.Violations, AtomicityViolation{

@@ -184,13 +184,13 @@ func (tr *Trace) Slice(lo, hi int) *Trace {
 
 // Stats summarises a trace for reporting: the Table 1 metric columns.
 type Stats struct {
-	Threads  int // #Thrd
-	Events   int // #Event
-	Accesses int // #RW: read + write events
-	Syncs    int // #Sync: acquire/release/fork/join/begin/end
-	Branches int // #Br
-	Locks    int // distinct lock addresses
-	Shared   int // distinct shared (non-volatile) locations accessed
+	Threads  int `json:"threads"`  // #Thrd
+	Events   int `json:"events"`   // #Event
+	Accesses int `json:"accesses"` // #RW: read + write events
+	Syncs    int `json:"syncs"`    // #Sync: acquire/release/fork/join/begin/end
+	Branches int `json:"branches"` // #Br
+	Locks    int `json:"locks"`    // distinct lock addresses
+	Shared   int `json:"shared"`   // distinct shared (non-volatile) locations accessed
 }
 
 // ComputeStats scans the trace once and returns its summary metrics.
