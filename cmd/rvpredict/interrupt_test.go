@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+)
+
+// TestInterruptedRunExitsThree drives runCtx with an already-cancelled
+// context — the same state a SIGINT puts the real context in — and
+// checks the contract: exit status 3 and, with -json, a parseable partial
+// report carrying "interrupted": true.
+func TestInterruptedRunExitsThree(t *testing.T) {
+	path := writeTrace(t, fixtures.Figure1())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var out, errb bytes.Buffer
+	code := runCtx(ctx, []string{"-json", path}, &out, &errb)
+	if code != exitInterrupted {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitInterrupted, errb.String())
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("interrupted -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep["interrupted"] != true {
+		t.Fatalf(`report "interrupted" = %v, want true`, rep["interrupted"])
+	}
+}
+
+// TestInterruptedTextRun checks the human-readable path: partial results
+// are flushed, a note lands on stderr, and the exit code is still 3.
+func TestInterruptedTextRun(t *testing.T) {
+	path := writeTrace(t, fixtures.Figure1())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var out, errb bytes.Buffer
+	if code := runCtx(ctx, []string{path}, &out, &errb); code != exitInterrupted {
+		t.Fatalf("exit = %d, want %d", code, exitInterrupted)
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr %q lacks the interrupted note", errb.String())
+	}
+	if !strings.Contains(out.String(), "race(s)") {
+		t.Errorf("stdout %q: the partial report must still be printed", out.String())
+	}
+}
+
+// TestInterruptedDeadlockAndAtomicityRuns covers the other two analysis
+// modes' interrupt paths.
+func TestInterruptedDeadlockAndAtomicityRuns(t *testing.T) {
+	path := writeTrace(t, fixtures.Figure1())
+	for _, mode := range []string{"-deadlock", "-atomicity"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var out, errb bytes.Buffer
+		if code := runCtx(ctx, []string{mode, path}, &out, &errb); code != exitInterrupted {
+			t.Errorf("%s: exit = %d, want %d", mode, code, exitInterrupted)
+		}
+	}
+}
+
+// TestUninterruptedRunUnchanged pins that a live context leaves the
+// normal exit codes alone.
+func TestUninterruptedRunUnchanged(t *testing.T) {
+	path := writeTrace(t, fixtures.Figure1())
+	var out, errb bytes.Buffer
+	if code := runCtx(context.Background(), []string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d on a racy trace, want 1", code)
+	}
+}

@@ -9,20 +9,25 @@
 // technique; -algo selects a baseline for comparison.
 //
 // Exit status is 1 when races (or deadlocks / atomicity violations) are
-// found, 0 when the trace is clean, and 2 on usage or decode errors —
-// scriptable like grep.
+// found, 0 when the trace is clean, 2 on usage or decode errors, and 3
+// when the run was interrupted (SIGINT/SIGTERM) — scriptable like grep.
+// An interrupted run still flushes whatever it found; with -json the
+// partial report carries "interrupted": true.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/race"
@@ -34,7 +39,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// exitInterrupted is the exit status of a run cut short by SIGINT or
+// SIGTERM after flushing its partial report.
+const exitInterrupted = 3
+
+// run wires OS signals to the detection context: the first SIGINT or
+// SIGTERM cancels it, the detectors wind down cooperatively (mid-solve),
+// and the partial report is flushed before exiting with status 3. A
+// second signal kills the process the default way.
 func run(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCtx(ctx, args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rvpredict", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -49,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats      = fs.Bool("stats", false, "print pipeline and solver statistics after the report")
 		jsonOut    = fs.Bool("json", false, "emit the full report (with telemetry) as JSON on stdout")
 		progress   = fs.Bool("progress", false, "trace per-window progress on stderr while analysing")
+		firstPass  = fs.Duration("first-pass", 0, "cheap first-pass per-pair timeout; timed-out pairs are retried with escalating budgets (rv only)")
+		budget     = fs.Duration("budget", 0, "global wall-clock budget for the whole run (0 = unbounded; rv only)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
@@ -117,18 +138,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ws = -1 // whole trace
 	}
 	opt := rvpredict.Options{
-		WindowSize:   ws,
-		SolveTimeout: *timeout,
-		Parallelism:  *parallel,
-		Witness:      *witness,
-		Telemetry:    *stats || *jsonOut,
+		WindowSize:       ws,
+		SolveTimeout:     *timeout,
+		FirstPassTimeout: *firstPass,
+		GlobalBudget:     *budget,
+		Parallelism:      *parallel,
+		Witness:          *witness,
+		Telemetry:        *stats || *jsonOut,
 	}
 	if *progress {
 		opt.Tracer = &progressTracer{w: stderr, start: time.Now()}
 	}
 
 	if *deadlocks {
-		rep := rvpredict.DetectDeadlocks(tr, opt)
+		rep := rvpredict.DetectDeadlocksContext(ctx, tr, opt)
 		if *jsonOut {
 			if err := emitJSON(stdout, rep); err != nil {
 				fmt.Fprintln(stderr, "rvpredict:", err)
@@ -151,11 +174,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *stats && !*jsonOut {
 			printTelemetry(stdout, rep.Telemetry)
 		}
+		if rep.Interrupted {
+			fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
+			return exitInterrupted
+		}
 		return foundExit(len(rep.Deadlocks))
 	}
 
 	if *atomicity {
-		rep := rvpredict.DetectAtomicityViolations(tr, opt)
+		rep := rvpredict.DetectAtomicityViolationsContext(ctx, tr, opt)
 		if *jsonOut {
 			if err := emitJSON(stdout, rep); err != nil {
 				fmt.Fprintln(stderr, "rvpredict:", err)
@@ -170,6 +197,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *stats && !*jsonOut {
 			printTelemetry(stdout, rep.Telemetry)
+		}
+		if rep.Interrupted {
+			fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
+			return exitInterrupted
 		}
 		return foundExit(len(rep.Violations))
 	}
@@ -190,11 +221,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep := rvpredict.Detect(tr, opt)
+	rep := rvpredict.DetectContext(ctx, tr, opt)
 	if *jsonOut {
 		if err := emitJSON(stdout, rep); err != nil {
 			fmt.Fprintln(stderr, "rvpredict:", err)
 			return 2
+		}
+		if rep.Interrupted {
+			return exitInterrupted
 		}
 		return foundExit(len(rep.Races))
 	}
@@ -211,8 +245,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, race.RenderWitness(tr, r.Witness))
 		}
 	}
+	if rep.BudgetExhausted {
+		fmt.Fprintln(stdout, "note: global budget exhausted; results are sound but may be incomplete")
+	}
+	for _, f := range rep.WindowFailures {
+		fmt.Fprintf(stdout, "note: window %d (offset %d, %d events) failed: %s\n",
+			f.Window, f.Offset, f.Events, f.PanicValue)
+	}
 	if *stats {
 		printTelemetry(stdout, rep.Telemetry)
+	}
+	if rep.Interrupted {
+		fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
+		return exitInterrupted
 	}
 	return foundExit(len(rep.Races))
 }
@@ -247,8 +292,12 @@ func printTelemetry(w io.Writer, t *rvpredict.Telemetry) {
 	o := t.Outcomes
 	fmt.Fprintf(w, "candidates: %d enumerated, %d quick-check filtered, %d MHB filtered, %d dedup hits\n",
 		o.Enumerated, o.QuickCheckFiltered, o.MHBFiltered, o.SigDedupHits)
-	fmt.Fprintf(w, "queries: %d solved — %d sat, %d unsat, %d timeout, %d conflict-budget\n",
-		o.Solved, o.Sat, o.Unsat, o.Timeout, o.ConflictBudget)
+	fmt.Fprintf(w, "queries: %d solved — %d sat, %d unsat, %d timeout, %d conflict-budget, %d cancelled\n",
+		o.Solved, o.Sat, o.Unsat, o.Timeout, o.ConflictBudget, o.Cancelled)
+	if o.RetriesScheduled > 0 || o.BudgetExhausted > 0 || o.WindowFailures > 0 {
+		fmt.Fprintf(w, "resilience: %d retries scheduled, %d solved on retry (%d sat), %d budget-exhausted, %d window failures\n",
+			o.RetriesScheduled, o.RetriesSolved, o.RetrySat, o.BudgetExhausted, o.WindowFailures)
+	}
 	sc := t.Solver
 	fmt.Fprintf(w, "sat: %d decisions, %d propagations, %d conflicts, %d restarts, %d learned\n",
 		sc.Decisions, sc.Propagations, sc.Conflicts, sc.Restarts, sc.Learned)

@@ -21,6 +21,7 @@
 package atomicity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -39,7 +40,9 @@ type Options struct {
 	// WindowSize splits the trace into fixed-size windows; ≤ 0 analyses
 	// the whole trace at once.
 	WindowSize int
-	// SolveTimeout bounds each candidate's solver run; 0 = unbounded.
+	// SolveTimeout bounds each candidate's solver run; ≤ 0 = unbounded.
+	// (rvpredict.Options maps its zero value to the paper's 60 s default,
+	// and negatives to 0, before reaching this layer.)
 	SolveTimeout time.Duration
 	// MaxConflicts bounds each candidate's CDCL search; 0 = unbounded.
 	MaxConflicts int64
@@ -89,6 +92,10 @@ type Result struct {
 	Windows      int
 	SolverAborts int
 	Elapsed      time.Duration
+	// Cancelled reports the run was interrupted by context cancellation;
+	// the results cover the candidates decided before the cancel and are
+	// sound but not maximal.
+	Cancelled bool
 }
 
 // Detector is the predictive atomicity-violation detector.
@@ -125,6 +132,18 @@ type candidate struct {
 
 // Detect finds all feasible atomicity violations of tr.
 func (d *Detector) Detect(tr *trace.Trace) Result {
+	return d.DetectContext(context.Background(), tr)
+}
+
+// DetectContext runs Detect under ctx: the context is polled between
+// windows, between candidates and inside the solver's conflict loop, so
+// cancellation interrupts a run mid-solve. The partial Result covers the
+// candidates decided before the cancel and is flagged Cancelled. A nil
+// ctx is treated as context.Background().
+func (d *Detector) DetectContext(ctx context.Context, tr *trace.Trace) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	col := d.opt.Telemetry
 	tracer := d.opt.Tracer
@@ -136,6 +155,10 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
 		wi := widx
 		widx++
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			return
+		}
 		if tracer != nil {
 			tracer.WindowStart(wi, w.Len())
 		}
@@ -172,6 +195,7 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 		span = col.StartPhase(telemetry.PhaseEncode)
 		mhb := vc.ComputeMHB(w)
 		s := smt.NewSolver()
+		s.SetCancel(func() bool { return ctx.Err() != nil })
 		enc := encode.New(w, s, mhb, -1, -1)
 		cf := encode.NewCF(enc, s, 0)
 		if err := enc.AssertMHB(); err != nil {
@@ -188,6 +212,10 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 		}
 		span.End()
 		for _, c := range cands {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			key := sigKey{w.Event(c.e1).Loc, w.Event(c.e3).Loc, w.Event(c.e2).Loc}
 			if seen[key] {
 				col.CountSigDedup()
@@ -250,11 +278,17 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 				res.Violations = append(res.Violations, v)
 			case sat.Aborted:
 				res.SolverAborts++
+				if outcome == telemetry.OutcomeCancelled {
+					res.Cancelled = true
+				}
 			}
 		}
 		col.AddSolver(s)
 		windowDone()
 	})
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }

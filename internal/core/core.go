@@ -34,10 +34,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/encode"
+	"repro/internal/faultinject"
 	"repro/internal/lockset"
 	"repro/internal/race"
 	"repro/internal/sat"
@@ -53,8 +57,24 @@ type Options struct {
 	// ≤ 0 analyses the whole trace at once. The paper's default is 10000.
 	WindowSize int
 	// SolveTimeout bounds each COP's solver run (the paper defaults to one
-	// minute); 0 means no wall-clock bound.
+	// minute). The convention, unified across core, said, deadlock and
+	// atomicity: ≤ 0 means no wall-clock bound. (rvpredict.Options maps
+	// its zero value to the paper's 60 s default, and negatives to 0,
+	// before reaching this layer.)
 	SolveTimeout time.Duration
+	// FirstPassTimeout, when > 0, enables the adaptive two-pass
+	// scheduler: every pair is first solved under this cheap budget, and
+	// pairs that time out are deferred and retried afterwards with
+	// budgets escalating geometrically up to SolveTimeout (and bounded by
+	// the remaining GlobalBudget). Easy pairs never starve behind hard
+	// ones, and a pair the single-pass policy would have abandoned gets a
+	// second chance. It has no effect when ≥ SolveTimeout > 0.
+	FirstPassTimeout time.Duration
+	// GlobalBudget, when > 0, bounds the whole run's wall clock. Once
+	// exhausted, remaining candidates are skipped (counted in telemetry
+	// as budget_exhausted) and the result is flagged BudgetExhausted;
+	// completed windows' results are kept.
+	GlobalBudget time.Duration
 	// MaxConflicts bounds each COP's CDCL search; 0 means unbounded.
 	MaxConflicts int64
 	// Witness requests witness schedules on detected races.
@@ -101,6 +121,11 @@ type Options struct {
 	// lifecycle, per-COP verdicts). With Parallelism > 1 the callbacks
 	// arrive concurrently; implementations must serialise internally.
 	Tracer telemetry.Tracer
+	// FaultInjector, when non-nil, injects deterministic faults at the
+	// pipeline's instrumentation points (window start, per solve
+	// attempt). Test-only: it exists to drive the panic-isolation and
+	// retry recovery paths reproducibly; production runs leave it nil.
+	FaultInjector *faultinject.Injector
 }
 
 // Detector is the paper's maximal race detector ("RV" in Table 1).
@@ -128,9 +153,114 @@ func (*Detector) Name() string { return "RV" }
 
 // Detect runs maximal race detection over tr.
 func (d *Detector) Detect(tr *trace.Trace) race.Result {
-	if d.opt.Parallelism > 1 {
-		return d.detectParallel(tr)
+	return d.DetectContext(context.Background(), tr)
+}
+
+// DetectContext runs maximal race detection over tr under ctx. The
+// context is polled between windows, between pairs, and — via the
+// cooperative cancel hook — inside the CDCL conflict loop, so a run can
+// be stopped mid-solve. The partial Result is always well-formed: it
+// covers every window completed before the cancel and is flagged
+// Cancelled. A nil ctx is treated as context.Background().
+func (d *Detector) DetectContext(ctx context.Context, tr *trace.Trace) race.Result {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	var globalDeadline time.Time
+	if d.opt.GlobalBudget > 0 {
+		globalDeadline = time.Now().Add(d.opt.GlobalBudget)
+	}
+	if d.opt.Parallelism > 1 {
+		return d.detectParallel(ctx, globalDeadline, tr)
+	}
+	return d.detectWindows(ctx, globalDeadline, tr)
+}
+
+// Retry-policy constants of the two-pass scheduler: each retry multiplies
+// the previous budget by retryEscalation, and a pair is abandoned after
+// maxRetryAttempts escalations (a backstop for unbounded SolveTimeout).
+const (
+	retryEscalation  = 4
+	maxRetryAttempts = 6
+)
+
+// twoPass reports whether the adaptive two-pass scheduler is active:
+// FirstPassTimeout set and actually cheaper than the final budget.
+func (d *Detector) twoPass() bool {
+	fp := d.opt.FirstPassTimeout
+	if fp <= 0 {
+		return false
+	}
+	return d.opt.SolveTimeout <= 0 || fp < d.opt.SolveTimeout
+}
+
+// passOneTimeout is the per-pair budget of the first solving pass.
+func (d *Detector) passOneTimeout() time.Duration {
+	if d.twoPass() {
+		return d.opt.FirstPassTimeout
+	}
+	if d.opt.SolveTimeout > 0 {
+		return d.opt.SolveTimeout
+	}
+	return 0
+}
+
+// solveDeadline combines a per-attempt timeout with the run's global
+// deadline; the zero time means unbounded.
+func solveDeadline(timeout time.Duration, global time.Time) time.Time {
+	var dl time.Time
+	if timeout > 0 {
+		dl = time.Now().Add(timeout)
+	}
+	if !global.IsZero() && (dl.IsZero() || global.Before(dl)) {
+		dl = global
+	}
+	return dl
+}
+
+// fireFault crosses a fault-injection point, scoped and unscoped (see
+// faultinject.Scoped): sequential tests script the global hit order,
+// parallel tests target one window's deterministic local order.
+func (d *Detector) fireFault(p faultinject.Point, widx int) faultinject.Fault {
+	in := d.opt.FaultInjector
+	if in == nil {
+		return faultinject.FaultNone
+	}
+	if f := in.MaybePanic(p); f != faultinject.FaultNone {
+		return f
+	}
+	return in.MaybePanic(faultinject.Scoped(p, widx))
+}
+
+// windowFailure builds the record of one isolated window-worker panic.
+func windowFailure(win, offset, events int, r any) race.WindowFailure {
+	buf := make([]byte, 16<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return race.WindowFailure{
+		Window:     win,
+		Offset:     offset,
+		Events:     events,
+		PanicValue: fmt.Sprint(r),
+		Stack:      string(buf),
+	}
+}
+
+// deferredPair is one COP whose cheap first-pass solve timed out, queued
+// for the escalating second pass.
+type deferredPair struct {
+	cop race.COP
+	sig race.Signature
+	// g is the pair's guard literal on the shared window solver; on the
+	// MergeRaceVars ablation path (merged true) there is no shared
+	// encoding and the retry rebuilds the per-COP solver instead.
+	g      sat.Lit
+	merged bool
+}
+
+// detectWindows is the sequential detection driver: one window at a time,
+// two solving passes per window, each window isolated against worker
+// panics.
+func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, tr *trace.Trace) race.Result {
 	start := time.Now()
 	col := d.opt.Telemetry
 	tracer := d.opt.Tracer
@@ -139,9 +269,30 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 	seen := make(map[race.Signature]bool)
 	attempts := make(map[race.Signature]int)
 	localWin := 0
+	cancel := func() bool { return ctx.Err() != nil }
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
 		widx := d.winBase + localWin
 		localWin++
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			return
+		}
+		if !globalDeadline.IsZero() && time.Now().After(globalDeadline) {
+			res.BudgetExhausted = true
+			return
+		}
+		// Panic isolation: an encoder or solver bug in this window is
+		// recovered here, recorded as a WindowFailure, and the run
+		// continues with every other window's results intact. Races
+		// appended before the panic are kept — they are sound.
+		defer func() {
+			if r := recover(); r != nil {
+				res.Failures = append(res.Failures,
+					windowFailure(widx, d.traceOffset+offset, w.Len(), r))
+				col.CountWindowFailure()
+			}
+		}()
+		d.fireFault(faultinject.PointWindow, widx)
 		if tracer != nil {
 			tracer.WindowStart(widx, w.Len())
 		}
@@ -158,11 +309,18 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 		col.CountEnumerated(len(cops))
 
 		var (
-			sets   *lockset.Sets
-			mhb    *vc.MHB
-			shared *windowSolver
+			sets       *lockset.Sets
+			mhb        *vc.MHB
+			shared     *windowSolver
+			deferred   []deferredPair
+			budgetGone bool
 		)
+		passTimeout := d.passOneTimeout()
 		for _, cop := range cops {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			sig := race.SigOf(w, cop.A, cop.B)
 			if seen[sig] {
 				col.CountSigDedup()
@@ -195,6 +353,12 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 					continue
 				}
 			}
+			if budgetGone || (!globalDeadline.IsZero() && time.Now().After(globalDeadline)) {
+				budgetGone = true
+				res.BudgetExhausted = true
+				col.CountBudgetExhausted()
+				continue
+			}
 			res.COPsChecked++
 			solved++
 			attempts[sig]++
@@ -206,24 +370,47 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 				isRace  bool
 				witness []int
 				outcome telemetry.Outcome
+				guard   sat.Lit
+				hasG    bool
 			)
 			if d.opt.MergeRaceVars {
 				// Merging fuses the pair onto one order variable, so the
 				// encoding is rebuilt per COP (the ablation path).
-				isRace, witness, outcome = d.checkMerged(w, mhb, cop)
+				isRace, witness, outcome = d.checkMerged(w, mhb, cop, widx,
+					passTimeout, globalDeadline, cancel)
 			} else {
 				if shared == nil {
 					shared = d.newWindowSolver(w, mhb)
+					shared.s.SetCancel(cancel)
 				}
-				isRace, witness, outcome = shared.check(d, cop)
+				guard, hasG = shared.prepare(d, cop)
+				if !hasG {
+					isRace, witness, outcome = false, nil, telemetry.OutcomeUnsat
+				} else {
+					isRace, witness, outcome = shared.solve(d, widx, cop, guard,
+						passTimeout, globalDeadline)
+				}
 			}
 			col.CountOutcome(outcome)
 			if tracer != nil {
 				tracer.QuerySolved(widx, cop.A+offset+d.traceOffset,
 					cop.B+offset+d.traceOffset, outcome, time.Since(qstart))
 			}
+			if outcome == telemetry.OutcomeTimeout && d.twoPass() {
+				// Deferred, not abandoned: pass 2 below re-solves it with
+				// escalating budgets.
+				res.PairsRetried++
+				col.CountRetryScheduled()
+				deferred = append(deferred, deferredPair{
+					cop: cop, sig: sig, g: guard, merged: d.opt.MergeRaceVars,
+				})
+				continue
+			}
 			if outcome.Aborted() {
 				res.SolverAborts++
+				if outcome == telemetry.OutcomeCancelled {
+					res.Cancelled = true
+				}
 			}
 			if isRace {
 				seen[sig] = true
@@ -240,6 +427,91 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 				res.Races = append(res.Races, r)
 			}
 		}
+
+		// Pass 2: re-solve the pairs whose cheap first-pass budget
+		// expired, escalating the budget geometrically up to SolveTimeout
+		// and the remaining global budget. Deferred pairs are processed
+		// in enumeration order, so results stay deterministic.
+		for _, dp := range deferred {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
+			if seen[dp.sig] {
+				// Another instance of the signature was proven racy in
+				// the meantime; this deferred instance is redundant.
+				col.CountSigDedup()
+				continue
+			}
+			var (
+				isRace  bool
+				witness []int
+				final   = telemetry.OutcomeTimeout
+			)
+			budget := d.opt.FirstPassTimeout * retryEscalation
+			for attempt := 0; attempt < maxRetryAttempts; attempt++ {
+				capped := false
+				if d.opt.SolveTimeout > 0 && budget >= d.opt.SolveTimeout {
+					budget = d.opt.SolveTimeout
+					capped = true
+				}
+				if !globalDeadline.IsZero() {
+					rem := time.Until(globalDeadline)
+					if rem <= 0 {
+						res.BudgetExhausted = true
+						col.CountBudgetExhausted()
+						break
+					}
+					if budget > rem {
+						budget = rem
+						capped = true
+					}
+				}
+				var qstart time.Time
+				if tracer != nil {
+					qstart = time.Now()
+				}
+				if dp.merged {
+					isRace, witness, final = d.checkMerged(w, mhb, dp.cop, widx,
+						budget, globalDeadline, cancel)
+				} else {
+					isRace, witness, final = shared.solve(d, widx, dp.cop, dp.g,
+						budget, globalDeadline)
+				}
+				col.CountOutcome(final)
+				if tracer != nil {
+					tracer.QuerySolved(widx, dp.cop.A+offset+d.traceOffset,
+						dp.cop.B+offset+d.traceOffset, final, time.Since(qstart))
+				}
+				if final != telemetry.OutcomeTimeout || capped {
+					break
+				}
+				budget *= retryEscalation
+			}
+			if final.Aborted() {
+				res.SolverAborts++
+				if final == telemetry.OutcomeCancelled {
+					res.Cancelled = true
+				}
+			} else {
+				col.CountRetrySolved(isRace)
+			}
+			if isRace {
+				seen[dp.sig] = true
+				if d.foundSig != nil {
+					d.foundSig(dp.sig)
+				}
+				r := race.Race{
+					COP: race.COP{A: dp.cop.A + offset, B: dp.cop.B + offset},
+					Sig: dp.sig,
+				}
+				if witness != nil {
+					r.Witness = rebase(witness, offset)
+				}
+				res.Races = append(res.Races, r)
+			}
+		}
+
 		if shared != nil {
 			col.AddSolver(shared.s)
 		}
@@ -257,6 +529,9 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 			tracer.WindowDone(widx, len(res.Races)-racesBefore, time.Since(wstart))
 		}
 	})
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -267,7 +542,7 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 // window order with cross-window signature deduplication, so the final
 // report is deterministic and equals the sequential report up to which
 // COP instance represents a signature.
-func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
+func (d *Detector) detectParallel(ctx context.Context, globalDeadline time.Time, tr *trace.Trace) race.Result {
 	start := time.Now()
 	slices := race.WindowSlices(tr, d.opt.WindowSize)
 	perWindow := make([]race.Result, len(slices))
@@ -284,6 +559,7 @@ func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
 	single := *d
 	single.opt.Parallelism = 0
 	single.opt.WindowSize = 0 // each slice is exactly one window
+	single.opt.GlobalBudget = 0
 	single.skipSig = func(sig race.Signature) bool {
 		_, ok := sharedSeen.Load(sig)
 		return ok
@@ -295,15 +571,29 @@ func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Defence in depth: detectWindows isolates per-window panics
+			// itself, but a panic escaping it (e.g. from the windowing
+			// driver) must never kill the whole process when workers run
+			// as bare goroutines. Recover here records the failure with
+			// the window's global coordinates and lets the merge proceed.
+			defer func() {
+				if r := recover(); r != nil {
+					perWindow[i].Failures = append(perWindow[i].Failures,
+						windowFailure(i, slices[i].Offset, slices[i].Trace.Len(), r))
+					d.opt.Telemetry.CountWindowFailure()
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			// A per-goroutine copy carries the window's global index and
 			// offset so telemetry records and tracer callbacks stay in
 			// whole-trace coordinates. The shared collector is atomic.
+			// The global deadline is passed through directly: the budget
+			// is one wall-clock window shared by all workers.
 			worker := single
 			worker.winBase = i
 			worker.traceOffset = slices[i].Offset
-			perWindow[i] = worker.Detect(slices[i].Trace)
+			perWindow[i] = worker.detectWindows(ctx, globalDeadline, slices[i].Trace)
 		}(i)
 	}
 	wg.Wait()
@@ -314,6 +604,10 @@ func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
 		offset := slices[i].Offset
 		res.COPsChecked += wres.COPsChecked
 		res.SolverAborts += wres.SolverAborts
+		res.PairsRetried += wres.PairsRetried
+		res.Cancelled = res.Cancelled || wres.Cancelled
+		res.BudgetExhausted = res.BudgetExhausted || wres.BudgetExhausted
+		res.Failures = append(res.Failures, wres.Failures...)
 		for _, r := range wres.Races {
 			if seen[r.Sig] {
 				continue
@@ -326,6 +620,9 @@ func (d *Detector) detectParallel(tr *trace.Trace) race.Result {
 			}
 			res.Races = append(res.Races, r)
 		}
+	}
+	if ctx.Err() != nil {
+		res.Cancelled = true
 	}
 	res.Elapsed = time.Since(start)
 	return res
@@ -359,34 +656,46 @@ func (d *Detector) newWindowSolver(w *trace.Trace, mhb *vc.MHB) *windowSolver {
 	return ws
 }
 
-// check decides one COP on the shared window solver.
-func (ws *windowSolver) check(d *Detector, cop race.COP) (isRace bool, witness []int, outcome telemetry.Outcome) {
+// prepare encodes one COP's guarded race constraint on the shared window
+// solver and returns the guard literal to assume. The guard persists, so
+// a pair deferred by the two-pass scheduler is re-solved later by assuming
+// the same guard with a bigger budget — no re-encoding. ok is false when
+// the encoding itself proves the pair impossible (treated as unsat).
+func (ws *windowSolver) prepare(d *Detector, cop race.COP) (g sat.Lit, ok bool) {
 	if ws.bad {
-		return false, nil, telemetry.OutcomeUnsat
+		return 0, false
 	}
 	col := d.opt.Telemetry
 	span := col.StartPhase(telemetry.PhaseEncode)
-	g := ws.s.NewBoolLit()
+	defer span.End()
+	g = ws.s.NewBoolLit()
 	if err := ws.s.Implies(g, ws.enc.Adjacent(cop.A, cop.B)); err != nil {
-		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return 0, false
 	}
 	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.A)); err != nil {
-		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return 0, false
 	}
 	if err := ws.s.Implies(g, ws.cf.ControlFlow(cop.B)); err != nil {
-		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return 0, false
 	}
-	span.End()
-	if d.opt.SolveTimeout > 0 {
-		ws.s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
+	return g, true
+}
+
+// solve decides one prepared COP under the given per-attempt budget,
+// clipped against the run's global deadline. The deadline is always
+// (re)installed — the solver is shared across queries and retries, so a
+// stale deadline from a previous attempt must never leak into this one.
+func (ws *windowSolver) solve(d *Detector, widx int, cop race.COP, g sat.Lit,
+	timeout time.Duration, globalDeadline time.Time) (isRace bool, witness []int, outcome telemetry.Outcome) {
+	if f := d.fireFault(faultinject.PointSolve, widx); f == faultinject.FaultTimeout {
+		return false, nil, telemetry.OutcomeTimeout
 	}
+	col := d.opt.Telemetry
+	ws.s.SetDeadline(solveDeadline(timeout, globalDeadline))
 	if d.opt.MaxConflicts > 0 {
 		ws.s.SetMaxConflicts(d.opt.MaxConflicts)
 	}
-	span = col.StartPhase(telemetry.PhaseSolve)
+	span := col.StartPhase(telemetry.PhaseSolve)
 	verdict := ws.s.SolveAssuming(g)
 	span.End()
 	switch verdict {
@@ -405,13 +714,18 @@ func (ws *windowSolver) check(d *Detector, cop race.COP) (isRace bool, witness [
 
 // checkMerged decides one COP with the paper's variable-merging encoding
 // (ablation path; one solver per COP, rolled into telemetry individually).
-func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP) (isRace bool, witness []int, outcome telemetry.Outcome) {
+// Retries on this path rebuild the solver from scratch — the encoding is
+// deterministic, so only the budget differs between attempts.
+func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP, widx int,
+	timeout time.Duration, globalDeadline time.Time, cancel func() bool) (isRace bool, witness []int, outcome telemetry.Outcome) {
+	if f := d.fireFault(faultinject.PointSolve, widx); f == faultinject.FaultTimeout {
+		return false, nil, telemetry.OutcomeTimeout
+	}
 	col := d.opt.Telemetry
 	s := smt.NewSolver()
 	defer col.AddSolver(s)
-	if d.opt.SolveTimeout > 0 {
-		s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
-	}
+	s.SetDeadline(solveDeadline(timeout, globalDeadline))
+	s.SetCancel(cancel)
 	if d.opt.MaxConflicts > 0 {
 		s.SetMaxConflicts(d.opt.MaxConflicts)
 	}

@@ -27,6 +27,7 @@
 package deadlock
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -45,7 +46,9 @@ type Options struct {
 	// WindowSize splits the trace into fixed-size windows; ≤ 0 analyses
 	// the whole trace at once.
 	WindowSize int
-	// SolveTimeout bounds each candidate's solver run; 0 = unbounded.
+	// SolveTimeout bounds each candidate's solver run; ≤ 0 = unbounded.
+	// (rvpredict.Options maps its zero value to the paper's 60 s default,
+	// and negatives to 0, before reaching this layer.)
 	SolveTimeout time.Duration
 	// MaxConflicts bounds each candidate's CDCL search; 0 = unbounded.
 	MaxConflicts int64
@@ -89,6 +92,10 @@ type Result struct {
 	Windows      int
 	SolverAborts int
 	Elapsed      time.Duration
+	// Cancelled reports the run was interrupted by context cancellation;
+	// the results cover the candidates decided before the cancel and are
+	// sound but not maximal.
+	Cancelled bool
 }
 
 // Detector is the predictive deadlock detector.
@@ -111,6 +118,19 @@ type nested struct {
 
 // Detect finds all feasible two-thread lock-inversion deadlocks.
 func (d *Detector) Detect(tr *trace.Trace) Result {
+	return d.DetectContext(context.Background(), tr)
+}
+
+// DetectContext runs Detect under ctx: the context is polled between
+// windows, between candidates and inside the solver's conflict loop, so
+// cancellation interrupts a run mid-solve. The partial Result covers the
+// candidates decided before the cancel and is flagged Cancelled. A nil
+// ctx is treated as context.Background().
+func (d *Detector) DetectContext(ctx context.Context, tr *trace.Trace) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() bool { return ctx.Err() != nil }
 	start := time.Now()
 	col := d.opt.Telemetry
 	tracer := d.opt.Tracer
@@ -122,6 +142,10 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
 		wi := widx
 		widx++
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			return
+		}
 		if tracer != nil {
 			tracer.WindowStart(wi, w.Len())
 		}
@@ -138,8 +162,13 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 		span = col.StartPhase(telemetry.PhaseEncode)
 		mhb := vc.ComputeMHB(w)
 		span.End()
+	outer:
 		for i := 0; i < len(sites); i++ {
 			for j := i + 1; j < len(sites); j++ {
+				if ctx.Err() != nil {
+					res.Cancelled = true
+					break outer
+				}
 				s1, s2 := sites[i], sites[j] // s1.acqB < s2.acqB by sort order
 				if s1.tid == s2.tid || s1.lockA != s2.lockB || s1.lockB != s2.lockA {
 					continue
@@ -161,7 +190,7 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 				if tracer != nil {
 					qstart = time.Now()
 				}
-				ok, witness, outcome := d.check(w, mhb, s1, s2)
+				ok, witness, outcome := d.check(w, mhb, s1, s2, cancel)
 				col.CountOutcome(outcome)
 				if tracer != nil {
 					tracer.QuerySolved(wi, s1.acqB+offset, s2.acqB+offset,
@@ -169,6 +198,9 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 				}
 				if outcome.Aborted() {
 					res.SolverAborts++
+					if outcome == telemetry.OutcomeCancelled {
+						res.Cancelled = true
+					}
 				}
 				if ok {
 					seen[key] = true
@@ -201,6 +233,9 @@ func (d *Detector) Detect(tr *trace.Trace) Result {
 			tracer.WindowDone(wi, len(res.Deadlocks)-foundBefore, time.Since(wstart))
 		}
 	})
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -244,10 +279,11 @@ func nestedSites(tr *trace.Trace) []nested {
 }
 
 // check decides one candidate pair.
-func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested) (isDeadlock bool, witness []int, outcome telemetry.Outcome) {
+func (d *Detector) check(w *trace.Trace, mhb *vc.MHB, s1, s2 nested, cancel func() bool) (isDeadlock bool, witness []int, outcome telemetry.Outcome) {
 	col := d.opt.Telemetry
 	s := smt.NewSolver()
 	defer col.AddSolver(s)
+	s.SetCancel(cancel)
 	if d.opt.SolveTimeout > 0 {
 		s.SetDeadline(time.Now().Add(d.opt.SolveTimeout))
 	}

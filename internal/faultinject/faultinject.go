@@ -1,0 +1,187 @@
+// Package faultinject provides deterministic fault injection for testing
+// the detection pipeline's recovery paths: panic isolation, solver-budget
+// retries and decode hardening.
+//
+// An Injector carries a script — "at the Nth crossing of point P, inject
+// fault F" — and the pipeline calls Fire at its instrumentation points. A
+// nil *Injector is the production state: Fire returns FaultNone without
+// locking, so shipping the hooks costs one nil check per point. Scripts
+// are keyed by per-point hit counts, never by wall-clock time or
+// randomness, so every injected failure is reproducible, including under
+// -race and with parallel window workers (Fire is safe for concurrent
+// use; concurrent hits are serialised, giving each crossing a unique hit
+// index).
+//
+// The injector is wired through the detector Options (core.Options and
+// rvpredict.Options) and is intended for tests only: injected faults make
+// the detector deliberately under-report, which is exactly what the
+// resilience machinery must surface, never silently absorb.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Point names one instrumentation point in the pipeline.
+type Point string
+
+// Instrumentation points.
+const (
+	// PointSolve is crossed immediately before each solver query (races:
+	// one crossing per COP solve attempt, retries included).
+	PointSolve Point = "solve"
+	// PointWindow is crossed at the start of each analysis window.
+	PointWindow Point = "window"
+	// PointDecode is crossed by tracefile decoding tests per decoded
+	// section; it exists so corrupt-input scripts share the vocabulary.
+	PointDecode Point = "decode"
+)
+
+// Scoped derives a point tied to one pipeline coordinate, e.g. a window
+// index. Scoped crossings are counted independently of the base point, so
+// a script can target "the Nth solve attempt of window K" — deterministic
+// even when windows are solved by parallel workers, because each window's
+// local attempt order is fixed while the global interleaving is not.
+// Instrumentation points fire both the base and the scoped point.
+func Scoped(p Point, key int) Point {
+	return Point(fmt.Sprintf("%s#%d", p, key))
+}
+
+// Fault is the action injected at a scripted crossing.
+type Fault uint8
+
+// Injectable faults.
+const (
+	// FaultNone: no fault; the crossing proceeds normally.
+	FaultNone Fault = iota
+	// FaultPanic: the instrumented code must panic with an InjectedPanic
+	// value (detectors do this via MaybePanic), exercising the
+	// panic-isolation path.
+	FaultPanic
+	// FaultTimeout: the instrumented code must behave as if its solver
+	// budget expired at this crossing — report a timeout outcome without
+	// solving — exercising the retry scheduler deterministically.
+	FaultTimeout
+)
+
+// String returns the fault's name.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// InjectedPanic is the value panicked with by MaybePanic, carrying the
+// point and hit index that triggered it so recovery tests can assert the
+// exact provenance.
+type InjectedPanic struct {
+	Point Point
+	Hit   int
+}
+
+// Error renders the panic value; InjectedPanic implements error so
+// recovered values print usefully in reports.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s hit %d", p.Point, p.Hit)
+}
+
+// Injector replays a deterministic fault script. The zero value and nil
+// are both valid and inject nothing; construct a live one with New.
+type Injector struct {
+	mu     sync.Mutex
+	hits   map[Point]int
+	script map[Point]map[int]Fault
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{
+		hits:   make(map[Point]int),
+		script: make(map[Point]map[int]Fault),
+	}
+}
+
+// Script arms fault f at the hit-th crossing of point p (0-based) and
+// returns the injector for chaining. Re-scripting the same crossing
+// overwrites the previous fault.
+func (in *Injector) Script(p Point, hit int, f Fault) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.script == nil {
+		in.script = make(map[Point]map[int]Fault)
+	}
+	if in.script[p] == nil {
+		in.script[p] = make(map[int]Fault)
+	}
+	in.script[p][hit] = f
+	return in
+}
+
+// Fire records one crossing of point p and returns the fault scripted for
+// it, FaultNone otherwise. A nil injector always returns FaultNone.
+func (in *Injector) Fire(p Point) Fault {
+	f, _ := in.fire(p)
+	return f
+}
+
+// MaybePanic fires point p and acts on the scripted fault: FaultPanic
+// panics with an InjectedPanic, any other fault is returned for the
+// caller to interpret (FaultTimeout at a solve point means "pretend the
+// budget expired"). A nil injector is a no-op returning FaultNone.
+func (in *Injector) MaybePanic(p Point) Fault {
+	f, hit := in.fire(p)
+	if f == FaultPanic {
+		panic(InjectedPanic{Point: p, Hit: hit})
+	}
+	return f
+}
+
+// fire records one crossing and returns its scripted fault and hit index.
+func (in *Injector) fire(p Point) (Fault, int) {
+	if in == nil {
+		return FaultNone, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.hits == nil {
+		in.hits = make(map[Point]int)
+	}
+	hit := in.hits[p]
+	in.hits[p] = hit + 1
+	return in.script[p][hit], hit
+}
+
+// Hits returns how many times point p has fired so far.
+func (in *Injector) Hits(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[p]
+}
+
+// Corrupt returns a copy of data with the byte at offset XORed with mask —
+// the deterministic decode-corruption helper: tests corrupt an encoded
+// trace at a chosen point (a length prefix, a varint continuation bit) and
+// assert the decoder fails cleanly. An out-of-range offset returns the
+// input unchanged. A zero mask flips every bit (XOR 0xFF) so Corrupt never
+// silently no-ops.
+func Corrupt(data []byte, offset int, mask byte) []byte {
+	out := append([]byte(nil), data...)
+	if offset < 0 || offset >= len(out) {
+		return out
+	}
+	if mask == 0 {
+		mask = 0xFF
+	}
+	out[offset] ^= mask
+	return out
+}

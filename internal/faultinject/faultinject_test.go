@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.Fire(PointSolve); f != FaultNone {
+		t.Fatalf("nil.Fire = %v, want FaultNone", f)
+	}
+	if f := in.MaybePanic(PointWindow); f != FaultNone {
+		t.Fatalf("nil.MaybePanic = %v, want FaultNone", f)
+	}
+	if n := in.Hits(PointSolve); n != 0 {
+		t.Fatalf("nil.Hits = %d, want 0", n)
+	}
+}
+
+func TestScriptFiresAtExactHit(t *testing.T) {
+	in := New().Script(PointSolve, 2, FaultTimeout)
+	want := []Fault{FaultNone, FaultNone, FaultTimeout, FaultNone}
+	for i, w := range want {
+		if f := in.Fire(PointSolve); f != w {
+			t.Fatalf("hit %d: Fire = %v, want %v", i, f, w)
+		}
+	}
+	if n := in.Hits(PointSolve); n != len(want) {
+		t.Fatalf("Hits = %d, want %d", n, len(want))
+	}
+}
+
+func TestPointsCountIndependently(t *testing.T) {
+	in := New().Script(PointWindow, 0, FaultTimeout)
+	if f := in.Fire(PointSolve); f != FaultNone {
+		t.Fatalf("solve hit 0 = %v, want FaultNone", f)
+	}
+	if f := in.Fire(PointWindow); f != FaultTimeout {
+		t.Fatalf("window hit 0 = %v, want FaultTimeout", f)
+	}
+	if f := in.Fire(Scoped(PointWindow, 3)); f != FaultNone {
+		t.Fatal("scoped point must not share the base point's script")
+	}
+	if n := in.Hits(Scoped(PointWindow, 3)); n != 1 {
+		t.Fatalf("scoped hits = %d, want 1", n)
+	}
+}
+
+func TestMaybePanicCarriesProvenance(t *testing.T) {
+	in := New().Script(PointWindow, 1, FaultPanic)
+	in.MaybePanic(PointWindow) // hit 0: no fault
+	defer func() {
+		r := recover()
+		p, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want InjectedPanic", r, r)
+		}
+		if p.Point != PointWindow || p.Hit != 1 {
+			t.Fatalf("panic provenance = %+v, want {window 1}", p)
+		}
+		if p.Error() == "" {
+			t.Fatal("InjectedPanic.Error must render")
+		}
+	}()
+	in.MaybePanic(PointWindow)
+	t.Fatal("MaybePanic did not panic on the scripted hit")
+}
+
+// TestConcurrentFiresAreSerialised checks that parallel crossings each get
+// a unique hit index: exactly one goroutine observes the scripted fault.
+func TestConcurrentFiresAreSerialised(t *testing.T) {
+	in := New().Script(PointSolve, 50, FaultTimeout)
+	const workers = 8
+	const per = 100
+	var hits sync.Map
+	var wg sync.WaitGroup
+	faults := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if in.Fire(PointSolve) == FaultTimeout {
+					faults[w]++
+				}
+			}
+			hits.Store(w, true)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range faults {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("scripted fault observed %d times across workers, want exactly 1", total)
+	}
+	if n := in.Hits(PointSolve); n != workers*per {
+		t.Fatalf("Hits = %d, want %d", n, workers*per)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	orig := []byte{1, 2, 3}
+	got := Corrupt(orig, 1, 0x0F)
+	if !bytes.Equal(orig, []byte{1, 2, 3}) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	if !bytes.Equal(got, []byte{1, 2 ^ 0x0F, 3}) {
+		t.Fatalf("Corrupt = %v", got)
+	}
+	// Zero mask flips every bit instead of silently no-opping.
+	if got := Corrupt(orig, 0, 0); got[0] != 1^0xFF {
+		t.Fatalf("zero-mask Corrupt = %v, want bit-flipped byte", got)
+	}
+	// Out-of-range offsets return an unmodified copy.
+	if got := Corrupt(orig, 99, 0xFF); !bytes.Equal(got, orig) {
+		t.Fatalf("out-of-range Corrupt = %v, want copy of input", got)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for f, want := range map[Fault]string{
+		FaultNone: "none", FaultPanic: "panic", FaultTimeout: "timeout", Fault(9): "fault(9)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("Fault(%d).String() = %q, want %q", uint8(f), got, want)
+		}
+	}
+}

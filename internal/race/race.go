@@ -66,8 +66,43 @@ type Result struct {
 	Elapsed time.Duration
 	// SolverAborts counts per-COP solver timeouts/budget exhaustions
 	// (SMT-based detectors only); aborted COPs are conservatively treated
-	// as non-races, like the paper's one-minute timeout.
+	// as non-races, like the paper's one-minute timeout. Pairs rescued by
+	// the two-pass retry scheduler are not counted — only finally
+	// abandoned ones.
 	SolverAborts int
+	// PairsRetried counts pairs whose cheap first-pass solver budget
+	// expired and that were re-solved with escalated budgets by the
+	// two-pass scheduler (core detector only).
+	PairsRetried int
+	// Cancelled reports the run was interrupted by context cancellation:
+	// the results cover only the windows (and pairs) completed before the
+	// cancel and are sound but not maximal.
+	Cancelled bool
+	// BudgetExhausted reports the run's global wall-clock budget expired
+	// before every candidate was solved; skipped candidates are counted
+	// in telemetry and the results are sound but not maximal.
+	BudgetExhausted bool
+	// Failures lists windows whose analysis panicked and was isolated;
+	// every other window's results are intact. A non-empty list means the
+	// run is sound but not maximal (the failed windows' races are
+	// unknown).
+	Failures []WindowFailure
+}
+
+// WindowFailure records one analysis window whose worker panicked. The
+// panic was recovered, the window's partial results kept, and the run
+// continued — the failure is surfaced here (and in telemetry) so the
+// coverage gap is never silent.
+type WindowFailure struct {
+	// Window is the window's index in trace order; Offset the index of
+	// its first event in the input trace; Events its length.
+	Window int `json:"window"`
+	Offset int `json:"offset"`
+	Events int `json:"events"`
+	// PanicValue renders the recovered panic value.
+	PanicValue string `json:"panic"`
+	// Stack is the goroutine stack at the recovery point, truncated.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Count returns the number of distinct races found.

@@ -14,6 +14,7 @@
 package said
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/encode"
@@ -31,7 +32,9 @@ type Options struct {
 	// whole trace at once. The paper's default is 10000.
 	WindowSize int
 	// SolveTimeout bounds each COP's solver run (the paper uses one
-	// minute); 0 means no wall-clock bound.
+	// minute); ≤ 0 means no wall-clock bound. (rvpredict.Options maps its
+	// zero value to the paper's 60 s default, and negatives to 0, before
+	// reaching this layer.)
 	SolveTimeout time.Duration
 	// MaxConflicts bounds each COP's CDCL search; 0 means unbounded.
 	MaxConflicts int64
@@ -53,15 +56,36 @@ func (*Detector) Name() string { return "Said" }
 // Detect checks every quick-check-surviving COP by SMT with whole-trace
 // read–write consistency.
 func (d *Detector) Detect(tr *trace.Trace) race.Result {
+	return d.DetectContext(context.Background(), tr)
+}
+
+// DetectContext runs Detect under ctx: the context is polled between
+// windows, between pairs and inside the solver's conflict loop, so
+// cancellation interrupts a run mid-solve. The partial Result covers the
+// work completed before the cancel and is flagged Cancelled. A nil ctx is
+// treated as context.Background().
+func (d *Detector) DetectContext(ctx context.Context, tr *trace.Trace) race.Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() bool { return ctx.Err() != nil }
 	start := time.Now()
 	var res race.Result
 	seen := make(map[race.Signature]bool)
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			return
+		}
 		var (
 			sets   *lockset.Sets
 			shared *windowSolver
 		)
 		for _, cop := range race.EnumerateCOPs(w) {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			sig := race.SigOf(w, cop.A, cop.B)
 			if seen[sig] {
 				continue
@@ -78,10 +102,14 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 			res.COPsChecked++
 			if shared == nil {
 				shared = d.newWindowSolver(w)
+				shared.s.SetCancel(cancel)
 			}
 			ok, witness, aborted := shared.check(d, cop)
 			if aborted {
 				res.SolverAborts++
+				if shared.s.LastAbortCause() == sat.AbortCancelled {
+					res.Cancelled = true
+				}
 			}
 			if ok {
 				seen[sig] = true
@@ -96,6 +124,9 @@ func (d *Detector) Detect(tr *trace.Trace) race.Result {
 			}
 		}
 	})
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }

@@ -1,0 +1,74 @@
+package sat
+
+import "testing"
+
+// php builds the pigeonhole instance PHP(n) — n+1 pigeons, n holes,
+// unsat — on s; hard enough to generate many conflicts.
+func php(s *Solver, n int) {
+	vars := make([][]Var, n+1)
+	for p := range vars {
+		vars[p] = make([]Var, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], true)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], false), MkLit(vars[p2][h], false))
+			}
+		}
+	}
+}
+
+func TestCancelOnEntry(t *testing.T) {
+	s := New(nil)
+	a := s.NewVar()
+	s.AddClause(MkLit(a, true))
+	s.Cancel = func() bool { return true }
+	if r := s.Solve(); r != Aborted {
+		t.Fatalf("Solve = %v, want Aborted under pre-cancelled poll", r)
+	}
+	if c := s.LastAbortCause(); c != AbortCancelled {
+		t.Fatalf("LastAbortCause = %v, want AbortCancelled", c)
+	}
+	// Clearing the poll makes the solver usable again.
+	s.Cancel = nil
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve after clearing Cancel = %v, want Sat", r)
+	}
+}
+
+func TestCancelInConflictLoop(t *testing.T) {
+	s := New(nil)
+	php(s, 7)
+	// Pass the entry check once, then report cancellation: the abort must
+	// come from the conflict-loop poll, mid-search.
+	calls := 0
+	s.Cancel = func() bool {
+		calls++
+		return calls > 1
+	}
+	if r := s.Solve(); r != Aborted {
+		t.Fatalf("Solve = %v, want Aborted from mid-search cancel", r)
+	}
+	if c := s.LastAbortCause(); c != AbortCancelled {
+		t.Fatalf("LastAbortCause = %v, want AbortCancelled", c)
+	}
+	if calls < 2 {
+		t.Fatalf("cancel poll called %d times, want the conflict-loop poll to fire", calls)
+	}
+	// The abort must leave the solver at decision level zero, ready for
+	// another (uncancelled) run that completes the proof.
+	s.Cancel = nil
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("Solve after cancel = %v, want Unsat (PHP is unsat)", r)
+	}
+}

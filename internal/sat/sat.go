@@ -155,6 +155,8 @@ const (
 	AbortConflicts
 	// AbortDeadline: the wall-clock Deadline passed.
 	AbortDeadline
+	// AbortCancelled: the Cancel poll reported cooperative cancellation.
+	AbortCancelled
 )
 
 // Solver is a CDCL SAT solver. The zero value is not usable; construct with
@@ -196,6 +198,13 @@ type Solver struct {
 	// after the given wall-clock instant (the per-COP solving timeout of
 	// Section 4).
 	Deadline time.Time
+
+	// Cancel, when non-nil, is polled on Solve entry and in the conflict
+	// loop (at the same cadence as Deadline); returning true aborts the
+	// search with AbortCancelled. It is the cooperative-cancellation hook
+	// the detectors wire to a context, so a run can be stopped mid-solve
+	// and still return a well-formed partial result.
+	Cancel func() bool
 
 	Stats Stats
 
@@ -704,6 +713,10 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 	if s.rootUnsat {
 		return Unsat
 	}
+	if s.Cancel != nil && s.Cancel() {
+		s.abortCause = AbortCancelled
+		return Aborted
+	}
 	if c := s.propagate(); c != nil {
 		s.rootUnsat = true
 		return Unsat
@@ -802,10 +815,17 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Result {
 			s.backtrack(0)
 			return Aborted
 		}
-		if !s.Deadline.IsZero() && conflicts%64 == 1 && time.Now().After(s.Deadline) {
-			s.abortCause = AbortDeadline
-			s.backtrack(0)
-			return Aborted
+		if conflicts%64 == 1 {
+			if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+				s.abortCause = AbortDeadline
+				s.backtrack(0)
+				return Aborted
+			}
+			if s.Cancel != nil && s.Cancel() {
+				s.abortCause = AbortCancelled
+				s.backtrack(0)
+				return Aborted
+			}
 		}
 		if conflicts >= budget {
 			s.Stats.Restarts++

@@ -61,6 +61,11 @@ func (s *Solver) SetMaxConflicts(n int64) { s.sat.MaxConflicts = n }
 // SetDeadline aborts the search at the first conflict past t.
 func (s *Solver) SetDeadline(t time.Time) { s.sat.Deadline = t }
 
+// SetCancel installs a cooperative-cancellation poll: f is checked on
+// Solve entry and periodically in the conflict loop; returning true aborts
+// the search with sat.AbortCancelled. Pass nil to clear.
+func (s *Solver) SetCancel(f func() bool) { s.sat.Cancel = f }
+
 // Stats exposes the SAT core's search counters.
 func (s *Solver) Stats() sat.Stats { return s.sat.Stats }
 

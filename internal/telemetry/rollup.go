@@ -25,15 +25,18 @@ func (c *Collector) AddSolver(s *smt.Solver) {
 }
 
 // OutcomeOf translates a solver verdict into the telemetry outcome
-// vocabulary, splitting aborts by their cause (deadline vs. conflict
-// budget).
+// vocabulary, splitting aborts by their cause (deadline, conflict budget
+// or cooperative cancellation).
 func OutcomeOf(s *smt.Solver, isSat, aborted bool) Outcome {
 	switch {
 	case isSat:
 		return OutcomeSat
 	case aborted:
-		if s.LastAbortCause() == sat.AbortDeadline {
+		switch s.LastAbortCause() {
+		case sat.AbortDeadline:
 			return OutcomeTimeout
+		case sat.AbortCancelled:
+			return OutcomeCancelled
 		}
 		return OutcomeConflictBudget
 	}

@@ -93,6 +93,8 @@ const (
 	OutcomeTimeout
 	// OutcomeConflictBudget: the CDCL conflict budget was exhausted.
 	OutcomeConflictBudget
+	// OutcomeCancelled: the run's context was cancelled mid-solve.
+	OutcomeCancelled
 )
 
 // String returns the outcome's stable lower-case name.
@@ -106,14 +108,16 @@ func (o Outcome) String() string {
 		return "timeout"
 	case OutcomeConflictBudget:
 		return "conflict_budget"
+	case OutcomeCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
 
-// Aborted reports whether the outcome is a budget abort (timeout or
-// conflict budget) rather than a verdict.
+// Aborted reports whether the outcome is an abort (timeout, conflict
+// budget or cancellation) rather than a verdict.
 func (o Outcome) Aborted() bool {
-	return o == OutcomeTimeout || o == OutcomeConflictBudget
+	return o == OutcomeTimeout || o == OutcomeConflictBudget || o == OutcomeCancelled
 }
 
 // Tracer receives live progress callbacks from the detectors. All methods
@@ -169,10 +173,19 @@ type Collector struct {
 	solvers        atomic.Int64
 
 	// Query outcome tallies.
-	outSat    atomic.Int64
-	outUnsat  atomic.Int64
-	outTime   atomic.Int64
-	outBudget atomic.Int64
+	outSat       atomic.Int64
+	outUnsat     atomic.Int64
+	outTime      atomic.Int64
+	outBudget    atomic.Int64
+	outCancelled atomic.Int64
+
+	// Resilience tallies: the two-pass retry scheduler, global-budget
+	// exhaustion and recovered window-worker panics.
+	retriesScheduled atomic.Int64
+	retriesSolved    atomic.Int64
+	retrySat         atomic.Int64
+	budgetExhausted  atomic.Int64
+	windowFailures   atomic.Int64
 
 	// Pipeline funnel tallies.
 	enumerated    atomic.Int64
@@ -286,7 +299,48 @@ func (c *Collector) CountOutcome(o Outcome) {
 		c.outTime.Add(1)
 	case OutcomeConflictBudget:
 		c.outBudget.Add(1)
+	case OutcomeCancelled:
+		c.outCancelled.Add(1)
 	}
+}
+
+// CountRetryScheduled tallies one pair deferred to the second pass of the
+// adaptive scheduler after its cheap first-pass budget expired.
+func (c *Collector) CountRetryScheduled() {
+	if c == nil {
+		return
+	}
+	c.retriesScheduled.Add(1)
+}
+
+// CountRetrySolved tallies one retried pair that reached a verdict on the
+// escalated budget; sat marks a race the first pass would have abandoned.
+func (c *Collector) CountRetrySolved(sat bool) {
+	if c == nil {
+		return
+	}
+	c.retriesSolved.Add(1)
+	if sat {
+		c.retrySat.Add(1)
+	}
+}
+
+// CountBudgetExhausted tallies one candidate skipped (not solved, not
+// retried) because the run's global wall-clock budget was exhausted.
+func (c *Collector) CountBudgetExhausted() {
+	if c == nil {
+		return
+	}
+	c.budgetExhausted.Add(1)
+}
+
+// CountWindowFailure tallies one window worker that panicked and was
+// isolated (its window's results are lost, the run continued).
+func (c *Collector) CountWindowFailure() {
+	if c == nil {
+		return
+	}
+	c.windowFailures.Add(1)
 }
 
 // CountEnumerated tallies n enumerated candidates (COPs, inversions,
@@ -376,14 +430,20 @@ func (c *Collector) Snapshot() *Metrics {
 			Unsat:              c.outUnsat.Load(),
 			Timeout:            c.outTime.Load(),
 			ConflictBudget:     c.outBudget.Load(),
+			Cancelled:          c.outCancelled.Load(),
 			Enumerated:         c.enumerated.Load(),
 			QuickCheckFiltered: c.quickFiltered.Load(),
 			SigDedupHits:       c.sigDedups.Load(),
 			MHBFiltered:        c.mhbFiltered.Load(),
+			RetriesScheduled:   c.retriesScheduled.Load(),
+			RetriesSolved:      c.retriesSolved.Load(),
+			RetrySat:           c.retrySat.Load(),
+			BudgetExhausted:    c.budgetExhausted.Load(),
+			WindowFailures:     c.windowFailures.Load(),
 		},
 	}
 	m.Outcomes.Solved = m.Outcomes.Sat + m.Outcomes.Unsat +
-		m.Outcomes.Timeout + m.Outcomes.ConflictBudget
+		m.Outcomes.Timeout + m.Outcomes.ConflictBudget + m.Outcomes.Cancelled
 
 	c.mu.Lock()
 	m.Windows = append([]WindowRecord(nil), c.windows...)
@@ -473,8 +533,13 @@ type SolverCounters struct {
 }
 
 // OutcomeTally is the candidate funnel: how many candidates were
-// enumerated, how many each prefilter removed, and how every solver query
-// ended.
+// enumerated, how many each prefilter removed, how every solver query
+// ended, and how the run degraded (retries, budget exhaustion, cancelled
+// queries, isolated window panics). Solved counts solve attempts, so a
+// run with retries reports Solved greater than the pairs checked; the
+// degraded-outcome fields make every soundness-relevant gap — a pair not
+// decided sat/unsat, a window lost to a panic — visible in the JSON
+// output rather than silent.
 type OutcomeTally struct {
 	Enumerated         int64 `json:"candidates_enumerated"`
 	QuickCheckFiltered int64 `json:"quick_check_filtered"`
@@ -485,6 +550,21 @@ type OutcomeTally struct {
 	Unsat              int64 `json:"unsat"`
 	Timeout            int64 `json:"timeout"`
 	ConflictBudget     int64 `json:"conflict_budget_exhausted"`
+	// Cancelled counts queries aborted by context cancellation.
+	Cancelled int64 `json:"cancelled"`
+	// RetriesScheduled counts pairs whose cheap first-pass budget expired
+	// and that were deferred to the escalating second pass;
+	// RetriesSolved of those reached a verdict on retry, RetrySat of
+	// those were races the first pass would have abandoned.
+	RetriesScheduled int64 `json:"retries_scheduled"`
+	RetriesSolved    int64 `json:"retries_solved"`
+	RetrySat         int64 `json:"retry_sat"`
+	// BudgetExhausted counts candidates skipped outright because the
+	// run's global wall-clock budget was exhausted.
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	// WindowFailures counts window workers that panicked and were
+	// isolated (see the report's window_failures list for coordinates).
+	WindowFailures int64 `json:"window_failures"`
 }
 
 // WindowRecord summarises one analysis window.

@@ -36,6 +36,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("RVPT"))
 	f.Add([]byte("RVPT\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
 	f.Add([]byte{})
+	// Regression seeds: crafted hostile inputs that previously drove
+	// unbounded allocations or index wrap-around (see harden_test.go).
+	for _, data := range hostileInputs() {
+		f.Add(data)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(bytes.NewReader(data))

@@ -1,0 +1,123 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/trace"
+)
+
+// hostile builds a binary input from the format header plus raw uvarint
+// fields — the shortest way to claim arbitrary counts to the decoder.
+func hostile(fields ...uint64) []byte {
+	out := []byte(Magic)
+	var buf [binary.MaxVarintLen64]byte
+	for _, f := range fields {
+		n := binary.PutUvarint(buf[:], f)
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// hostileInputs enumerates crafted corrupt encodings, one per validated
+// count or length. Shared with FuzzDecode, which registers them as
+// regression seeds.
+func hostileInputs() map[string][]byte {
+	return map[string][]byte{
+		// Event count beyond maxEvents, rejected before any allocation.
+		"event-count-absurd": hostile(Version, 1<<62),
+		// Event count under maxEvents but with no event data: the
+		// pre-allocation must be capped and the decode must fail on the
+		// missing data, not OOM.
+		"event-count-truncated": hostile(Version, 1<<30),
+		// Metadata section counts: zero events followed by a huge count.
+		"link-count-absurd": hostile(Version, 0, 1<<40),
+		"vol-count-absurd":  hostile(Version, 0, 0, 1<<40),
+		"init-count-absurd": hostile(Version, 0, 0, 0, 1<<40),
+		"name-count-absurd": hostile(Version, 0, 0, 0, 0, 1<<40),
+		// A notify link referencing an event that was never decoded.
+		"link-index-out-of-range": hostile(Version, 0, 1, 5, 0, 0),
+		// A link index so large that truncating it to int would wrap
+		// negative — must be rejected as out of range instead.
+		"link-index-wraps-negative": hostile(Version, 0, 1, 1<<63, 0, 0),
+		// One location name claiming a gigantic length.
+		"name-length-absurd": hostile(Version, 0, 0, 0, 0, 1, 7, 1<<30),
+	}
+}
+
+// TestDecodeHostileInputs is the hardening acceptance test: every crafted
+// corrupt input must produce a decode error — and the huge-count cases
+// must do so within bounded memory, not by allocating what the corrupt
+// header claims.
+func TestDecodeHostileInputs(t *testing.T) {
+	for name, data := range hostileInputs() {
+		t.Run(name, func(t *testing.T) {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			tr, err := Decode(bytes.NewReader(data))
+			runtime.ReadMemStats(&after)
+			if err == nil {
+				t.Fatalf("Decode accepted hostile input (%d events)", tr.Len())
+			}
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("Decode error = %v, want ErrFormat", err)
+			}
+			// The absurd counts claim gigabytes; a hardened decoder
+			// allocates at most the capped pre-size (~a few MB).
+			if delta := after.TotalAlloc - before.TotalAlloc; delta > 64<<20 {
+				t.Fatalf("Decode of %d-byte hostile input allocated %d bytes", len(data), delta)
+			}
+		})
+	}
+}
+
+// TestDecodeCorruptLengthPrefix corrupts each byte of a valid encoding's
+// header region (magic, version, event count) in turn: the decoder must
+// return a clean error or a structurally sane trace — never panic and
+// never allocate unboundedly.
+func TestDecodeCorruptLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	b := trace.NewBuilder()
+	b.Fork(1, 2)
+	b.Write(1, 5, 1)
+	b.Write(2, 5, 2)
+	b.Join(1, 2)
+	if err := Encode(&buf, b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for off := 0; off < len(valid) && off < 8; off++ {
+		data := faultinject.Corrupt(valid, off, 0xFF)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		tr, err := Decode(bytes.NewReader(data))
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			// A corruption that still decodes must yield a usable trace.
+			_ = tr.ComputeStats()
+		} else if !errors.Is(err, ErrFormat) {
+			t.Fatalf("offset %d: error = %v, want ErrFormat", off, err)
+		}
+		if delta := after.TotalAlloc - before.TotalAlloc; delta > 64<<20 {
+			t.Fatalf("offset %d: corrupt prefix allocated %d bytes", off, delta)
+		}
+	}
+}
+
+// TestDecodeLinkBoundsRejected pins the link-index validation: an
+// otherwise well-formed encoding whose notify link points past the event
+// section must be rejected, and the huge-index variant must not wrap to a
+// negative int index.
+func TestDecodeLinkBoundsRejected(t *testing.T) {
+	for _, name := range []string{"link-index-out-of-range", "link-index-wraps-negative"} {
+		if _, err := Decode(bytes.NewReader(hostileInputs()[name])); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: error = %v, want ErrFormat", name, err)
+		}
+	}
+}

@@ -181,7 +181,26 @@ func (r *reader) varint() (int64, error) {
 	return v, nil
 }
 
-// Decode reads a binary trace from r.
+// Decode limits. Hostile inputs can claim arbitrary counts in a few
+// bytes, so every count is validated before it drives an allocation or a
+// long loop: decoding must fail with ErrFormat in bounded memory, never
+// OOM. The caps are far above anything Encode produces for real traces.
+const (
+	// maxEvents bounds the declared event count.
+	maxEvents = 1 << 31
+	// maxCapHint bounds the event-slice pre-allocation taken from the
+	// (unverified) header count; larger honest traces just grow.
+	maxCapHint = 1 << 16
+	// maxMeta bounds each metadata section's count (notify links,
+	// volatiles, initial values, location names).
+	maxMeta = 1 << 24
+	// maxNameLen bounds one location name's byte length.
+	maxNameLen = 1 << 16
+)
+
+// Decode reads a binary trace from r. It is safe on hostile input: all
+// counts and lengths are validated before allocation, and a corrupt
+// length prefix yields an ErrFormat error within bounded memory.
 func Decode(r io.Reader) (*trace.Trace, error) {
 	br := &reader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(Magic))
@@ -199,16 +218,17 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxEvents = 1 << 31
 	if n > maxEvents {
 		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, n)
 	}
 	// Pre-size from the header but never trust it for a large allocation:
 	// a corrupt count must fail on the (missing) event data, not by
-	// exhausting memory up front.
+	// exhausting memory up front. Each event is at least 5 bytes on the
+	// wire, so growing organically past the hint costs little; the hint
+	// only avoids re-allocation for honest small traces.
 	capHint := int(n)
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	if capHint > maxCapHint {
+		capHint = maxCapHint
 	}
 	tr := trace.New(capHint)
 	for i := uint64(0); i < n; i++ {
@@ -244,6 +264,9 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nLinks > maxMeta {
+		return nil, fmt.Errorf("%w: implausible notify-link count %d", ErrFormat, nLinks)
+	}
 	for i := uint64(0); i < nLinks; i++ {
 		ntf, err := br.uvarint()
 		if err != nil {
@@ -257,11 +280,21 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Link indices must reference decoded events: rejecting
+		// out-of-range values here also rejects uint64→int truncation on
+		// hostile inputs (a huge varint must not wrap to a negative
+		// index).
+		if ntf >= n || rel >= n || acq >= n {
+			return nil, fmt.Errorf("%w: notify link index out of range", ErrFormat)
+		}
 		tr.AddNotifyLink(int(ntf), int(rel), int(acq))
 	}
 	nVols, err := br.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nVols > maxMeta {
+		return nil, fmt.Errorf("%w: implausible volatile count %d", ErrFormat, nVols)
 	}
 	for i := uint64(0); i < nVols; i++ {
 		a, err := br.uvarint()
@@ -273,6 +306,9 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 	nInits, err := br.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nInits > maxMeta {
+		return nil, fmt.Errorf("%w: implausible initial-value count %d", ErrFormat, nInits)
 	}
 	for i := uint64(0); i < nInits; i++ {
 		a, err := br.uvarint()
@@ -289,6 +325,9 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nNames > maxMeta {
+		return nil, fmt.Errorf("%w: implausible name count %d", ErrFormat, nNames)
+	}
 	for i := uint64(0); i < nNames; i++ {
 		l, err := br.uvarint()
 		if err != nil {
@@ -298,8 +337,8 @@ func Decode(r io.Reader) (*trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		if sz > 1<<20 {
-			return nil, fmt.Errorf("%w: implausible name length", ErrFormat)
+		if sz > maxNameLen {
+			return nil, fmt.Errorf("%w: implausible name length %d", ErrFormat, sz)
 		}
 		buf := make([]byte, sz)
 		if _, err := io.ReadFull(br.r, buf); err != nil {

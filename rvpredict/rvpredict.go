@@ -24,6 +24,7 @@
 package rvpredict
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/deadlock"
+	"repro/internal/faultinject"
 	"repro/internal/hb"
 	"repro/internal/lockset"
 	"repro/internal/race"
@@ -123,6 +125,7 @@ const (
 	OutcomeUnsat          = telemetry.OutcomeUnsat
 	OutcomeTimeout        = telemetry.OutcomeTimeout
 	OutcomeConflictBudget = telemetry.OutcomeConflictBudget
+	OutcomeCancelled      = telemetry.OutcomeCancelled
 )
 
 // Options configures Detect. The zero value runs the paper's algorithm
@@ -135,9 +138,24 @@ type Options struct {
 	// analyses the whole trace in one window).
 	WindowSize int
 	// SolveTimeout bounds each conflicting pair's solver run for the
-	// SMT-based techniques (default 60s, the paper's setting; negative
-	// disables the bound).
+	// SMT-based techniques. The zero value maps to 60s, the paper's
+	// setting; a negative value disables the bound. (The internal
+	// detectors uniformly treat ≤ 0 as unbounded; this layer owns the
+	// zero-means-default mapping.)
 	SolveTimeout time.Duration
+	// FirstPassTimeout, when positive and smaller than the effective
+	// SolveTimeout, enables the two-pass adaptive scheduler of the
+	// MaximalCF detector: every pair is first solved under this cheap
+	// budget, and pairs that time out are re-solved afterwards with
+	// geometrically escalating budgets (up to SolveTimeout and the
+	// remaining GlobalBudget). Retries are visible in Report.Telemetry
+	// and Report.PairsRetried.
+	FirstPassTimeout time.Duration
+	// GlobalBudget, when positive, bounds the whole detection run's
+	// wall clock. When it expires, remaining solver work is skipped, the
+	// report is flagged BudgetExhausted, and results produced so far are
+	// returned (sound but not maximal). MaximalCF only.
+	GlobalBudget time.Duration
 	// MaxConflicts optionally bounds each pair's CDCL search (0 = off).
 	MaxConflicts int64
 	// Witness requests a witness schedule per race (SMT techniques only).
@@ -154,6 +172,11 @@ type Options struct {
 	// lifecycle, per-query verdicts) during SMT-based detection. It is
 	// independent of Telemetry.
 	Tracer Tracer
+	// FaultInjector, when non-nil, wires a deterministic fault-injection
+	// script into the MaximalCF pipeline. It exists for resilience tests
+	// only — injected faults make the detector deliberately under-report
+	// — and must stay nil in production use.
+	FaultInjector *faultinject.Injector
 }
 
 func (o Options) normalise() Options {
@@ -206,8 +229,39 @@ type Report struct {
 	SolverTimeouts int `json:"solver_timeouts"`
 	// Elapsed is the wall-clock analysis time in nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// PairsRetried counts pairs re-solved by the two-pass adaptive
+	// scheduler (Options.FirstPassTimeout; MaximalCF only).
+	PairsRetried int `json:"pairs_retried,omitempty"`
+	// Interrupted reports the run was cut short by context cancellation
+	// (DetectContext / SIGINT in the CLI). The races listed are all real,
+	// but coverage is partial: only the work completed before the
+	// interrupt is reflected. Always present in JSON so consumers can
+	// rely on the key.
+	Interrupted bool `json:"interrupted"`
+	// BudgetExhausted reports Options.GlobalBudget expired before every
+	// candidate was solved; like Interrupted, results are sound but
+	// coverage is partial.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
+	// WindowFailures lists analysis windows whose worker panicked and was
+	// isolated; all other windows' results are intact.
+	WindowFailures []WindowFailure `json:"window_failures,omitempty"`
 	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
+}
+
+// WindowFailure records one analysis window whose worker panicked. The
+// panic was recovered and the run continued; the failure is surfaced here
+// (and in Telemetry) so the coverage gap is never silent.
+type WindowFailure struct {
+	// Window is the window's index in trace order; Offset the index of
+	// its first event in the input trace; Events its length.
+	Window int `json:"window"`
+	Offset int `json:"offset"`
+	Events int `json:"events"`
+	// PanicValue renders the recovered panic value.
+	PanicValue string `json:"panic"`
+	// Stack is the goroutine stack at the recovery point.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Detect runs the selected race detection technique over tr.
@@ -216,9 +270,23 @@ type Report struct {
 // detectors otherwise return results for the prefix semantics they can
 // reconstruct. Detect never modifies tr.
 func Detect(tr *trace.Trace, opt Options) Report {
+	return DetectContext(context.Background(), tr, opt)
+}
+
+// DetectContext is Detect under a context: cancelling ctx interrupts the
+// run — the context is polled between windows, between pairs and inside
+// the solver's search loop — and the partial report is returned with
+// Interrupted set. Every race in a partial report is still real; only
+// coverage is affected. A nil ctx is treated as context.Background().
+func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.normalise()
 	col := newCollector(opt)
-	var det race.Detector
+	var det interface {
+		DetectContext(ctx context.Context, tr *trace.Trace) race.Result
+	}
 	switch opt.Algorithm {
 	case SaidEtAl:
 		det = said.New(said.Options{
@@ -228,34 +296,43 @@ func Detect(tr *trace.Trace, opt Options) Report {
 			Witness:      opt.Witness,
 		})
 	case CausallyPrecedes:
-		det = cp.New(cp.Options{WindowSize: opt.WindowSize})
+		det = uncancellable{cp.New(cp.Options{WindowSize: opt.WindowSize})}
 	case HappensBefore:
-		det = hb.New(hb.Options{WindowSize: opt.WindowSize})
+		det = uncancellable{hb.New(hb.Options{WindowSize: opt.WindowSize})}
 	case QuickCheck:
-		det = lockset.New(lockset.Options{WindowSize: opt.WindowSize})
+		det = uncancellable{lockset.New(lockset.Options{WindowSize: opt.WindowSize})}
 	default:
 		det = core.New(core.Options{
-			WindowSize:   opt.WindowSize,
-			SolveTimeout: opt.SolveTimeout,
-			MaxConflicts: opt.MaxConflicts,
-			Witness:      opt.Witness,
-			Parallelism:  opt.Parallelism,
-			Telemetry:    col,
-			Tracer:       opt.Tracer,
+			WindowSize:       opt.WindowSize,
+			SolveTimeout:     opt.SolveTimeout,
+			FirstPassTimeout: opt.FirstPassTimeout,
+			GlobalBudget:     opt.GlobalBudget,
+			MaxConflicts:     opt.MaxConflicts,
+			Witness:          opt.Witness,
+			Parallelism:      opt.Parallelism,
+			Telemetry:        col,
+			Tracer:           opt.Tracer,
+			FaultInjector:    opt.FaultInjector,
 		})
 	}
-	res := det.Detect(tr)
+	res := det.DetectContext(ctx, tr)
 	scan := col.StartPhase(telemetry.PhaseTraceScan)
 	stats := tr.ComputeStats()
 	scan.End()
 	rep := Report{
-		Algorithm:      opt.Algorithm,
-		Stats:          stats,
-		PairsChecked:   res.COPsChecked,
-		Windows:        res.Windows,
-		SolverTimeouts: res.SolverAborts,
-		Elapsed:        res.Elapsed,
-		Telemetry:      col.Snapshot(),
+		Algorithm:       opt.Algorithm,
+		Stats:           stats,
+		PairsChecked:    res.COPsChecked,
+		Windows:         res.Windows,
+		SolverTimeouts:  res.SolverAborts,
+		Elapsed:         res.Elapsed,
+		PairsRetried:    res.PairsRetried,
+		Interrupted:     res.Cancelled,
+		BudgetExhausted: res.BudgetExhausted,
+		Telemetry:       col.Snapshot(),
+	}
+	for _, f := range res.Failures {
+		rep.WindowFailures = append(rep.WindowFailures, WindowFailure(f))
 	}
 	for _, r := range res.Races {
 		rep.Races = append(rep.Races, Race{
@@ -270,6 +347,24 @@ func Detect(tr *trace.Trace, opt Options) Report {
 		})
 	}
 	return rep
+}
+
+// uncancellable adapts the vector-clock detectors — fast, purely
+// combinatorial passes with no solver to interrupt — to the context-aware
+// detector interface. The context is still honoured at the whole-run
+// granularity: a context already cancelled on entry yields an empty
+// interrupted result.
+type uncancellable struct{ d race.Detector }
+
+func (u uncancellable) DetectContext(ctx context.Context, tr *trace.Trace) race.Result {
+	if ctx != nil && ctx.Err() != nil {
+		return race.Result{Cancelled: true}
+	}
+	res := u.d.Detect(tr)
+	if ctx != nil && ctx.Err() != nil {
+		res.Cancelled = true
+	}
+	return res
 }
 
 // newCollector returns a live collector when telemetry was requested, or
@@ -298,6 +393,9 @@ type DeadlockReport struct {
 	Windows int `json:"windows"`
 	// Elapsed is the wall-clock analysis time in nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Interrupted reports the run was cut short by context cancellation;
+	// the deadlocks listed are all real, but coverage is partial.
+	Interrupted bool `json:"interrupted"`
 	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
@@ -323,6 +421,13 @@ type PredictedDeadlock struct {
 // reordering actually reaches the deadlocked state, so gate-locked or
 // control-flow-guarded inversions are proved safe rather than reported.
 func DetectDeadlocks(tr *trace.Trace, opt Options) DeadlockReport {
+	return DetectDeadlocksContext(context.Background(), tr, opt)
+}
+
+// DetectDeadlocksContext is DetectDeadlocks under a context; cancelling
+// ctx interrupts the run mid-solve and returns the partial report with
+// Interrupted set. A nil ctx is treated as context.Background().
+func DetectDeadlocksContext(ctx context.Context, tr *trace.Trace, opt Options) DeadlockReport {
 	opt = opt.normalise()
 	col := newCollector(opt)
 	res := deadlock.New(deadlock.Options{
@@ -332,12 +437,13 @@ func DetectDeadlocks(tr *trace.Trace, opt Options) DeadlockReport {
 		Witness:      opt.Witness,
 		Telemetry:    col,
 		Tracer:       opt.Tracer,
-	}).Detect(tr)
+	}).DetectContext(ctx, tr)
 	rep := DeadlockReport{
-		Candidates: res.Candidates,
-		Windows:    res.Windows,
-		Elapsed:    res.Elapsed,
-		Telemetry:  col.Snapshot(),
+		Candidates:  res.Candidates,
+		Windows:     res.Windows,
+		Elapsed:     res.Elapsed,
+		Interrupted: res.Cancelled,
+		Telemetry:   col.Snapshot(),
 	}
 	for _, d := range res.Deadlocks {
 		rep.Deadlocks = append(rep.Deadlocks, PredictedDeadlock{
@@ -360,6 +466,9 @@ type AtomicityReport struct {
 	Windows int `json:"windows"`
 	// Elapsed is the wall-clock analysis time in nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Interrupted reports the run was cut short by context cancellation;
+	// the violations listed are all real, but coverage is partial.
+	Interrupted bool `json:"interrupted"`
 	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
@@ -386,6 +495,14 @@ type AtomicityViolation struct {
 // the trace realises — the third concurrency property (after races and
 // deadlocks) expressible on the paper's maximal causal model (Section 2.5).
 func DetectAtomicityViolations(tr *trace.Trace, opt Options) AtomicityReport {
+	return DetectAtomicityViolationsContext(context.Background(), tr, opt)
+}
+
+// DetectAtomicityViolationsContext is DetectAtomicityViolations under a
+// context; cancelling ctx interrupts the run mid-solve and returns the
+// partial report with Interrupted set. A nil ctx is treated as
+// context.Background().
+func DetectAtomicityViolationsContext(ctx context.Context, tr *trace.Trace, opt Options) AtomicityReport {
 	opt = opt.normalise()
 	col := newCollector(opt)
 	res := atomicity.New(atomicity.Options{
@@ -395,12 +512,13 @@ func DetectAtomicityViolations(tr *trace.Trace, opt Options) AtomicityReport {
 		Witness:      opt.Witness,
 		Telemetry:    col,
 		Tracer:       opt.Tracer,
-	}).Detect(tr)
+	}).DetectContext(ctx, tr)
 	rep := AtomicityReport{
-		Candidates: res.Candidates,
-		Windows:    res.Windows,
-		Elapsed:    res.Elapsed,
-		Telemetry:  col.Snapshot(),
+		Candidates:  res.Candidates,
+		Windows:     res.Windows,
+		Elapsed:     res.Elapsed,
+		Interrupted: res.Cancelled,
+		Telemetry:   col.Snapshot(),
 	}
 	for _, v := range res.Violations {
 		rep.Violations = append(rep.Violations, AtomicityViolation{
