@@ -451,6 +451,28 @@ func BenchmarkParallelDetect(b *testing.B) {
 	}
 }
 
+// BenchmarkPairParallelDetect measures the intra-window pair scheduler on
+// a single-window workload — the regime window-level parallelism cannot
+// touch (one window ⇒ one window worker) and where pair workers carry all
+// the speedup. The workload plants many distinct signatures so the solve
+// queue has real group structure to distribute.
+func BenchmarkPairParallelDetect(b *testing.B) {
+	spec := workloads.Spec{
+		Name: "pairpar", Workers: 8, Events: 3000, Window: 3000, Seed: 7,
+		Motifs: workloads.MotifCounts{Plain: 6, CP: 4, Said: 6, RVRegion: 10,
+			RVIncomplete: 4},
+	}
+	tr, _ := workloads.Build(spec)
+	for _, pp := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pairworkers=%d", pp), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(core.Options{WindowSize: spec.Window, PairParallelism: pp,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+		})
+	}
+}
+
 // serverTrace builds the examples/server workload: request-dispatching
 // workers with a lock-protected session table, an unprotected stats
 // counter and an unsynchronised shutdown flag.

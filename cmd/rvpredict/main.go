@@ -61,6 +61,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		window     = fs.Int("window", 10000, "window size in events (0 = whole trace)")
 		timeout    = fs.Duration("timeout", 60*time.Second, "per-pair solver timeout")
 		parallel   = fs.Int("parallel", 0, "analyse windows with this many workers (rv only)")
+		pairPar    = fs.Int("pair-parallel", 0, "solve pairs inside each window with this many workers (rv only; deterministic)")
 		witness    = fs.Bool("witness", false, "print a witness schedule per race")
 		dump       = fs.Bool("dump", false, "dump the trace instead of analysing it")
 		deadlocks  = fs.Bool("deadlock", false, "predict lock-inversion deadlocks instead of races")
@@ -143,6 +144,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		FirstPassTimeout: *firstPass,
 		GlobalBudget:     *budget,
 		Parallelism:      *parallel,
+		PairParallelism:  *pairPar,
 		Witness:          *witness,
 		Telemetry:        *stats || *jsonOut,
 	}
@@ -286,9 +288,10 @@ func printTelemetry(w io.Writer, t *rvpredict.Telemetry) {
 		return time.Duration(ns).Round(10 * time.Microsecond).String()
 	}
 	fmt.Fprintln(w, "--- stats ---")
-	fmt.Fprintf(w, "phases: scan %s, enumerate %s, quick-check %s, encode %s, solve %s, witness %s\n",
-		ms(t.Phases.TraceScan), ms(t.Phases.Enumerate), ms(t.Phases.QuickCheck),
-		ms(t.Phases.Encode), ms(t.Phases.Solve), ms(t.Phases.Witness))
+	fmt.Fprintf(w, "phases: scan %s, enumerate %s, mhb %s, quick-check %s, encode %s, solve %s, witness %s\n",
+		ms(t.Phases.TraceScan), ms(t.Phases.Enumerate), ms(t.Phases.MHB),
+		ms(t.Phases.QuickCheck), ms(t.Phases.Encode), ms(t.Phases.Solve),
+		ms(t.Phases.Witness))
 	o := t.Outcomes
 	fmt.Fprintf(w, "candidates: %d enumerated, %d quick-check filtered, %d MHB filtered, %d dedup hits\n",
 		o.Enumerated, o.QuickCheckFiltered, o.MHBFiltered, o.SigDedupHits)
@@ -305,6 +308,10 @@ func printTelemetry(w io.Writer, t *rvpredict.Telemetry) {
 		sc.IDLAsserts, sc.IDLNegativeCycles, sc.IDLRepairSteps, sc.TheoryProps, sc.TheoryConflicts)
 	fmt.Fprintf(w, "encode: %d interned atoms, %d tseitin vars, %d tseitin clauses; %d bool vars, %d clauses, %d int vars across %d solver(s)\n",
 		sc.InternedAtoms, sc.TseitinVars, sc.TseitinClauses, sc.BoolVars, sc.Clauses, sc.IntVars, sc.Solvers)
+	if ps := t.PairSched; ps.Groups > 0 {
+		fmt.Fprintf(w, "pair scheduler: %d groups, %d workers, %d replicas, %d rollbacks, queue wait %s\n",
+			ps.Groups, ps.Workers, ps.Replicas, ps.Rollbacks, ms(ps.QueueWaitNS))
+	}
 	fmt.Fprintf(w, "windows: %d\n", t.WindowCount)
 }
 

@@ -42,7 +42,6 @@ import (
 
 	"repro/internal/encode"
 	"repro/internal/faultinject"
-	"repro/internal/lockset"
 	"repro/internal/race"
 	"repro/internal/sat"
 	"repro/internal/smt"
@@ -102,6 +101,21 @@ type Options struct {
 	// skip redundant solving. MaxAttemptsPerSig is enforced per window in
 	// parallel mode.
 	Parallelism int
+	// PairParallelism > 1 solves the candidate pairs *inside* each window
+	// concurrently with that many workers, each owning a replica of the
+	// window encoding fed from a shared queue of signature groups. Unlike
+	// Parallelism, pair-level parallelism is fully deterministic: the
+	// prefilters and signature dedup run before dispatch, every group is
+	// solved from the same checkpointed base encoding, and results merge
+	// in canonical order, so the race.Result (races, witnesses, counters)
+	// is bit-identical to the PairParallelism ≤ 1 run — absent real
+	// wall-clock solver timeouts, which are inherently timing-dependent.
+	// The total number of concurrent solving workers across both levels is
+	// bounded by max(Parallelism, PairParallelism), and the workers per
+	// window are additionally capped at GOMAXPROCS — pair solving is
+	// CPU-bound, so a worker beyond the core count could never repay its
+	// replica's construction cost.
+	PairParallelism int
 	// BranchDepWindow, when > 0, assumes each branch and write depends
 	// only on the last K reads of its thread instead of its entire read
 	// history — the weaker-axiom variant sketched in the paper's
@@ -143,6 +157,13 @@ type Detector struct {
 	// event index in the full trace.
 	winBase     int
 	traceOffset int
+
+	// budget is the run-wide worker budget, capacity
+	// max(Parallelism, PairParallelism, 1): window coordinators
+	// block-acquire a slot, extra pair workers spawn only when a slot is
+	// free (see solveGroups). Created per DetectContext call and shared by
+	// the per-window detector copies.
+	budget chan struct{}
 }
 
 // New returns a detector with the given options.
@@ -170,6 +191,14 @@ func (d *Detector) DetectContext(ctx context.Context, tr *trace.Trace) race.Resu
 	if d.opt.GlobalBudget > 0 {
 		globalDeadline = time.Now().Add(d.opt.GlobalBudget)
 	}
+	workers := d.opt.Parallelism
+	if d.opt.PairParallelism > workers {
+		workers = d.opt.PairParallelism
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d.budget = make(chan struct{}, workers)
 	if d.opt.Parallelism > 1 {
 		return d.detectParallel(ctx, globalDeadline, tr)
 	}
@@ -245,21 +274,9 @@ func windowFailure(win, offset, events int, r any) race.WindowFailure {
 	}
 }
 
-// deferredPair is one COP whose cheap first-pass solve timed out, queued
-// for the escalating second pass.
-type deferredPair struct {
-	cop race.COP
-	sig race.Signature
-	// g is the pair's guard literal on the shared window solver; on the
-	// MergeRaceVars ablation path (merged true) there is no shared
-	// encoding and the retry rebuilds the per-COP solver instead.
-	g      sat.Lit
-	merged bool
-}
-
-// detectWindows is the sequential detection driver: one window at a time,
-// two solving passes per window, each window isolated against worker
-// panics.
+// detectWindows is the window-sequential detection driver: one window at a
+// time, pairs scheduled per window by the pair scheduler (pairsched.go),
+// each window isolated against worker panics.
 func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, tr *trace.Trace) race.Result {
 	start := time.Now()
 	col := d.opt.Telemetry
@@ -281,10 +298,12 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 			res.BudgetExhausted = true
 			return
 		}
-		// Panic isolation: an encoder or solver bug in this window is
-		// recovered here, recorded as a WindowFailure, and the run
-		// continues with every other window's results intact. Races
-		// appended before the panic are kept — they are sound.
+		// Panic isolation: an encoder or solver bug in this window — on
+		// the coordinator or on any pair worker — is recovered here,
+		// recorded as a WindowFailure, and the run continues with every
+		// other window's results intact. The failed window contributes no
+		// results: its races merge only after the scheduler completes, so
+		// the drop is all-or-nothing and deterministic.
 		defer func() {
 			if r := recover(); r != nil {
 				res.Failures = append(res.Failures,
@@ -308,213 +327,49 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		span.End()
 		col.CountEnumerated(len(cops))
 
-		var (
-			sets       *lockset.Sets
-			mhb        *vc.MHB
-			shared     *windowSolver
-			deferred   []deferredPair
-			budgetGone bool
-		)
-		passTimeout := d.passOneTimeout()
-		for _, cop := range cops {
-			if ctx.Err() != nil {
-				res.Cancelled = true
-				break
+		// Prefilters and signature grouping run up front; the pair
+		// scheduler then solves the groups (in parallel when
+		// PairParallelism > 1) and the results merge below in canonical
+		// group order, so the window's contribution is deterministic.
+		groups := d.partition(w, cops, seen, attempts)
+		col.CountPairGroups(len(groups))
+		if len(groups) > 0 && ctx.Err() == nil {
+			span = col.StartPhase(telemetry.PhaseMHB)
+			mhb := vc.ComputeMHB(w)
+			span.End()
+			wc := &windowCtx{
+				ctx: ctx, w: w, mhb: mhb, widx: widx, offset: offset,
+				globalDeadline: globalDeadline, cancel: cancel,
 			}
-			sig := race.SigOf(w, cop.A, cop.B)
-			if seen[sig] {
-				col.CountSigDedup()
-				continue
-			}
-			if d.skipSig != nil && d.skipSig(sig) {
-				col.CountSigDedup()
-				continue
-			}
-			if d.opt.MaxAttemptsPerSig > 0 && attempts[sig] >= d.opt.MaxAttemptsPerSig {
-				col.CountSigDedup()
-				continue
-			}
-			if mhb == nil {
-				span = col.StartPhase(telemetry.PhaseEncode)
-				mhb = vc.ComputeMHB(w)
-				span.End()
-				if !d.opt.NoQuickCheck {
-					span = col.StartPhase(telemetry.PhaseQuickCheck)
-					sets = lockset.Compute(w)
-					span.End()
-				}
-			}
-			if sets != nil {
-				span = col.StartPhase(telemetry.PhaseQuickCheck)
-				pass := sets.Pass(cop.A, cop.B)
-				span.End()
-				if !pass {
-					col.CountQuickCheckFiltered()
+			for i, gr := range d.solveGroups(wc, groups) {
+				if gr == nil {
 					continue
 				}
-			}
-			if budgetGone || (!globalDeadline.IsZero() && time.Now().After(globalDeadline)) {
-				budgetGone = true
-				res.BudgetExhausted = true
-				col.CountBudgetExhausted()
-				continue
-			}
-			res.COPsChecked++
-			solved++
-			attempts[sig]++
-			var qstart time.Time
-			if tracer != nil {
-				qstart = time.Now()
-			}
-			var (
-				isRace  bool
-				witness []int
-				outcome telemetry.Outcome
-				guard   sat.Lit
-				hasG    bool
-			)
-			if d.opt.MergeRaceVars {
-				// Merging fuses the pair onto one order variable, so the
-				// encoding is rebuilt per COP (the ablation path).
-				isRace, witness, outcome = d.checkMerged(w, mhb, cop, widx,
-					passTimeout, globalDeadline, cancel)
-			} else {
-				if shared == nil {
-					shared = d.newWindowSolver(w, mhb)
-					shared.s.SetCancel(cancel)
-				}
-				guard, hasG = shared.prepare(d, cop)
-				if !hasG {
-					isRace, witness, outcome = false, nil, telemetry.OutcomeUnsat
-				} else {
-					isRace, witness, outcome = shared.solve(d, widx, cop, guard,
-						passTimeout, globalDeadline)
-				}
-			}
-			col.CountOutcome(outcome)
-			if tracer != nil {
-				tracer.QuerySolved(widx, cop.A+offset+d.traceOffset,
-					cop.B+offset+d.traceOffset, outcome, time.Since(qstart))
-			}
-			if outcome == telemetry.OutcomeTimeout && d.twoPass() {
-				// Deferred, not abandoned: pass 2 below re-solves it with
-				// escalating budgets.
-				res.PairsRetried++
-				col.CountRetryScheduled()
-				deferred = append(deferred, deferredPair{
-					cop: cop, sig: sig, g: guard, merged: d.opt.MergeRaceVars,
-				})
-				continue
-			}
-			if outcome.Aborted() {
-				res.SolverAborts++
-				if outcome == telemetry.OutcomeCancelled {
+				g := groups[i]
+				res.COPsChecked += gr.solved
+				solved += gr.solved
+				res.SolverAborts += gr.aborts
+				res.PairsRetried += gr.retried
+				attempts[g.sig] = gr.attempts
+				if gr.cancelled {
 					res.Cancelled = true
 				}
+				if gr.budgetGone {
+					res.BudgetExhausted = true
+				}
+				if gr.isRace {
+					seen[g.sig] = true
+					if d.foundSig != nil {
+						d.foundSig(g.sig)
+					}
+					res.Races = append(res.Races, gr.race)
+				}
 			}
-			if isRace {
-				seen[sig] = true
-				if d.foundSig != nil {
-					d.foundSig(sig)
-				}
-				r := race.Race{
-					COP: race.COP{A: cop.A + offset, B: cop.B + offset},
-					Sig: sig,
-				}
-				if witness != nil {
-					r.Witness = rebase(witness, offset)
-				}
-				res.Races = append(res.Races, r)
-			}
+		}
+		if ctx.Err() != nil {
+			res.Cancelled = true
 		}
 
-		// Pass 2: re-solve the pairs whose cheap first-pass budget
-		// expired, escalating the budget geometrically up to SolveTimeout
-		// and the remaining global budget. Deferred pairs are processed
-		// in enumeration order, so results stay deterministic.
-		for _, dp := range deferred {
-			if ctx.Err() != nil {
-				res.Cancelled = true
-				break
-			}
-			if seen[dp.sig] {
-				// Another instance of the signature was proven racy in
-				// the meantime; this deferred instance is redundant.
-				col.CountSigDedup()
-				continue
-			}
-			var (
-				isRace  bool
-				witness []int
-				final   = telemetry.OutcomeTimeout
-			)
-			budget := d.opt.FirstPassTimeout * retryEscalation
-			for attempt := 0; attempt < maxRetryAttempts; attempt++ {
-				capped := false
-				if d.opt.SolveTimeout > 0 && budget >= d.opt.SolveTimeout {
-					budget = d.opt.SolveTimeout
-					capped = true
-				}
-				if !globalDeadline.IsZero() {
-					rem := time.Until(globalDeadline)
-					if rem <= 0 {
-						res.BudgetExhausted = true
-						col.CountBudgetExhausted()
-						break
-					}
-					if budget > rem {
-						budget = rem
-						capped = true
-					}
-				}
-				var qstart time.Time
-				if tracer != nil {
-					qstart = time.Now()
-				}
-				if dp.merged {
-					isRace, witness, final = d.checkMerged(w, mhb, dp.cop, widx,
-						budget, globalDeadline, cancel)
-				} else {
-					isRace, witness, final = shared.solve(d, widx, dp.cop, dp.g,
-						budget, globalDeadline)
-				}
-				col.CountOutcome(final)
-				if tracer != nil {
-					tracer.QuerySolved(widx, dp.cop.A+offset+d.traceOffset,
-						dp.cop.B+offset+d.traceOffset, final, time.Since(qstart))
-				}
-				if final != telemetry.OutcomeTimeout || capped {
-					break
-				}
-				budget *= retryEscalation
-			}
-			if final.Aborted() {
-				res.SolverAborts++
-				if final == telemetry.OutcomeCancelled {
-					res.Cancelled = true
-				}
-			} else {
-				col.CountRetrySolved(isRace)
-			}
-			if isRace {
-				seen[dp.sig] = true
-				if d.foundSig != nil {
-					d.foundSig(dp.sig)
-				}
-				r := race.Race{
-					COP: race.COP{A: dp.cop.A + offset, B: dp.cop.B + offset},
-					Sig: dp.sig,
-				}
-				if witness != nil {
-					r.Witness = rebase(witness, offset)
-				}
-				res.Races = append(res.Races, r)
-			}
-		}
-
-		if shared != nil {
-			col.AddSolver(shared.s)
-		}
 		if col != nil {
 			col.WindowDone(telemetry.WindowRecord{
 				Offset:     d.traceOffset + offset,
@@ -631,13 +486,21 @@ func (d *Detector) detectParallel(ctx context.Context, globalDeadline time.Time,
 // windowSolver is the long-lived solver of one analysis window: Φ_mhb and
 // Φ_lock are asserted once, cf(e) definitions are memoised across queries,
 // and each COP adds only a guard-conditional race constraint, decided with
-// the guard assumed (sat.SolveAssuming). Learned clauses accumulate across
-// the window's queries.
+// the guard assumed (sat.SolveAssuming). The pair scheduler checkpoints the
+// solver after the base encoding (buildReplica) and rolls back between
+// signature groups, so every group — on any worker — is solved from the
+// identical canonical state.
 type windowSolver struct {
 	s   *smt.Solver
 	enc *encode.Encoder
 	cf  *encode.CF
 	bad bool // window constraints themselves unsatisfiable
+
+	// ck is the canonical base state (base constraints + warmed cf
+	// definitions); dirty tracks whether the solver has diverged from it
+	// since the last rollback.
+	ck    *smt.Checkpoint
+	dirty bool
 }
 
 func (d *Detector) newWindowSolver(w *trace.Trace, mhb *vc.MHB) *windowSolver {

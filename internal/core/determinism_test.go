@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/race"
+	"repro/internal/telemetry"
+	"repro/trace"
+)
+
+// pairRichTrace builds a trace whose windows each contain several distinct
+// signatures — racy pairs, a lock-protected non-race, and one signature
+// with multiple COP instances — so the pair scheduler has real group
+// structure to distribute. Every location advances per block, so each
+// signature is confined to one window: the cross-window verdict sharing of
+// parallel mode can never fire, making the full race.Result (including
+// COPsChecked) comparable across every parallelism configuration.
+//
+// One block is exactly 24 events; with WindowSize 24 each block is one
+// window.
+func pairRichTrace() *trace.Trace {
+	b := trace.NewBuilder()
+	lk := trace.Addr(1)
+	for i := 0; i < 4; i++ {
+		l := trace.Loc(100 * (i + 1))
+		xA := trace.Addr(10 + 8*i)
+		xB := xA + 1
+		xC := xA + 2
+		xD := xA + 3
+		// Signature (l+1, l+2): two COP instances, one group.
+		b.At(l+1).Write(1, xA, 1)
+		b.At(l+2).ReadV(2, xA, 1)
+		b.At(l+1).Write(1, xA, 1)
+		b.At(l+2).ReadV(2, xA, 1)
+		// Write/write race.
+		b.At(l+3).Write(1, xB, 2)
+		b.At(l+4).Write(2, xB, 2)
+		// Lock-protected pair: not a race (quick-check filtered).
+		b.At(0).Acquire(1, lk)
+		b.At(l+5).Write(1, xC, 1)
+		b.At(0).Release(1, lk)
+		b.At(0).Acquire(2, lk)
+		b.At(l+6).ReadV(2, xC, 1)
+		b.At(0).Release(2, lk)
+		// Another racy write/read signature.
+		b.At(l+7).Write(1, xD, 5)
+		b.At(l+8).ReadV(2, xD, 5)
+		// Branches engage the control-flow abstraction, and pad the block
+		// to exactly 24 events so blocks align with windows.
+		for j := 0; j < 5; j++ {
+			b.At(l + 9).Branch(1)
+			b.At(l + 10).Branch(2)
+		}
+	}
+	return b.Trace()
+}
+
+// withProcs raises GOMAXPROCS for the test: the pair scheduler caps its
+// pool at GOMAXPROCS, so without this a single-core CI runner would never
+// spawn the workers these tests exist to exercise. Goroutines still
+// interleave on one core, which is all the -race checker needs.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// matrixResult runs detection with the given window/pair parallelism and
+// zeroes the timing field so results can be compared bit-for-bit.
+func matrixResult(t *testing.T, tr *trace.Trace, par, pairPar int) race.Result {
+	t.Helper()
+	res := detect(t, tr, Options{
+		WindowSize:      24,
+		Parallelism:     par,
+		PairParallelism: pairPar,
+	})
+	res.Elapsed = 0
+	return res
+}
+
+// TestPairParallelMatrixDeterminism is the pair scheduler's acceptance
+// test: the full race.Result — races in order, signatures, witnesses,
+// counters, flags — must be bit-identical across every combination of
+// window parallelism and pair parallelism, and across repeated runs of the
+// same combination. Run under -race in CI, this is also the data-race
+// check for the worker pool.
+func TestPairParallelMatrixDeterminism(t *testing.T) {
+	withProcs(t, 4)
+	tr := pairRichTrace()
+	baseline := matrixResult(t, tr, 0, 0)
+	if len(baseline.Races) == 0 {
+		t.Fatal("expected races in the fixture")
+	}
+	if baseline.Windows != 4 {
+		t.Fatalf("Windows = %d, want 4 (fixture drifted)", baseline.Windows)
+	}
+	// Every surviving group is racy by construction (the lock-protected
+	// pairs are removed by the quick check before grouping).
+	wantGroups := int64(len(sigs(baseline)))
+	for _, par := range []int{1, 4} {
+		for _, pairPar := range []int{1, 4} {
+			for run := 0; run < 2; run++ {
+				col := telemetry.NewCollector()
+				res := detect(t, tr, Options{
+					WindowSize:      24,
+					Parallelism:     par,
+					PairParallelism: pairPar,
+					Telemetry:       col,
+				})
+				res.Elapsed = 0
+				if !reflect.DeepEqual(res, baseline) {
+					t.Errorf("par %d × pairPar %d run %d: result differs from sequential baseline\n got %+v\nwant %+v",
+						par, pairPar, run, res, baseline)
+				}
+				if g := col.Snapshot().PairSched.Groups; g != wantGroups {
+					t.Errorf("par %d × pairPar %d: groups = %d, want %d",
+						par, pairPar, g, wantGroups)
+				}
+			}
+		}
+	}
+}
+
+// TestPairParallelTelemetryDeterministic: the outcome tallies, group
+// counts and window records of a window-sequential run must be
+// bit-identical whether pairs are solved inline or by four workers. The
+// solver-stack counters are excluded: each extra worker builds a replica
+// encoding, so encoding sizes legitimately scale with the (timing-
+// dependent) worker count.
+func TestPairParallelTelemetryDeterministic(t *testing.T) {
+	withProcs(t, 4)
+	tr := pairRichTrace()
+	snap := func(pairPar int) telemetry.Metrics {
+		col := telemetry.NewCollector()
+		detect(t, tr, Options{WindowSize: 24, PairParallelism: pairPar, Telemetry: col})
+		m := col.Snapshot().NonTiming()
+		m.Solver = telemetry.SolverCounters{}
+		return m
+	}
+	want := snap(1)
+	for _, pairPar := range []int{1, 4} {
+		if got := snap(pairPar); !reflect.DeepEqual(got, want) {
+			t.Errorf("pairPar %d: non-timing telemetry differs:\n got %+v\nwant %+v",
+				pairPar, got, want)
+		}
+	}
+}
+
+// TestPairParallelCancellationMidWindow cancels the run as soon as window
+// 0 completes, across the full parallelism matrix: the partial report must
+// contain window 0's exact verdicts and never a non-baseline race.
+func TestPairParallelCancellationMidWindow(t *testing.T) {
+	withProcs(t, 4)
+	baseline := matrixResult(t, pairRichTrace(), 0, 0)
+	byWin := make(map[int]map[race.Signature]bool)
+	winOf := func(idx int) int { return idx / 24 }
+	for _, r := range baseline.Races {
+		w := winOf(r.A)
+		if byWin[w] == nil {
+			byWin[w] = make(map[race.Signature]bool)
+		}
+		byWin[w][r.Sig] = true
+	}
+	all := sigs(baseline)
+
+	for _, par := range []int{0, 4} {
+		for _, pairPar := range []int{0, 4} {
+			ctx, cancel := context.WithCancel(context.Background())
+			res := New(Options{
+				WindowSize:      24,
+				Parallelism:     par,
+				PairParallelism: pairPar,
+				Witness:         true,
+				Tracer:          &cancelAfterWindow{target: 0, cancel: cancel},
+			}).DetectContext(ctx, pairRichTrace())
+			cancel()
+			if !res.Cancelled {
+				t.Fatalf("par %d × pairPar %d: Cancelled = false after mid-run cancel", par, pairPar)
+			}
+			got := make(map[int]map[race.Signature]bool)
+			for _, r := range res.Races {
+				w := winOf(r.A)
+				if got[w] == nil {
+					got[w] = make(map[race.Signature]bool)
+				}
+				got[w][r.Sig] = true
+				if !all[r.Sig] {
+					t.Errorf("par %d × pairPar %d: non-baseline race %v", par, pairPar, r.Sig)
+				}
+			}
+			if !reflect.DeepEqual(got[0], byWin[0]) {
+				t.Errorf("par %d × pairPar %d: window 0 = %v, want %v",
+					par, pairPar, got[0], byWin[0])
+			}
+		}
+	}
+}
+
+// TestPairParallelPanicIsolation scripts a panic on one of window 2's
+// solver queries while four pair workers share the window: the pool stops,
+// the window is dropped whole (all-or-nothing, so the result set stays
+// deterministic), the failure is recorded once, and every other window is
+// intact.
+func TestPairParallelPanicIsolation(t *testing.T) {
+	withProcs(t, 4)
+	tr := pairRichTrace()
+	baseline := matrixResult(t, tr, 0, 0)
+	byWin := make(map[int]map[race.Signature]bool)
+	for _, r := range baseline.Races {
+		w := r.A / 24
+		if byWin[w] == nil {
+			byWin[w] = make(map[race.Signature]bool)
+		}
+		byWin[w][r.Sig] = true
+	}
+	inj := faultinject.New().Script(faultinject.Scoped(faultinject.PointSolve, 2), 0, faultinject.FaultPanic)
+	col := telemetry.NewCollector()
+	res := detect(t, tr, Options{
+		WindowSize:      24,
+		PairParallelism: 4,
+		FaultInjector:   inj,
+		Telemetry:       col,
+	})
+
+	if len(res.Failures) != 1 {
+		t.Fatalf("Failures = %+v, want exactly one", res.Failures)
+	}
+	f := res.Failures[0]
+	if f.Window != 2 || f.Offset != 48 || f.Events != 24 {
+		t.Errorf("failure coordinates = %+v, want window 2 at offset 48, 24 events", f)
+	}
+	if !strings.Contains(f.PanicValue, "faultinject") {
+		t.Errorf("PanicValue = %q, want the injected panic rendered", f.PanicValue)
+	}
+	got := sigs(res)
+	for w, want := range byWin {
+		for sg := range want {
+			if w == 2 {
+				if got[sg] {
+					t.Errorf("window 2 panicked yet reported %v", sg)
+				}
+			} else if !got[sg] {
+				t.Errorf("window %d race %v lost to window 2's panic", w, sg)
+			}
+		}
+	}
+	if res.Windows != baseline.Windows {
+		t.Errorf("windows = %d, want %d (run must not stop at the failure)", res.Windows, baseline.Windows)
+	}
+	if m := col.Snapshot(); m.Outcomes.WindowFailures != 1 {
+		t.Errorf("telemetry window_failures = %d, want 1", m.Outcomes.WindowFailures)
+	}
+}
+
+// TestPairParallelTwoPassRetry: an injected first-pass timeout under four
+// pair workers is deferred and rescued by the escalating pass on the
+// worker that owns the pair's group; the final race set equals the
+// unperturbed baseline.
+func TestPairParallelTwoPassRetry(t *testing.T) {
+	withProcs(t, 4)
+	tr := pairRichTrace()
+	baseline := matrixResult(t, tr, 0, 0)
+	inj := faultinject.New().Script(faultinject.PointSolve, 0, faultinject.FaultTimeout)
+	col := telemetry.NewCollector()
+	res := detect(t, tr, Options{
+		WindowSize:       24,
+		PairParallelism:  4,
+		FirstPassTimeout: 50 * time.Millisecond,
+		SolveTimeout:     10 * time.Second,
+		FaultInjector:    inj,
+		Telemetry:        col,
+	})
+
+	if res.PairsRetried != 1 {
+		t.Fatalf("PairsRetried = %d, want 1", res.PairsRetried)
+	}
+	if res.SolverAborts != 0 {
+		t.Errorf("SolverAborts = %d, want 0 (the retry rescued the pair)", res.SolverAborts)
+	}
+	want, got := sigs(baseline), sigs(res)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("races after retry = %v, want baseline %v", got, want)
+	}
+	// The deferred pair's signature has a second COP instance that pass 1
+	// proves racy after the deferral, so the retry is resolved as a dedup
+	// hit rather than a re-solve — either way it must be accounted for,
+	// never silently dropped.
+	if m := col.Snapshot(); m.Outcomes.RetriesScheduled != 1 {
+		t.Errorf("telemetry retries scheduled = %d, want 1", m.Outcomes.RetriesScheduled)
+	}
+}

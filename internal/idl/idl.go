@@ -131,6 +131,50 @@ func (s *Solver) Pop(n int) {
 	s.edges = s.edges[:target]
 }
 
+// Checkpoint is a snapshot of the solver's state, taken with
+// Solver.Checkpoint and restored with Solver.Rollback. Potentials must be
+// copied in full: a successful relaxation mutates them permanently (Pop
+// only retracts edges), so two solves from "the same" constraint set can
+// otherwise start from different feasible assignments and find different
+// models. The race detector's pair scheduler rolls the theory back
+// between query groups so every group sees the seeded trace-order
+// potentials, making models — and witnesses — canonical.
+type Checkpoint struct {
+	nVars  int
+	nEdges int
+	nMarks int
+	pot    []int64
+}
+
+// Checkpoint snapshots the solver's state.
+func (s *Solver) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		nVars:  len(s.pot),
+		nEdges: len(s.edges),
+		nMarks: len(s.marks),
+		pot:    append([]int64(nil), s.pot...),
+	}
+}
+
+// Rollback restores the state captured by ck: variables and constraints
+// added since are discarded and the potential function is restored
+// exactly, so subsequent assertions replay deterministically.
+func (s *Solver) Rollback(ck *Checkpoint) {
+	// Edges were appended to adjacency lists in trail order; remove in
+	// reverse so only list tails are cut (same invariant Pop relies on).
+	for i := len(s.edges) - 1; i >= ck.nEdges; i-- {
+		e := s.edges[i]
+		lst := s.out[e.from]
+		s.out[e.from] = lst[:len(lst)-1]
+	}
+	s.edges = s.edges[:ck.nEdges]
+	s.marks = s.marks[:ck.nMarks]
+	s.pot = append(s.pot[:0], ck.pot...)
+	s.out = s.out[:ck.nVars]
+	s.gamma = s.gamma[:ck.nVars]
+	s.parent = s.parent[:ck.nVars]
+}
+
 // Assert adds the constraint x − y ≤ c with the given tag. It returns nil
 // if the constraint system remains satisfiable, and otherwise the tags of a
 // negative cycle — an inconsistent subset of asserted constraints including

@@ -90,9 +90,10 @@ type Result struct {
 }
 
 // WindowFailure records one analysis window whose worker panicked. The
-// panic was recovered, the window's partial results kept, and the run
-// continued — the failure is surfaced here (and in telemetry) so the
-// coverage gap is never silent.
+// panic was recovered, the window's results were dropped (all-or-nothing,
+// so the drop is deterministic even with parallel pair workers), and the
+// run continued with every other window intact — the failure is surfaced
+// here (and in telemetry) so the coverage gap is never silent.
 type WindowFailure struct {
 	// Window is the window's index in trace order; Offset the index of
 	// its first event in the input trace; Events its length.

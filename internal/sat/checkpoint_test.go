@@ -1,0 +1,114 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCheckpointRollbackRestoresState checks that Rollback returns the
+// solver to its checkpointed shape: variable/clause counts, no learned
+// clauses, and a clean abort cause.
+func TestCheckpointRollbackRestoresState(t *testing.T) {
+	s := New(nil)
+	vars := make([]Var, 6)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], true), MkLit(vars[1], true))
+	s.AddClause(MkLit(vars[1], false), MkLit(vars[2], true))
+	s.AddClause(MkLit(vars[3], true), MkLit(vars[4], true), MkLit(vars[5], true))
+
+	ck := s.Checkpoint()
+	baseVars, baseClauses := s.NumVars(), s.NumClauses()
+
+	g := s.NewVar()
+	s.AddClause(MkLit(g, false), MkLit(vars[0], false))
+	s.AddClause(MkLit(g, false), MkLit(vars[3], false), MkLit(vars[4], false))
+	if r := s.SolveAssuming([]Lit{MkLit(g, true)}); r != Sat {
+		t.Fatalf("SolveAssuming = %v, want sat", r)
+	}
+
+	s.Rollback(ck)
+	if s.NumVars() != baseVars {
+		t.Errorf("NumVars after rollback = %d, want %d", s.NumVars(), baseVars)
+	}
+	if s.NumClauses() != baseClauses {
+		t.Errorf("NumClauses after rollback = %d, want %d", s.NumClauses(), baseClauses)
+	}
+	if s.NumLearnts() != 0 {
+		t.Errorf("NumLearnts after rollback = %d, want 0", s.NumLearnts())
+	}
+	if s.LastAbortCause() != AbortNone {
+		t.Errorf("LastAbortCause after rollback = %v, want AbortNone", s.LastAbortCause())
+	}
+	// The solver must still work from the restored state.
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("Solve after rollback = %v, want sat", r)
+	}
+}
+
+// TestCheckpointCanonicalReplay is the property the pair scheduler relies
+// on: solving a query from a checkpointed base, rolling back, and solving
+// the same query again — even after unrelated intervening queries — must
+// produce the identical verdict AND the identical model, because the search
+// (decision order, phases, learned clauses) restarts from the exact same
+// state every time.
+func TestCheckpointCanonicalReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(nil)
+	const nVars = 60
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Random 3-SAT base, sparse enough to stay satisfiable with high
+	// probability but dense enough to force real search.
+	for i := 0; i < 150; i++ {
+		a, b, c := rng.Intn(nVars), rng.Intn(nVars), rng.Intn(nVars)
+		s.AddClause(MkLit(vars[a], rng.Intn(2) == 0),
+			MkLit(vars[b], rng.Intn(2) == 0),
+			MkLit(vars[c], rng.Intn(2) == 0))
+	}
+	ck := s.Checkpoint()
+
+	type query struct{ lits [][3]int } // var index, polarity flag per clause
+	mkQuery := func() query {
+		q := query{}
+		for i := 0; i < 20; i++ {
+			q.lits = append(q.lits, [3]int{rng.Intn(nVars), rng.Intn(nVars), rng.Intn(2)})
+		}
+		return q
+	}
+	runQuery := func(q query) (Result, []Value) {
+		g := s.NewVar()
+		for _, cl := range q.lits {
+			s.AddClause(MkLit(g, false), MkLit(vars[cl[0]], cl[2] == 0), MkLit(vars[cl[1]], cl[2] == 1))
+		}
+		r := s.SolveAssuming([]Lit{MkLit(g, true)})
+		m := make([]Value, nVars)
+		if r == Sat {
+			for i, v := range vars {
+				m[i] = s.ModelValue(v)
+			}
+		}
+		return r, m
+	}
+
+	q1, q2 := mkQuery(), mkQuery()
+	r1, m1 := runQuery(q1)
+	s.Rollback(ck)
+	runQuery(q2) // unrelated intervening query
+	s.Rollback(ck)
+	r2, m2 := runQuery(q1)
+	s.Rollback(ck)
+	r3, m3 := runQuery(q1)
+
+	if r1 != r2 || r1 != r3 {
+		t.Fatalf("verdicts differ across replays: %v %v %v", r1, r2, r3)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] || m1[i] != m3[i] {
+			t.Fatalf("model for var %d differs across replays: %v %v %v", i, m1[i], m2[i], m3[i])
+		}
+	}
+}

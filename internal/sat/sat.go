@@ -859,6 +859,122 @@ func (s *Solver) learn(lits []Lit) {
 // conflict-budget exhaustion.
 func (s *Solver) LastAbortCause() AbortCause { return s.abortCause }
 
+// Checkpoint is a full snapshot of a solver's search-relevant root-level
+// state, taken with Solver.Checkpoint and restored with Solver.Rollback.
+// It exists for the replica-solver architecture of the race detector's
+// pair scheduler: one base formula is asserted once, checkpointed, and
+// every query group is solved from the exact same canonical state, so the
+// models found — and hence the extracted witnesses — are bit-identical no
+// matter which worker solves which group in which order.
+type Checkpoint struct {
+	nVars    int
+	nClauses int
+	// clauseLits restores each base clause's literal order: propagation
+	// permanently swaps watched literals inside clauses, so rolled-back
+	// clauses must get their snapshot order (and thus watch pairs) back.
+	clauseLits [][]Lit
+	trail      []Lit
+	qhead      int
+	thead      int
+	assign     []Value
+	level      []int32
+	reason     []*clause
+	phase      []bool
+	activity   []float64
+	varInc     float64
+	clauseInc  float64
+	rootUnsat  bool
+}
+
+// Checkpoint snapshots the solver's complete state. It must be taken at
+// the root level (decision level 0), i.e. outside any Solve call — the
+// normal state between AddClause batches. Taking a checkpoint also
+// canonicalises the live state (watch lists, variable heap) to exactly
+// what Rollback reproduces, so the first query after Checkpoint starts
+// from the same state as every query after a Rollback.
+func (s *Solver) Checkpoint() *Checkpoint {
+	if s.decisionLevel() != 0 {
+		panic("sat: Checkpoint above root level")
+	}
+	ck := &Checkpoint{
+		nVars:      len(s.assign),
+		nClauses:   len(s.clauses),
+		clauseLits: make([][]Lit, len(s.clauses)),
+		trail:      append([]Lit(nil), s.trail...),
+		qhead:      s.qhead,
+		thead:      s.thead,
+		assign:     append([]Value(nil), s.assign...),
+		level:      append([]int32(nil), s.level...),
+		reason:     append([]*clause(nil), s.reason...),
+		phase:      append([]bool(nil), s.phase...),
+		activity:   append([]float64(nil), s.activity...),
+		varInc:     s.varInc,
+		clauseInc:  s.clauseInc,
+		rootUnsat:  s.rootUnsat,
+	}
+	for i, c := range s.clauses {
+		ck.clauseLits[i] = append([]Lit(nil), c.lits...)
+	}
+	s.Rollback(ck) // canonicalise watches and heap in place
+	return ck
+}
+
+// Rollback restores the state captured by ck: variables and clauses added
+// since are discarded, learned clauses dropped, assignments, phases,
+// activities and the theory-assertion queue restored, and watch lists and
+// the decision heap rebuilt canonically. It must be called at the root
+// level. The restored state is byte-for-byte the state Checkpoint left
+// behind, so repeated Rollback/solve cycles are deterministic.
+func (s *Solver) Rollback(ck *Checkpoint) {
+	if s.decisionLevel() != 0 {
+		panic("sat: Rollback above root level")
+	}
+	// Variables.
+	s.assign = append(s.assign[:0], ck.assign...)
+	s.level = append(s.level[:0], ck.level...)
+	s.reason = append(s.reason[:0], ck.reason...)
+	s.phase = append(s.phase[:0], ck.phase...)
+	s.activity = append(s.activity[:0], ck.activity...)
+	s.varInc, s.clauseInc = ck.varInc, ck.clauseInc
+	s.rootUnsat = ck.rootUnsat
+	// Clauses: drop post-checkpoint ones, restore literal order, forget
+	// every learned clause (they may mention discarded variables, and a
+	// canonical restart state must not depend on earlier searches).
+	s.clauses = s.clauses[:ck.nClauses]
+	for i, c := range s.clauses {
+		copy(c.lits, ck.clauseLits[i])
+		c.act = 0
+	}
+	s.learnts = s.learnts[:0]
+	// Trail and queues.
+	s.trail = append(s.trail[:0], ck.trail...)
+	s.trailLim = s.trailLim[:0]
+	s.qhead, s.thead = ck.qhead, ck.thead
+	// Watch lists: truncate to the checkpoint's variables and rebuild in
+	// clause order (the same canonicalisation reduceDB uses).
+	s.watches = s.watches[:2*ck.nVars]
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.watchClause(c)
+	}
+	// Decision heap: rebuild with every variable present in index order,
+	// the same shape NewVar left behind.
+	s.heap.data = s.heap.data[:0]
+	if len(s.heap.pos) > ck.nVars {
+		s.heap.pos = s.heap.pos[:ck.nVars]
+	}
+	for i := range s.heap.pos {
+		s.heap.pos[i] = -1
+	}
+	for v := 0; v < ck.nVars; v++ {
+		s.heap.push(Var(v))
+	}
+	s.model = s.model[:0]
+	s.abortCause = AbortNone
+}
+
 // ModelValue returns the value of v in the most recent Sat model.
 func (s *Solver) ModelValue(v Var) Value {
 	if int(v) >= len(s.model) {

@@ -17,6 +17,12 @@ type Solver struct {
 	atoms map[Atom]sat.Var     // interned atoms
 	enc   map[*Formula]sat.Lit // Tseitin encodings of composite nodes
 
+	// atomLog and encLog record map insertions in order, so Rollback can
+	// delete exactly the entries added since a Checkpoint without
+	// iterating the whole map.
+	atomLog []Atom
+	encLog  []*Formula
+
 	estats EncodeStats
 
 	// model snapshot (potentials) captured at the successful theory check
@@ -109,6 +115,7 @@ func (s *Solver) atomVar(a Atom) sat.Var {
 	v := s.sat.NewVar()
 	s.sat.SetPhase(v, s.idl.Value(a.X)-s.idl.Value(a.Y) <= a.C)
 	s.atoms[a] = v
+	s.atomLog = append(s.atomLog, a)
 	s.th.register(v, a)
 	s.estats.InternedAtoms++
 	return v
@@ -128,6 +135,7 @@ func (s *Solver) encode(f *Formula) sat.Lit {
 		}
 		p := sat.MkLit(s.sat.NewVar(), true)
 		s.enc[f] = p
+		s.encLog = append(s.encLog, f)
 		s.estats.TseitinVars++
 		if f.kind == kAnd {
 			// p → k for each conjunct.
@@ -266,6 +274,56 @@ func (t *theory) Check() []sat.Lit {
 	}
 	t.s.model = m
 	return nil
+}
+
+// Checkpoint is a snapshot of the full SMT solver state — the CDCL core,
+// the IDL theory, and the atom/Tseitin interning tables — taken with
+// Solver.Checkpoint and restored with Solver.Rollback. See sat.Checkpoint
+// and idl.Checkpoint for the layer-by-layer guarantees; together they
+// make every solve from a rolled-back state canonical: identical queries
+// encoded after identical rollbacks produce identical verdicts and
+// identical models.
+type Checkpoint struct {
+	sat    *sat.Checkpoint
+	idl    *idl.Checkpoint
+	nVars  int
+	nAtoms int
+	nEnc   int
+}
+
+// Checkpoint snapshots the solver. It must be taken between queries (not
+// inside a Solve call); the typical use asserts a base formula once,
+// checkpoints, and then alternates query encoding/solving with Rollback.
+func (s *Solver) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		sat:    s.sat.Checkpoint(),
+		idl:    s.idl.Checkpoint(),
+		nVars:  s.sat.NumVars(),
+		nAtoms: len(s.atomLog),
+		nEnc:   len(s.encLog),
+	}
+}
+
+// Rollback restores the state captured by ck: every variable, clause,
+// atom and Tseitin node added since the checkpoint is discarded, and the
+// solver is byte-for-byte back in its checkpointed state (cumulative
+// statistics excepted — they keep counting across rollbacks).
+func (s *Solver) Rollback(ck *Checkpoint) {
+	s.sat.Rollback(ck.sat)
+	s.idl.Rollback(ck.idl)
+	for _, a := range s.atomLog[ck.nAtoms:] {
+		delete(s.atoms, a)
+	}
+	s.atomLog = s.atomLog[:ck.nAtoms]
+	for _, f := range s.encLog[ck.nEnc:] {
+		delete(s.enc, f)
+	}
+	s.encLog = s.encLog[:ck.nEnc]
+	if len(s.th.relevant) > ck.nVars {
+		s.th.relevant = s.th.relevant[:ck.nVars]
+		s.th.atomOf = s.th.atomOf[:ck.nVars]
+	}
+	s.model = nil
 }
 
 // NewBoolLit allocates a fresh boolean literal for knot-tying recursive

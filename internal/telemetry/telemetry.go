@@ -48,6 +48,9 @@ const (
 	PhaseTraceScan Phase = iota
 	// PhaseEnumerate is conflicting-pair (or candidate) enumeration.
 	PhaseEnumerate
+	// PhaseMHB is must-happen-before computation (vector clocks over the
+	// window), the input to both the quick-check prefilter and Φ_mhb.
+	PhaseMHB
 	// PhaseQuickCheck is the hybrid lockset/weak-HB prefilter.
 	PhaseQuickCheck
 	// PhaseEncode is constraint generation (Φ_mhb, Φ_lock, cf, queries).
@@ -67,6 +70,8 @@ func (p Phase) String() string {
 		return "trace_scan"
 	case PhaseEnumerate:
 		return "cop_enumeration"
+	case PhaseMHB:
+		return "mhb"
 	case PhaseQuickCheck:
 		return "quick_check"
 	case PhaseEncode:
@@ -192,6 +197,13 @@ type Collector struct {
 	quickFiltered atomic.Int64
 	sigDedups     atomic.Int64
 	mhbFiltered   atomic.Int64
+
+	// Pair-scheduler tallies (intra-window parallel COP solving).
+	pairGroups    atomic.Int64
+	pairWorkers   atomic.Int64
+	pairReplicas  atomic.Int64
+	pairRollbacks atomic.Int64
+	queueWait     atomic.Int64
 
 	mu      sync.Mutex
 	windows []WindowRecord
@@ -380,6 +392,56 @@ func (c *Collector) CountMHBFiltered() {
 	c.mhbFiltered.Add(1)
 }
 
+// CountPairGroups tallies n signature groups dispatched by the pair
+// scheduler (one group per distinct signature surviving the prefilters in
+// one window). Groups is deterministic — it depends only on the trace and
+// the options, never on worker timing.
+func (c *Collector) CountPairGroups(n int) {
+	if c == nil {
+		return
+	}
+	c.pairGroups.Add(int64(n))
+}
+
+// CountPairWorker tallies one pair worker that actually ran for a window
+// (including the coordinator when it solves inline). The count depends on
+// the global worker budget at window start, so it varies between runs.
+func (c *Collector) CountPairWorker() {
+	if c == nil {
+		return
+	}
+	c.pairWorkers.Add(1)
+}
+
+// CountPairReplica tallies one replica window encoding built for an extra
+// pair worker (base Φ_mhb + Φ_lock + CF definitions, rebuilt per worker).
+func (c *Collector) CountPairReplica() {
+	if c == nil {
+		return
+	}
+	c.pairReplicas.Add(1)
+}
+
+// CountPairRollback tallies one solver rollback to the window's
+// checkpointed base encoding (between signature groups, and before the
+// escalating retry pass).
+func (c *Collector) CountPairRollback() {
+	if c == nil {
+		return
+	}
+	c.pairRollbacks.Add(1)
+}
+
+// AddQueueWait accumulates one signature group's dispatch latency: the
+// wall-clock time from the window's queue opening until a worker dequeued
+// the group.
+func (c *Collector) AddQueueWait(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.queueWait.Add(int64(d))
+}
+
 // WindowDone appends one window's record. Records may arrive in any order
 // (parallel mode); Snapshot sorts them by offset.
 func (c *Collector) WindowDone(rec WindowRecord) {
@@ -401,6 +463,7 @@ func (c *Collector) Snapshot() *Metrics {
 		Phases: PhaseNanos{
 			TraceScan:  c.phases[PhaseTraceScan].Load(),
 			Enumerate:  c.phases[PhaseEnumerate].Load(),
+			MHB:        c.phases[PhaseMHB].Load(),
 			QuickCheck: c.phases[PhaseQuickCheck].Load(),
 			Encode:     c.phases[PhaseEncode].Load(),
 			Solve:      c.phases[PhaseSolve].Load(),
@@ -441,6 +504,13 @@ func (c *Collector) Snapshot() *Metrics {
 			BudgetExhausted:    c.budgetExhausted.Load(),
 			WindowFailures:     c.windowFailures.Load(),
 		},
+		PairSched: PairSchedCounters{
+			Groups:      c.pairGroups.Load(),
+			Workers:     c.pairWorkers.Load(),
+			Replicas:    c.pairReplicas.Load(),
+			Rollbacks:   c.pairRollbacks.Load(),
+			QueueWaitNS: c.queueWait.Load(),
+		},
 	}
 	m.Outcomes.Solved = m.Outcomes.Sat + m.Outcomes.Unsat +
 		m.Outcomes.Timeout + m.Outcomes.ConflictBudget + m.Outcomes.Cancelled
@@ -467,11 +537,12 @@ func (c *Collector) Snapshot() *Metrics {
 // elapsed times vary between runs; every other field is deterministic for
 // a sequential run.
 type Metrics struct {
-	Phases      PhaseNanos     `json:"phases"`
-	Solver      SolverCounters `json:"solver"`
-	Outcomes    OutcomeTally   `json:"outcomes"`
-	WindowCount int            `json:"window_count"`
-	Windows     []WindowRecord `json:"windows,omitempty"`
+	Phases      PhaseNanos        `json:"phases"`
+	Solver      SolverCounters    `json:"solver"`
+	Outcomes    OutcomeTally      `json:"outcomes"`
+	PairSched   PairSchedCounters `json:"pair_scheduler"`
+	WindowCount int               `json:"window_count"`
+	Windows     []WindowRecord    `json:"windows,omitempty"`
 }
 
 // NonTiming returns a copy of m with every timing field zeroed — the
@@ -479,6 +550,13 @@ type Metrics struct {
 func (m *Metrics) NonTiming() Metrics {
 	out := *m
 	out.Phases = PhaseNanos{}
+	// Groups is deterministic, but worker/replica/rollback counts depend on
+	// the global worker budget and queue timing, so they are zeroed along
+	// with the queue-wait clock.
+	out.PairSched.Workers = 0
+	out.PairSched.Replicas = 0
+	out.PairSched.Rollbacks = 0
+	out.PairSched.QueueWaitNS = 0
 	out.Windows = append([]WindowRecord(nil), m.Windows...)
 	for i := range out.Windows {
 		out.Windows[i].ElapsedNS = 0
@@ -492,6 +570,7 @@ func (m *Metrics) NonTiming() Metrics {
 type PhaseNanos struct {
 	TraceScan  int64 `json:"trace_scan_ns"`
 	Enumerate  int64 `json:"cop_enumeration_ns"`
+	MHB        int64 `json:"mhb_ns"`
 	QuickCheck int64 `json:"quick_check_ns"`
 	Encode     int64 `json:"encode_ns"`
 	Solve      int64 `json:"solve_ns"`
@@ -500,8 +579,20 @@ type PhaseNanos struct {
 
 // Total returns the summed phase time.
 func (p PhaseNanos) Total() time.Duration {
-	return time.Duration(p.TraceScan + p.Enumerate + p.QuickCheck +
+	return time.Duration(p.TraceScan + p.Enumerate + p.MHB + p.QuickCheck +
 		p.Encode + p.Solve + p.Witness)
+}
+
+// PairSchedCounters describes the intra-window pair scheduler: how many
+// signature groups were dispatched, how many workers and replica encodings
+// served them, and the aggregate queue-wait. Groups is deterministic; the
+// other fields vary with scheduling and are excluded from NonTiming.
+type PairSchedCounters struct {
+	Groups      int64 `json:"groups"`
+	Workers     int64 `json:"workers"`
+	Replicas    int64 `json:"replicas"`
+	Rollbacks   int64 `json:"rollbacks"`
+	QueueWaitNS int64 `json:"queue_wait_ns"`
 }
 
 // SolverCounters aggregates the solver-stack counters over every solver

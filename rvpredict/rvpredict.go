@@ -163,6 +163,13 @@ type Options struct {
 	// Parallelism > 1 analyses trace windows concurrently with that many
 	// workers (MaximalCF only); reports stay deterministic.
 	Parallelism int
+	// PairParallelism > 1 solves the candidate pairs inside each window
+	// concurrently with that many workers (MaximalCF only). It is the
+	// knob for traces that produce one large window, where Parallelism
+	// alone cannot help; the report is bit-identical to the sequential
+	// run (see core.Options.PairParallelism). The two knobs compose under
+	// one worker budget of max(Parallelism, PairParallelism).
+	PairParallelism int
 	// Telemetry attaches a Telemetry metrics snapshot to the report:
 	// phase timings, solver counters and outcome tallies. Collection is
 	// allocation-light but not free; leave it off on hot paths. Enabling
@@ -250,8 +257,9 @@ type Report struct {
 }
 
 // WindowFailure records one analysis window whose worker panicked. The
-// panic was recovered and the run continued; the failure is surfaced here
-// (and in Telemetry) so the coverage gap is never silent.
+// panic was recovered, the window's results were dropped, and the run
+// continued; the failure is surfaced here (and in Telemetry) so the
+// coverage gap is never silent.
 type WindowFailure struct {
 	// Window is the window's index in trace order; Offset the index of
 	// its first event in the input trace; Events its length.
@@ -310,6 +318,7 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 			MaxConflicts:     opt.MaxConflicts,
 			Witness:          opt.Witness,
 			Parallelism:      opt.Parallelism,
+			PairParallelism:  opt.PairParallelism,
 			Telemetry:        col,
 			Tracer:           opt.Tracer,
 			FaultInjector:    opt.FaultInjector,

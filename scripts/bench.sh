@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmark snapshot runner: runs the detection benchmark families at a
+# fixed iteration count and writes a machine-readable JSON snapshot
+# (BENCH_<n>.json at the repo root) so performance regressions show up as
+# ordinary review diffs. See doc/performance.md.
+#
+# Usage:
+#   scripts/bench.sh [out.json]          # default out: BENCH_3.json
+#   BENCHTIME=10x scripts/bench.sh       # more iterations, steadier numbers
+#   BENCH=BenchmarkPairParallelDetect scripts/bench.sh   # one family only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_3.json}"
+benchtime="${BENCHTIME:-3x}"
+bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect)$}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count 1 . | tee "$tmp"
+python3 scripts/bench_to_json.py "$benchtime" < "$tmp" > "$out"
+echo "wrote $out"

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output (stdin) to the BENCH_*.json schema.
+
+The schema is one object: environment header fields (goos/goarch/cpu/...)
+as emitted by the Go benchmark runner, the benchtime the run used, and a
+`results` array with one entry per benchmark line — name, iteration
+count, ns/op, and any extra ReportMetric pairs under `metrics`.
+"""
+
+import json
+import re
+import sys
+
+
+def main() -> None:
+    benchtime = sys.argv[1] if len(sys.argv) > 1 else ""
+    meta = {}
+    results = []
+    for line in sys.stdin:
+        line = line.strip()
+        m = re.match(r"^(goos|goarch|pkg|cpu):\s*(.+)$", line)
+        if m:
+            meta[m.group(1)] = m.group(2)
+            continue
+        if not line.startswith("Benchmark"):
+            continue
+        fields = line.split()
+        if len(fields) < 4 or fields[3] != "ns/op":
+            continue
+        entry = {
+            "name": fields[0],
+            "iterations": int(fields[1]),
+            "ns_per_op": float(fields[2]),
+        }
+        metrics = {}
+        i = 4
+        while i + 1 < len(fields):
+            try:
+                value = float(fields[i])
+            except ValueError:
+                break
+            metrics[fields[i + 1]] = value
+            i += 2
+        if metrics:
+            entry["metrics"] = metrics
+        results.append(entry)
+    json.dump({"benchtime": benchtime, **meta, "results": results},
+              sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+main()
