@@ -85,6 +85,24 @@ type Options struct {
 	// NoPruning disables the ≺-based constraint reductions of Section 3.2
 	// (ablation knob; results are unchanged, formulas grow).
 	NoPruning bool
+	// NoTriage disables the sound vector-clock triage tier that runs
+	// before the pair scheduler (triage.go): quick-check survivors that
+	// are concurrent under schedulable happens-before (HB plus reads-from
+	// edges) are confirmed as races without a solver query. The race
+	// result is bit-identical with triage on or off — the fast path fires
+	// only where the SMT query is guaranteed satisfiable — absent real
+	// wall-clock solver timeouts, which are inherently timing-dependent.
+	// Triage is also inactive when NoQuickCheck is set (it shares the
+	// quick check's locksets and MHB pass).
+	NoTriage bool
+	// TriageCP enables the optional causally-precedes second triage tier
+	// for lock-heavy traces: pairs the SHB tier cannot confirm are
+	// checked against the CP relation composed with SHB, and concurrent
+	// pairs are confirmed without a solver query (the paper's CP ⊆ RV
+	// inclusion chain; bit-identity is test-enforced across the bundled
+	// workloads). Off by default — SHB alone is provably exact per pair,
+	// while the CP tier inherits the CP soundness theorem's assumptions.
+	TriageCP bool
 	// MaxAttemptsPerSig bounds how many COPs of one signature are solved
 	// before giving up on that signature (0 = unlimited, the paper's
 	// behaviour).
@@ -331,12 +349,16 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		// scheduler then solves the groups (in parallel when
 		// PairParallelism > 1) and the results merge below in canonical
 		// group order, so the window's contribution is deterministic.
-		groups := d.partition(w, cops, seen, attempts)
+		groups, mhb := d.partition(w, cops, seen, attempts)
 		col.CountPairGroups(len(groups))
 		if len(groups) > 0 && ctx.Err() == nil {
-			span = col.StartPhase(telemetry.PhaseMHB)
-			mhb := vc.ComputeMHB(w)
-			span.End()
+			if mhb == nil {
+				// NoQuickCheck runs: partition computed no clocks, but the
+				// window encoders still need the MHB pass.
+				span = col.StartPhase(telemetry.PhaseMHB)
+				mhb = vc.ComputeMHB(w)
+				span.End()
+			}
 			wc := &windowCtx{
 				ctx: ctx, w: w, mhb: mhb, widx: widx, offset: offset,
 				globalDeadline: globalDeadline, cancel: cancel,
@@ -365,6 +387,12 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 					res.Races = append(res.Races, gr.race)
 				}
 			}
+		}
+		if mhb != nil {
+			// Clean window completion: return the clock slab to the shared
+			// pool. The panic path above skips this deliberately — a worker
+			// could still alias the slab — and lets the GC reclaim it.
+			mhb.Release()
 		}
 		if ctx.Err() != nil {
 			res.Cancelled = true

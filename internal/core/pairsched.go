@@ -55,6 +55,10 @@ import (
 type sigGroup struct {
 	sig  race.Signature
 	cops []race.COP
+	// confirmed holds the triage tier's verdict per instance, parallel to
+	// cops: true means the instance is a sound vector-clock-confirmed race
+	// whose solve may be skipped (triage.go). Nil when the tier is off.
+	confirmed []bool
 	// baseAttempts is attempts[sig] at partition time; the group enforces
 	// MaxAttemptsPerSig against baseAttempts + its own attempts.
 	baseAttempts int
@@ -104,18 +108,25 @@ type windowCtx struct {
 // survivors by signature, in order of each signature's first surviving
 // instance. seen and attempts are stable for the whole window (they are
 // only updated at merge time), so the partition is deterministic. The
-// lockset quick check is computed lazily, on the first instance that
-// survives the cheap map lookups — preserving the old driver's property
-// that a window whose candidates are all already decided costs no lockset
-// pass.
+// window MHB clocks and the lockset quick check are computed lazily, on
+// the first instance that survives the cheap map lookups — preserving the
+// old driver's property that a window whose candidates are all already
+// decided costs no clock pass — and the single MHB pass is shared by the
+// quick check, the triage tier and (via the returned value) the window
+// encoders, where the old driver paid for it twice. Survivors are
+// classified by the triage tier (triage.go) at partition time, in
+// canonical enumeration order, so the tier's telemetry tallies are
+// deterministic under any worker count.
 func (d *Detector) partition(w *trace.Trace, cops []race.COP,
-	seen map[race.Signature]bool, attempts map[race.Signature]int) []*sigGroup {
+	seen map[race.Signature]bool, attempts map[race.Signature]int) ([]*sigGroup, *vc.MHB) {
 	col := d.opt.Telemetry
 	var (
 		groups []*sigGroup
 		index  map[race.Signature]int
+		mhb    *vc.MHB
 		sets   *lockset.Sets
 		setsOK bool
+		tri    *triage
 	)
 	for _, cop := range cops {
 		sig := race.SigOf(w, cop.A, cop.B)
@@ -130,8 +141,11 @@ func (d *Detector) partition(w *trace.Trace, cops []race.COP,
 		if !setsOK {
 			setsOK = true
 			if !d.opt.NoQuickCheck {
-				span := col.StartPhase(telemetry.PhaseQuickCheck)
-				sets = lockset.Compute(w)
+				span := col.StartPhase(telemetry.PhaseMHB)
+				mhb = vc.ComputeMHB(w)
+				span.End()
+				span = col.StartPhase(telemetry.PhaseQuickCheck)
+				sets = lockset.ComputeWith(w, mhb)
 				span.End()
 			}
 		}
@@ -144,6 +158,13 @@ func (d *Detector) partition(w *trace.Trace, cops []race.COP,
 				continue
 			}
 		}
+		confirmed := false
+		if sets != nil && d.triageOn() {
+			if tri == nil {
+				tri = d.newTriage(w)
+			}
+			confirmed = tri.confirm(cop)
+		}
 		gi, ok := index[sig]
 		if !ok {
 			if index == nil {
@@ -154,8 +175,14 @@ func (d *Detector) partition(w *trace.Trace, cops []race.COP,
 			groups = append(groups, &sigGroup{sig: sig, baseAttempts: attempts[sig]})
 		}
 		groups[gi].cops = append(groups[gi].cops, cop)
+		if tri != nil {
+			groups[gi].confirmed = append(groups[gi].confirmed, confirmed)
+		}
 	}
-	return groups
+	if tri != nil {
+		tri.release()
+	}
+	return groups, mhb
 }
 
 // buildReplica constructs one worker's window encoding: base constraints,
@@ -328,7 +355,7 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 		col.CountPairRollback()
 	}
 	passTimeout := d.passOneTimeout()
-	for _, cop := range g.cops {
+	for k, cop := range g.cops {
 		if wc.ctx.Err() != nil {
 			gr.cancelled = true
 			break
@@ -355,6 +382,28 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 		var qstart time.Time
 		if tracer != nil {
 			qstart = time.Now()
+		}
+		if g.confirmed != nil && g.confirmed[k] && !d.opt.Witness {
+			// Triage fast path: the vector-clock tier proved this instance's
+			// query satisfiable (triage.go), so the SAT verdict is recorded
+			// without touching the solver. The attempt still counts exactly
+			// like a solved query — COPsChecked, attempt budgets and the
+			// reported race are bit-identical to the triage-off run — and the
+			// tracer still sees the finding, but the solver outcome tallies
+			// deliberately exclude it: they count solver queries, and the
+			// triage telemetry block accounts for the confirmed pairs. When a
+			// witness schedule is requested the pair falls through to the
+			// normal (guaranteed-SAT) solve instead, so witnesses match too.
+			gr.isRace = true
+			gr.race = race.Race{
+				COP: race.COP{A: cop.A + wc.offset, B: cop.B + wc.offset},
+				Sig: g.sig,
+			}
+			if tracer != nil {
+				tracer.QuerySolved(wc.widx, cop.A+wc.offset+d.traceOffset,
+					cop.B+wc.offset+d.traceOffset, telemetry.OutcomeSat, time.Since(qstart))
+			}
+			continue
 		}
 		var (
 			isRace  bool

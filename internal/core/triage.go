@@ -1,0 +1,127 @@
+// Triage tier: sound vector-clock fast paths that confirm races before
+// SMT (the detection-side counterpart of the paper's Table 1 inclusion
+// chain HB ⊆ CP ⊆ RV).
+//
+// Every candidate pair surviving the prefilters used to pay a full
+// IDL/SMT solve, yet on the HB-race-dominated benchmark rows the
+// overwhelming majority of reported races are decidable by a linear
+// vector-clock pass. The triage tier classifies each quick-check survivor
+// once, in canonical enumeration order, before the pair scheduler
+// dispatches anything:
+//
+//   - confirmed: the pair is concurrent under schedulable happens-before
+//     (SHB: full HB plus a reads-from edge from every read's justifying
+//     write — hb.SHBClocks), or is a write–read pair ordered only by its
+//     own reads-from edge (the SHB pre-join check, hb.RFRaceable).
+//     Together with the quick check's disjoint locksets this soundly
+//     proves the SMT query satisfiable, so the solver is skipped
+//     entirely; when Options.Witness demands a schedule the pair instead
+//     runs the normal (guaranteed-SAT) solve so the witness is
+//     bit-identical to the triage-off run.
+//   - cp-confirmed (Options.TriageCP): pairs the SHB tier cannot confirm
+//     are checked against the causally-precedes relation composed with
+//     SHB; CP-concurrent pairs are confirmed. This second tier targets
+//     lock-heavy traces where SHB's release→acquire edges order almost
+//     everything.
+//   - dispatched: everything else goes to the pair scheduler unchanged.
+//
+// Why SHB and not bare HB: HB concurrency alone is NOT sufficient under
+// maximal-causality semantics. A non-volatile write→read value flow
+// carries no HB edge, yet the read may guard (via a branch) one of the
+// racing accesses, forcing the write before the race in every feasible
+// reordering — the pair is HB-concurrent but the SMT query is UNSAT. The
+// reads-from edges close exactly that hole: for an SHB-concurrent pair
+// the reordering [SHB-downward closure of the pair, in trace order] a b
+// satisfies Φ_mhb, Φ_lock and both cf obligations, so confirmation never
+// disagrees with the solver.
+package core
+
+import (
+	"time"
+
+	"repro/internal/cp"
+	"repro/internal/hb"
+	"repro/internal/race"
+	"repro/trace"
+)
+
+// triageOn reports whether the triage tier runs: not disabled, and the
+// quick check (whose locksets and MHB pass the tier shares) is active.
+func (d *Detector) triageOn() bool {
+	return !d.opt.NoTriage && !d.opt.NoQuickCheck
+}
+
+// triage is the per-window classifier. Clock computations are lazy: the
+// SHB pass runs once per window with surviving candidates, the CP
+// relation only when TriageCP is set and the SHB tier left a pair
+// undecided.
+type triage struct {
+	d   *Detector
+	w   *trace.Trace
+	shb *hb.EventClocks
+	rel *cp.Relation // lazy, TriageCP only
+}
+
+// newTriage computes the window's SHB clocks (charged to the triage
+// fast-path counter, not to a pipeline phase — the tier is an addition to
+// the pipeline, not a stage of it).
+func (d *Detector) newTriage(w *trace.Trace) *triage {
+	col := d.opt.Telemetry
+	var t0 time.Time
+	if col.Enabled() {
+		t0 = time.Now()
+	}
+	t := &triage{d: d, w: w, shb: hb.SHBClocks(w)}
+	if col.Enabled() {
+		col.AddTriageFastPath(time.Since(t0))
+	}
+	return t
+}
+
+// confirm classifies one quick-check survivor and tallies the verdict.
+// Callers guarantee the pair already passed the lockset quick check
+// (disjoint locksets, MHB-concurrent) — the lockset half of the
+// confirmation condition — so only the clock checks remain. The per-pair
+// checks are O(1): FastTrack-style epochs against full clocks.
+func (t *triage) confirm(cop race.COP) bool {
+	col := t.d.opt.Telemetry
+	ea, eb := t.shb.Epoch(cop.A), t.shb.Epoch(cop.B)
+	if !ea.LessEqClock(t.shb.Clock(cop.B)) && !eb.LessEqClock(t.shb.Clock(cop.A)) {
+		col.CountTriageConfirmed(false)
+		return true
+	}
+	// Write–read pairs where the read reads the racing write are ordered
+	// by the very reads-from edge SHB adds; the pre-join check recorded
+	// during the clock pass recovers exactly those (hb.RFRaceable).
+	if t.shb.RFRaceable(cop.A, cop.B) {
+		col.CountTriageConfirmed(false)
+		return true
+	}
+	if t.d.opt.TriageCP {
+		if t.rel == nil {
+			var t0 time.Time
+			if col.Enabled() {
+				t0 = time.Now()
+			}
+			t.rel = cp.ComputeWith(t.w, t.shb)
+			if col.Enabled() {
+				col.AddTriageFastPath(time.Since(t0))
+			}
+		}
+		if !t.rel.Ordered(cop.A, cop.B) {
+			col.CountTriageConfirmed(true)
+			return true
+		}
+	}
+	col.CountTriageDispatched()
+	return false
+}
+
+// release returns the tier's clock storage to the shared slab pool once
+// classification for the window is complete.
+func (t *triage) release() {
+	if t.rel != nil {
+		t.rel.Release()
+	}
+	t.shb.Release()
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+	"repro/trace"
+)
+
+// triageFixture is one trace the triage bit-identity matrix runs over.
+type triageFixture struct {
+	name   string
+	tr     *trace.Trace
+	window int
+	racy   bool // the fixture must produce at least one race
+}
+
+// triageFixtures builds one small workload per planted race motif — every
+// row of the paper's Table 1 taxonomy, including the motifs where the
+// vector-clock tiers must NOT fire (qc-only has no sound race at all,
+// rv-region and rv-incomplete are invisible to HB/CP) — plus the Figure 1
+// example and the pair scheduler's own fixture.
+func triageFixtures(t *testing.T) []triageFixture {
+	t.Helper()
+	motifs := []struct {
+		name string
+		m    workloads.MotifCounts
+		racy bool
+	}{
+		{"plain", workloads.MotifCounts{Plain: 2}, true},
+		{"hb-not-said", workloads.MotifCounts{HBNotSaid: 1}, true},
+		{"cp", workloads.MotifCounts{CP: 1}, true},
+		{"cp-not-said", workloads.MotifCounts{CPNotSaid: 1}, true},
+		{"said", workloads.MotifCounts{Said: 1}, true},
+		{"rv-region", workloads.MotifCounts{RVRegion: 1}, true},
+		{"rv-incomplete", workloads.MotifCounts{RVIncomplete: 1}, true},
+		{"qc-only", workloads.MotifCounts{QCOnly: 1}, false},
+	}
+	var fx []triageFixture
+	for i, mt := range motifs {
+		tr, _ := workloads.Build(workloads.Spec{
+			Name: mt.name, Workers: 3, Events: 240, Window: 10000,
+			Seed: int64(900 + i), Motifs: mt.m,
+		})
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: fixture trace invalid: %v", mt.name, err)
+		}
+		fx = append(fx, triageFixture{mt.name, tr, 10000, mt.racy})
+	}
+	ex, _ := workloads.Example()
+	fx = append(fx, triageFixture{"figure1", ex, 10000, true})
+	fx = append(fx, triageFixture{"pair-rich", pairRichTrace(), 24, true})
+	return fx
+}
+
+// triageResult runs detection and zeroes the timing field for bit-for-bit
+// comparison.
+func triageResult(tr *trace.Trace, window int, opt Options) race.Result {
+	opt.WindowSize = window
+	res := New(opt).Detect(tr)
+	res.Elapsed = 0
+	return res
+}
+
+// TestTriageBitIdentityMatrix is the triage tier's acceptance test: the
+// full race.Result — races in order, signatures, witnesses, COPsChecked,
+// flags — must be bit-identical with the tier off, with the SHB tier on,
+// and with the CP tier on, across every planted race motif, with and
+// without witness schedules, under every Parallelism × PairParallelism
+// combination. Run under -race in CI it doubles as the data-race check
+// for the shared clock slabs.
+func TestTriageBitIdentityMatrix(t *testing.T) {
+	withProcs(t, 4)
+	for _, tc := range triageFixtures(t) {
+		for _, witness := range []bool{false, true} {
+			base := triageResult(tc.tr, tc.window, Options{NoTriage: true, Witness: witness})
+			if tc.racy && len(base.Races) == 0 {
+				t.Fatalf("%s: expected races in the fixture", tc.name)
+			}
+			for _, par := range []int{1, 4} {
+				for _, pairPar := range []int{1, 4} {
+					modes := []struct {
+						name string
+						opt  Options
+					}{
+						{"shb", Options{Witness: witness, Parallelism: par, PairParallelism: pairPar}},
+						{"cp", Options{Witness: witness, TriageCP: true, Parallelism: par, PairParallelism: pairPar}},
+					}
+					for _, m := range modes {
+						got := triageResult(tc.tr, tc.window, m.opt)
+						if !reflect.DeepEqual(got, base) {
+							t.Errorf("%s: triage=%s witness=%v par %d × pairPar %d: result differs from triage-off baseline\n got %+v\nwant %+v",
+								tc.name, m.name, witness, par, pairPar, got, base)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTriageTelemetryCounters checks the triage counter block: on a
+// workload whose races are all plain HB races, every reported race must
+// come through the fast path (no SAT verdict ever reaches the solver
+// outcome tallies), and with the tier disabled the block must stay zero
+// while the same races are found by solving.
+func TestTriageTelemetryCounters(t *testing.T) {
+	tr, ex := workloads.Build(workloads.Spec{
+		Name: "triage-counters", Workers: 3, Events: 240, Window: 10000,
+		Seed: 950, Motifs: workloads.MotifCounts{Plain: 3},
+	})
+
+	col := telemetry.NewCollector()
+	res := New(Options{WindowSize: 10000, Telemetry: col}).Detect(tr)
+	m := col.Snapshot()
+	if len(res.Races) != ex.RV {
+		t.Fatalf("races = %d, want %d", len(res.Races), ex.RV)
+	}
+	if m.Triage.Confirmed == 0 {
+		t.Errorf("triage confirmed = 0, want > 0 on plain HB races")
+	}
+	if m.Outcomes.Sat != 0 {
+		t.Errorf("solver sat outcomes = %d, want 0 (all races fast-pathed)", m.Outcomes.Sat)
+	}
+	if m.Outcomes.Solved >= int64(res.COPsChecked) {
+		t.Errorf("solver queries = %d, want fewer than COPsChecked = %d (fast path must skip solves)",
+			m.Outcomes.Solved, res.COPsChecked)
+	}
+
+	col = telemetry.NewCollector()
+	res = New(Options{WindowSize: 10000, NoTriage: true, Telemetry: col}).Detect(tr)
+	m = col.Snapshot()
+	if tg := m.Triage; tg.Confirmed != 0 || tg.CPConfirmed != 0 || tg.Dispatched != 0 || tg.FastPathNS != 0 {
+		t.Errorf("NoTriage run has non-zero triage block: %+v", tg)
+	}
+	if m.Outcomes.Sat != int64(ex.RV) {
+		t.Errorf("NoTriage sat outcomes = %d, want %d", m.Outcomes.Sat, ex.RV)
+	}
+	if len(res.Races) != ex.RV {
+		t.Errorf("NoTriage races = %d, want %d", len(res.Races), ex.RV)
+	}
+}
+
+// TestTriageWitnessesStillSolve: with Options.Witness set, confirmed
+// pairs fall through to the (guaranteed satisfiable) solver query, so
+// every reported race still carries a valid witness schedule. Whole-trace
+// window: witnesses are only validatable against the full trace.
+func TestTriageWitnessesStillSolve(t *testing.T) {
+	tr := pairRichTrace()
+	res := New(Options{Witness: true}).Detect(tr)
+	if len(res.Races) == 0 {
+		t.Fatal("expected races in the fixture")
+	}
+	for _, r := range res.Races {
+		if err := race.ValidateWitness(tr, r.Witness, r.A, r.B); err != nil {
+			t.Errorf("race %v: invalid witness: %v", r.Sig, err)
+		}
+	}
+}

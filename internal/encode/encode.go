@@ -109,14 +109,25 @@ func (e *Encoder) before(i, j int) bool {
 // each thread, fork→begin, end→join, and the release→notify→acquire
 // bracketing of each wait/notify link. The constraint count is linear in
 // the window (transitivity lives in the theory).
+//
+// With Pruning enabled, cross-thread edges that are transitively implied
+// by the rest of the generator set are skipped (see redundantEdge): the
+// asserted formula shrinks, its integer-order models are unchanged.
 func (e *Encoder) AssertMHB() error {
+	tr := e.tr
 	last := make(map[trace.TID]int)    // thread -> previous event index
 	firstOf := make(map[trace.TID]int) // thread -> first event index
 	lastOf := make(map[trace.TID]int)  // thread -> last event index so far
-	tr := e.tr
+	// Program-order neighbours, for the transitive-reduction check.
+	next := make([]int, tr.Len())
+	prev := make([]int, tr.Len())
+	for i := range next {
+		next[i], prev[i] = -1, -1
+	}
 	for i := 0; i < tr.Len(); i++ {
 		ev := tr.Event(i)
 		if p, ok := last[ev.Tid]; ok {
+			next[p], prev[i] = i, p
 			if err := e.s.Assert(smt.Less(e.vars[p], e.vars[i])); err != nil {
 				return err
 			}
@@ -126,32 +137,56 @@ func (e *Encoder) AssertMHB() error {
 		last[ev.Tid] = i
 		lastOf[ev.Tid] = i
 	}
+	cross := func(u, v int) error {
+		if e.Pruning && e.redundantEdge(u, v, next[u], prev[v]) {
+			return nil
+		}
+		return e.s.Assert(smt.Less(e.vars[u], e.vars[v]))
+	}
 	for i := 0; i < tr.Len(); i++ {
 		ev := tr.Event(i)
 		switch ev.Op {
 		case trace.OpFork:
 			if f, ok := firstOf[ev.Child()]; ok && f > i {
-				if err := e.s.Assert(smt.Less(e.vars[i], e.vars[f])); err != nil {
+				if err := cross(i, f); err != nil {
 					return err
 				}
 			}
 		case trace.OpJoin:
 			if l, ok := lastOf[ev.Child()]; ok && l < i {
-				if err := e.s.Assert(smt.Less(e.vars[l], e.vars[i])); err != nil {
+				if err := cross(l, i); err != nil {
 					return err
 				}
 			}
 		}
 	}
 	for _, ln := range tr.NotifyLinks() {
-		if err := e.s.Assert(smt.Less(e.vars[ln.Release], e.vars[ln.Notify])); err != nil {
+		if err := cross(ln.Release, ln.Notify); err != nil {
 			return err
 		}
-		if err := e.s.Assert(smt.Less(e.vars[ln.Notify], e.vars[ln.Acquire])); err != nil {
+		if err := cross(ln.Notify, ln.Acquire); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// redundantEdge reports whether the cross-thread order constraint u < v is
+// transitively implied by the remaining Φ_mhb generators: an intermediate
+// w with u ≺ w ≺ v, where u → w is u's program-order edge (always kept) or
+// w → v is v's program-order edge. Every MHB generator points forward in
+// trace order, so the implying two-step path involves strictly shorter
+// spans and the standard DAG transitive-reduction argument applies:
+// dropping all such edges at once leaves the ≺ closure — and hence the
+// formula's model set — unchanged.
+func (e *Encoder) redundantEdge(u, v, nextU, prevV int) bool {
+	if nextU >= 0 && nextU != v && e.mhb.Before(nextU, v) {
+		return true
+	}
+	if prevV >= 0 && prevV != u && e.mhb.Before(u, prevV) {
+		return true
+	}
+	return false
 }
 
 // AssertLocks asserts Φ_lock: for every two critical sections over the
@@ -177,11 +212,35 @@ func (e *Encoder) AssertLocks() error {
 				if s1.Tid == s2.Tid {
 					continue // ordered by program order already
 				}
+				can12 := s1.Release >= 0 && s2.Acquire >= 0
+				can21 := s2.Release >= 0 && s1.Acquire >= 0
+				if e.Pruning {
+					// A disjunct already forced by Φ_mhb (the sections are
+					// must-ordered, e.g. across a fork or join) makes the
+					// whole disjunction entailed — skip it.
+					if (can12 && e.mhb.Before(s1.Release, s2.Acquire)) ||
+						(can21 && e.mhb.Before(s2.Release, s1.Acquire)) {
+						continue
+					}
+					// A disjunct contradicted by Φ_mhb can never hold; drop
+					// it and assert the surviving one as a unit constraint.
+					// Only one direction can be contradicted (the observed
+					// trace satisfies Φ_mhb and serialises the sections one
+					// way), and a disjunct is dropped only when the other
+					// remains, so the asserted models are unchanged.
+					if can12 && can21 {
+						if e.mhb.Before(s2.Acquire, s1.Release) {
+							can12 = false
+						} else if e.mhb.Before(s1.Acquire, s2.Release) {
+							can21 = false
+						}
+					}
+				}
 				var opts []*smt.Formula
-				if s1.Release >= 0 && s2.Acquire >= 0 {
+				if can12 {
 					opts = append(opts, smt.Less(e.vars[s1.Release], e.vars[s2.Acquire]))
 				}
-				if s2.Release >= 0 && s1.Acquire >= 0 {
+				if can21 {
 					opts = append(opts, smt.Less(e.vars[s2.Release], e.vars[s1.Acquire]))
 				}
 				if len(opts) == 0 {

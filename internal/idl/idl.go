@@ -63,6 +63,7 @@ type Solver struct {
 	gamma  []int64
 	parent []int32 // edge index that last improved a node
 	heap   gammaHeap
+	dirty  []VarID // nodes with touched gamma/parent, reset per relaxation
 
 	// rollback log of potential changes during a failed relaxation
 	undo []potChange
@@ -219,9 +220,11 @@ func (s *Solver) relax(ne edge) []Tag {
 	s.parent[v] = -2                             // improved by the new edge
 	s.heap.push(v)
 
-	dirty := []VarID{v}
+	// The touched-node work list is reused across relaxations (it is dead
+	// between calls), so steady-state asserts allocate nothing.
+	s.dirty = append(s.dirty[:0], v)
 	cleanup := func() {
-		for _, t := range dirty {
+		for _, t := range s.dirty {
 			s.gamma[t] = 0
 			s.parent[t] = -1
 		}
@@ -253,7 +256,7 @@ func (s *Solver) relax(ne edge) []Tag {
 					return tags
 				}
 				if s.gamma[e.to] == 0 {
-					dirty = append(dirty, e.to)
+					s.dirty = append(s.dirty, e.to)
 				}
 				s.gamma[e.to] = slack
 				s.parent[e.to] = ei

@@ -36,6 +36,14 @@ type Sets struct {
 // acquire, so accesses before such a release still carry the lock (without
 // this, window boundaries leak spurious quick-check positives).
 func Compute(tr *trace.Trace) *Sets {
+	return ComputeWith(tr, vc.ComputeMHB(tr))
+}
+
+// ComputeWith is Compute with caller-supplied MHB clocks for the weak-HB
+// part of the check, for pipelines that already computed the window's MHB
+// (the detection driver shares one MHB pass between the quick check, the
+// triage tier and the constraint encoder).
+func ComputeWith(tr *trace.Trace, mhb *vc.MHB) *Sets {
 	held := make(map[int][]trace.Addr)
 	cur := make(map[trace.TID]map[trace.Addr]bool)
 	// Pre-scan: locks released without an in-window acquire were held from
@@ -81,7 +89,7 @@ func Compute(tr *trace.Trace) *Sets {
 			}
 		}
 	}
-	return &Sets{held: held, mhb: vc.ComputeMHB(tr)}
+	return &Sets{held: held, mhb: mhb}
 }
 
 // Held returns the sorted locks held at access event i (nil if none).

@@ -205,6 +205,12 @@ type Collector struct {
 	pairRollbacks atomic.Int64
 	queueWait     atomic.Int64
 
+	// Triage-tier tallies (sound vector-clock fast paths before SMT).
+	triConfirmed   atomic.Int64
+	triCPConfirmed atomic.Int64
+	triDispatched  atomic.Int64
+	triFastPath    atomic.Int64
+
 	mu      sync.Mutex
 	windows []WindowRecord
 }
@@ -442,6 +448,38 @@ func (c *Collector) AddQueueWait(d time.Duration) {
 	c.queueWait.Add(int64(d))
 }
 
+// CountTriageConfirmed tallies one COP soundly confirmed as a race by the
+// vector-clock triage tier without a solver query; cp marks confirmations
+// by the optional causally-precedes second tier.
+func (c *Collector) CountTriageConfirmed(cp bool) {
+	if c == nil {
+		return
+	}
+	if cp {
+		c.triCPConfirmed.Add(1)
+	} else {
+		c.triConfirmed.Add(1)
+	}
+}
+
+// CountTriageDispatched tallies one COP the triage tier could not decide,
+// dispatched to the SMT pair scheduler unchanged.
+func (c *Collector) CountTriageDispatched() {
+	if c == nil {
+		return
+	}
+	c.triDispatched.Add(1)
+}
+
+// AddTriageFastPath accumulates wall-clock time spent in the triage tier's
+// clock computations and per-pair checks.
+func (c *Collector) AddTriageFastPath(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.triFastPath.Add(int64(d))
+}
+
 // WindowDone appends one window's record. Records may arrive in any order
 // (parallel mode); Snapshot sorts them by offset.
 func (c *Collector) WindowDone(rec WindowRecord) {
@@ -511,6 +549,12 @@ func (c *Collector) Snapshot() *Metrics {
 			Rollbacks:   c.pairRollbacks.Load(),
 			QueueWaitNS: c.queueWait.Load(),
 		},
+		Triage: TriageCounters{
+			Confirmed:   c.triConfirmed.Load(),
+			CPConfirmed: c.triCPConfirmed.Load(),
+			Dispatched:  c.triDispatched.Load(),
+			FastPathNS:  c.triFastPath.Load(),
+		},
 	}
 	m.Outcomes.Solved = m.Outcomes.Sat + m.Outcomes.Unsat +
 		m.Outcomes.Timeout + m.Outcomes.ConflictBudget + m.Outcomes.Cancelled
@@ -541,6 +585,7 @@ type Metrics struct {
 	Solver      SolverCounters    `json:"solver"`
 	Outcomes    OutcomeTally      `json:"outcomes"`
 	PairSched   PairSchedCounters `json:"pair_scheduler"`
+	Triage      TriageCounters    `json:"triage"`
 	WindowCount int               `json:"window_count"`
 	Windows     []WindowRecord    `json:"windows,omitempty"`
 }
@@ -557,6 +602,7 @@ func (m *Metrics) NonTiming() Metrics {
 	out.PairSched.Replicas = 0
 	out.PairSched.Rollbacks = 0
 	out.PairSched.QueueWaitNS = 0
+	out.Triage.FastPathNS = 0
 	out.Windows = append([]WindowRecord(nil), m.Windows...)
 	for i := range out.Windows {
 		out.Windows[i].ElapsedNS = 0
@@ -593,6 +639,21 @@ type PairSchedCounters struct {
 	Replicas    int64 `json:"replicas"`
 	Rollbacks   int64 `json:"rollbacks"`
 	QueueWaitNS int64 `json:"queue_wait_ns"`
+}
+
+// TriageCounters describes the sound vector-clock triage tier that runs
+// before the pair scheduler: Confirmed COPs were proven races by the
+// epoch/clock fast path alone (no solver query unless a witness was
+// requested), CPConfirmed by the optional causally-precedes second tier,
+// and Dispatched COPs went to the SMT scheduler unchanged. The counts are
+// deterministic (classification happens in canonical order before
+// dispatch); FastPathNS is the tier's wall-clock cost and is excluded from
+// NonTiming.
+type TriageCounters struct {
+	Confirmed   int64 `json:"confirmed"`
+	CPConfirmed int64 `json:"cp_confirmed"`
+	Dispatched  int64 `json:"dispatched"`
+	FastPathNS  int64 `json:"fast_path_ns"`
 }
 
 // SolverCounters aggregates the solver-stack counters over every solver

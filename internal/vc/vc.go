@@ -10,6 +10,7 @@ package vc
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Clock is a vector clock: Clock[i] is the number of events of thread index
@@ -73,6 +74,31 @@ func (c Clock) String() string {
 	}
 	b.WriteByte(']')
 	return b.String()
+}
+
+// slabPool recycles the flat backing arrays of per-event clock tables
+// (one n-threads clock per event, carved out of a single slab) across
+// analysis windows. Per-event clocks dominate the allocation profile of a
+// windowed run — without the slab a trace of E events costs E clock
+// allocations per window per clock pass.
+var slabPool = sync.Pool{New: func() any { return []int32(nil) }}
+
+// GetSlab returns an int32 slab with length ≥ n, contents unspecified.
+// Callers must overwrite every cell they read.
+func GetSlab(n int) []int32 {
+	s := slabPool.Get().([]int32)
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// PutSlab returns a slab obtained from GetSlab to the pool. The caller
+// must not retain any slice aliasing it.
+func PutSlab(s []int32) {
+	if s != nil {
+		slabPool.Put(s[:0]) //nolint:staticcheck // slice header, no alloc
+	}
 }
 
 // Epoch is the scalar clock optimisation of FastTrack: a (thread, count)

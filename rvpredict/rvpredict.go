@@ -170,6 +170,17 @@ type Options struct {
 	// run (see core.Options.PairParallelism). The two knobs compose under
 	// one worker budget of max(Parallelism, PairParallelism).
 	PairParallelism int
+	// NoTriage disables the sound vector-clock triage tier of the
+	// MaximalCF detector, which confirms candidate pairs that are
+	// concurrent under schedulable happens-before without a solver query.
+	// The report is bit-identical with triage on or off (absent real
+	// wall-clock solver timeouts); the knob exists for measurement and as
+	// an escape hatch. See doc/performance.md.
+	NoTriage bool
+	// TriageCP additionally enables the causally-precedes second triage
+	// tier for lock-heavy traces (MaximalCF only; off by default). See
+	// core.Options.TriageCP.
+	TriageCP bool
 	// Telemetry attaches a Telemetry metrics snapshot to the report:
 	// phase timings, solver counters and outcome tallies. Collection is
 	// allocation-light but not free; leave it off on hot paths. Enabling
@@ -319,6 +330,8 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 			Witness:          opt.Witness,
 			Parallelism:      opt.Parallelism,
 			PairParallelism:  opt.PairParallelism,
+			NoTriage:         opt.NoTriage,
+			TriageCP:         opt.TriageCP,
 			Telemetry:        col,
 			Tracer:           opt.Tracer,
 			FaultInjector:    opt.FaultInjector,

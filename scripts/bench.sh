@@ -5,19 +5,34 @@
 # ordinary review diffs. See doc/performance.md.
 #
 # Usage:
-#   scripts/bench.sh [out.json]          # default out: BENCH_3.json
-#   BENCHTIME=10x scripts/bench.sh       # more iterations, steadier numbers
+#   scripts/bench.sh [out.json]              # default out: BENCH_4.json
+#   scripts/bench.sh compare old.json new.json   # diff two snapshots only
+#   COMPARE=BENCH_3.json scripts/bench.sh    # bench, then diff vs a snapshot
+#   BENCHTIME=10x scripts/bench.sh           # more iterations, steadier numbers
 #   BENCH=BenchmarkPairParallelDetect scripts/bench.sh   # one family only
+#
+# Compare mode prints per-benchmark ns/op and allocs/op deltas and flags
+# changes beyond 10% (informational by default; bench_compare.py --strict
+# turns regressions into a non-zero exit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+if [[ "${1:-}" == "compare" ]]; then
+  shift
+  exec python3 scripts/bench_compare.py "$@"
+fi
+
+out="${1:-BENCH_4.json}"
 benchtime="${BENCHTIME:-3x}"
 bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect)$}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count 1 . | tee "$tmp"
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem -count 1 . | tee "$tmp"
 python3 scripts/bench_to_json.py "$benchtime" < "$tmp" > "$out"
 echo "wrote $out"
+
+if [[ -n "${COMPARE:-}" ]]; then
+  python3 scripts/bench_compare.py "$COMPARE" "$out"
+fi

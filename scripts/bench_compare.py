@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots (see bench_to_json.py for the schema).
+
+Usage: bench_compare.py old.json new.json [--threshold PCT] [--strict]
+
+Prints one line per benchmark present in both snapshots with the ns/op
+delta and, when both runs carried memory metrics (-benchmem), the
+allocs/op delta. Deltas beyond the threshold (default 10%) are flagged:
+slower/more allocations as REGRESSION, faster as improvement. With
+--strict the exit status is 1 when any regression was flagged, so CI can
+choose to gate on it; the default is informational (exit 0) because
+single-shot bench runs on shared runners are noisy.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    out = {}
+    for r in snap.get("results", []):
+        out[r["name"]] = r
+    return out
+
+
+def metric(entry, key):
+    return entry.get("metrics", {}).get(key)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag deltas beyond this percentage (default 10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any regression is flagged")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    names = [n for n in new if n in old]
+    if not names:
+        print("bench_compare: no common benchmarks between "
+              f"{args.old} and {args.new}", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in names)
+    regressions = 0
+
+    def describe(delta_pct):
+        nonlocal regressions
+        if delta_pct > args.threshold:
+            regressions += 1
+            return "REGRESSION"
+        if delta_pct < -args.threshold:
+            return "improved"
+        return ""
+
+    print(f"{'benchmark':<{width}}  {'ns/op old':>12}  {'ns/op new':>12}  "
+          f"{'delta':>8}  {'allocs':>8}  flag")
+    for n in names:
+        o, e = old[n], new[n]
+        ns_delta = 100.0 * (e["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"]
+        flags = [describe(ns_delta)]
+        oa, na = metric(o, "allocs/op"), metric(e, "allocs/op")
+        if oa and na is not None:
+            alloc_delta = 100.0 * (na - oa) / oa
+            alloc_col = f"{alloc_delta:+7.1f}%"
+            flags.append(describe(alloc_delta))
+        else:
+            alloc_col = "-"
+        flag = " ".join(sorted({f for f in flags if f}))
+        print(f"{n:<{width}}  {o['ns_per_op']:>12.0f}  {e['ns_per_op']:>12.0f}  "
+              f"{ns_delta:+7.1f}%  {alloc_col:>8}  {flag}")
+
+    dropped = [n for n in old if n not in new]
+    added = [n for n in new if n not in old]
+    if dropped:
+        print(f"only in {args.old}: {', '.join(sorted(dropped))}")
+    if added:
+        print(f"only in {args.new}: {', '.join(sorted(added))}")
+    if regressions:
+        print(f"{regressions} regression(s) beyond {args.threshold:.0f}%")
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
