@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
 	"repro/minilang"
+	"repro/rvpredict"
 	"repro/trace"
 )
 
@@ -541,6 +543,35 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Telemetry: col}).Detect(tr)
 			if m := col.Snapshot(); m.Outcomes.Solved == 0 && len(res.Races) > 0 {
 				b.Fatal("telemetry recorded nothing")
+			}
+		}
+	})
+}
+
+// BenchmarkJournalDetect measures full RV detection on a Table 1 row with
+// the crash-safe window journal off and on (default group commit): the
+// off/on delta is the durability overhead documented in
+// doc/robustness.md, expected within noise because appends batch their
+// fsyncs.
+func BenchmarkJournalDetect(b *testing.B) {
+	traces, specs := rows()
+	tr := traces["derby"]
+	window := specs["derby"].Window
+	opt := rvpredict.Options{WindowSize: window, SolveTimeout: time.Minute}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rvpredict.Run(nil, tr, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		dir := b.TempDir()
+		jopt := opt
+		for i := 0; i < b.N; i++ {
+			jopt.Journal = filepath.Join(dir, fmt.Sprintf("bench-%d.journal", i))
+			if _, err := rvpredict.Run(nil, tr, jopt); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

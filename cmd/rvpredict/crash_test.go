@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+	"repro/rvpredict"
+	"repro/trace"
+)
+
+// TestHelperProcess is not a test: it is the CLI re-executed as a child
+// process so the crash fault points can genuinely kill it. The arguments
+// after "--" are passed to run verbatim.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("RVP_HELPER") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(run(args, os.Stdout, os.Stderr))
+}
+
+// helperRun re-execs the test binary as the CLI with the given fault
+// script and returns its exit code.
+func helperRun(t *testing.T, faults string, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=^TestHelperProcess$", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "RVP_HELPER=1", "RVPREDICT_FAULTS="+faults)
+	err := cmd.Run()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec failed to start: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// crashFixture is a four-window racy trace (two races per 8-event
+// window), so a crash mid-journal loses some windows and keeps others.
+func crashFixture() *trace.Trace {
+	b := trace.NewBuilder()
+	for i := 0; i < 4; i++ {
+		l := trace.Loc(100 * (i + 1))
+		x := trace.Addr(10 + 4*i)
+		y := x + 1
+		b.At(l+1).Write(1, x, 1)
+		b.At(l+2).ReadV(2, x, 1)
+		b.At(l+3).Write(1, y, 2)
+		b.At(l+4).Write(2, y, 2)
+		b.At(l + 5).Branch(1)
+		b.At(l + 6).Branch(2)
+		b.At(l + 5).Branch(1)
+		b.At(l + 6).Branch(2)
+	}
+	return b.Trace()
+}
+
+// TestCrashMidJournalThenResume is the end-to-end crash-recovery proof: a
+// child process is killed while appending window 2's record (leaving a
+// torn tail), then the same analysis is resumed in-process and its JSON
+// report must match a never-crashed run's.
+func TestCrashMidJournalThenResume(t *testing.T) {
+	tracePath := writeTrace(t, crashFixture())
+	jp := filepath.Join(t.TempDir(), "run.journal")
+	base := []string{"-json", "-window", "8", "-witness"}
+
+	runJSON := func(args ...string) rvpredict.Report {
+		t.Helper()
+		var out, errb strings.Builder
+		if got := run(args, &out, &errb); got != 1 {
+			t.Fatalf("exit = %d, want 1 (stderr: %s)", got, errb.String())
+		}
+		var rep rvpredict.Report
+		if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+			t.Fatalf("report does not parse: %v", err)
+		}
+		return rep
+	}
+	clean := runJSON(append(append([]string{}, base...), tracePath)...)
+
+	// Crash the child on its third journal append, mid-frame.
+	code := helperRun(t, "journal_append:2=crash-torn",
+		append(append([]string{}, base...), "-journal", jp, tracePath)...)
+	if code != faultinject.CrashExitCode {
+		t.Fatalf("crashed child exit = %d, want %d", code, faultinject.CrashExitCode)
+	}
+	_, info, err := journal.Inspect(jp)
+	if err != nil {
+		t.Fatalf("inspecting the crashed journal: %v", err)
+	}
+	if len(info.Outcomes) != 2 || !info.TornTail {
+		t.Fatalf("crashed journal holds %d outcomes (torn=%t), want 2 with a torn tail",
+			len(info.Outcomes), info.TornTail)
+	}
+
+	resumed := runJSON(append(append([]string{}, base...), "-journal", jp, "-resume", tracePath)...)
+	if resumed.Telemetry == nil || resumed.Telemetry.Journal.WindowsReplayed != 2 {
+		t.Fatalf("resumed run replayed %+v windows, want 2", resumed.Telemetry)
+	}
+	if resumed.Telemetry.Journal.TornTailTruncated != 1 {
+		t.Errorf("torn_tail_truncated = %d, want 1", resumed.Telemetry.Journal.TornTailTruncated)
+	}
+	clean.Telemetry, resumed.Telemetry = nil, nil
+	clean.Elapsed, resumed.Elapsed = 0, 0
+	if !reflect.DeepEqual(resumed, clean) {
+		t.Errorf("resumed report differs from the uninterrupted run:\n got %+v\nwant %+v", resumed, clean)
+	}
+}
+
+// TestReportFlushCrashLeavesNoPartialReport: a crash in the middle of (or
+// just after) writing the -out report must leave the destination path
+// absent — never half a JSON document.
+func TestReportFlushCrashLeavesNoPartialReport(t *testing.T) {
+	tracePath := writeTrace(t, crashFixture())
+	for _, fault := range []string{"crash-torn", "crash"} {
+		t.Run(fault, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), "report.json")
+			code := helperRun(t, "report_flush:0="+fault,
+				"-json", "-window", "8", "-out", out, tracePath)
+			if code != faultinject.CrashExitCode {
+				t.Fatalf("exit = %d, want %d", code, faultinject.CrashExitCode)
+			}
+			if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("report path exists after a mid-flush crash (stat err: %v)", err)
+			}
+		})
+	}
+}
+
+// TestOutFlagWritesAtomically: the happy path of -out produces a complete
+// report and cleans up its temp file.
+func TestOutFlagWritesAtomically(t *testing.T) {
+	tracePath := writeTrace(t, crashFixture())
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	var sb, errb strings.Builder
+	if got := run([]string{"-json", "-window", "8", "-out", out, tracePath}, &sb, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", got, errb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	var rep rvpredict.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-out report does not parse: %v", err)
+	}
+	if len(rep.Races) == 0 {
+		t.Error("report has no races")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %q left behind", e.Name())
+		}
+	}
+}

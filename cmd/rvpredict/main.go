@@ -13,9 +13,18 @@
 // when the run was interrupted (SIGINT/SIGTERM) — scriptable like grep.
 // An interrupted run still flushes whatever it found; with -json the
 // partial report carries "interrupted": true.
+//
+// Long runs can be made crash-safe with -journal: every completed
+// analysis window is checkpointed to the given file, and a subsequent
+// run with -journal and -resume replays the checkpointed windows instead
+// of re-solving them, producing the same report as an uninterrupted run.
+// -out writes the report to a file atomically (temp file + fsync +
+// rename) instead of stdout, so a killed run never leaves a half-written
+// report behind.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,6 +39,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/race"
 	"repro/internal/tracefile"
 	"repro/rvpredict"
@@ -72,6 +83,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "trace per-window progress on stderr while analysing")
 		firstPass  = fs.Duration("first-pass", 0, "cheap first-pass per-pair timeout; timed-out pairs are retried with escalating budgets (rv only)")
 		budget     = fs.Duration("budget", 0, "global wall-clock budget for the whole run (0 = unbounded; rv only)")
+		journalTo  = fs.String("journal", "", "checkpoint completed windows to `file` for crash-safe resume (rv only)")
+		resume     = fs.Bool("resume", false, "replay windows already checkpointed in the -journal file instead of re-analysing them")
+		outPath    = fs.String("out", "", "write the report to `file` atomically (temp file + rename) instead of stdout")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
@@ -148,6 +162,21 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		PairParallelism:  *pairPar,
 		Witness:          *witness,
 		Telemetry:        *stats || *jsonOut,
+		Journal:          *journalTo,
+		Resume:           *resume,
+	}
+	// RVPREDICT_FAULTS carries a deterministic fault script (see
+	// faultinject.ParseScript) into the pipeline — the hook the re-exec
+	// crash-recovery tests use to kill this process at precise points.
+	var inj *faultinject.Injector
+	if spec := os.Getenv("RVPREDICT_FAULTS"); spec != "" {
+		in, err := faultinject.ParseScript(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		inj = in
+		opt.FaultInjector = inj
 	}
 	switch strings.ToLower(*triage) {
 	case "on":
@@ -164,29 +193,57 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opt.Tracer = &progressTracer{w: stderr, start: time.Now()}
 	}
 
+	// deliver renders one report to -out (atomically) or stdout; every
+	// report path below goes through it so a killed run can never leave a
+	// half-written report file.
+	deliver := func(render func(w io.Writer) error) error {
+		if *outPath == "" && inj == nil {
+			return render(stdout)
+		}
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return err
+		}
+		if *outPath == "" {
+			_, err := stdout.Write(buf.Bytes())
+			return err
+		}
+		return journal.WriteFileAtomic(*outPath, buf.Bytes(), inj)
+	}
+
+	if *deadlocks || *atomicity {
+		if *journalTo != "" || *resume {
+			fmt.Fprintln(stderr, "rvpredict: -journal/-resume apply to race detection only")
+			return 2
+		}
+	}
+
 	if *deadlocks {
 		rep := rvpredict.DetectDeadlocksContext(ctx, tr, opt)
-		if *jsonOut {
-			if err := emitJSON(stdout, rep); err != nil {
-				fmt.Fprintln(stderr, "rvpredict:", err)
-				return 2
+		err := deliver(func(w io.Writer) error {
+			if *jsonOut {
+				return emitJSON(w, rep)
 			}
-		} else {
-			fmt.Fprintf(stdout, "deadlocks: %d (of %d candidate inversions) in %v\n",
+			fmt.Fprintf(w, "deadlocks: %d (of %d candidate inversions) in %v\n",
 				len(rep.Deadlocks), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
 			for i, d := range rep.Deadlocks {
-				fmt.Fprintf(stdout, "  #%d %s\n", i+1, d.Description)
+				fmt.Fprintf(w, "  #%d %s\n", i+1, d.Description)
 				if *witness && d.Witness != nil {
-					fmt.Fprintf(stdout, "     witness prefix:")
+					fmt.Fprintf(w, "     witness prefix:")
 					for _, idx := range d.Witness {
-						fmt.Fprintf(stdout, " %d", idx)
+						fmt.Fprintf(w, " %d", idx)
 					}
-					fmt.Fprintln(stdout)
+					fmt.Fprintln(w)
 				}
 			}
-		}
-		if *stats && !*jsonOut {
-			printTelemetry(stdout, rep.Telemetry)
+			if *stats {
+				printTelemetry(w, rep.Telemetry)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
 		}
 		if rep.Interrupted {
 			fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
@@ -197,20 +254,23 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	if *atomicity {
 		rep := rvpredict.DetectAtomicityViolationsContext(ctx, tr, opt)
-		if *jsonOut {
-			if err := emitJSON(stdout, rep); err != nil {
-				fmt.Fprintln(stderr, "rvpredict:", err)
-				return 2
+		err := deliver(func(w io.Writer) error {
+			if *jsonOut {
+				return emitJSON(w, rep)
 			}
-		} else {
-			fmt.Fprintf(stdout, "atomicity violations: %d (of %d candidates) in %v\n",
+			fmt.Fprintf(w, "atomicity violations: %d (of %d candidates) in %v\n",
 				len(rep.Violations), rep.Candidates, rep.Elapsed.Round(time.Millisecond))
 			for i, v := range rep.Violations {
-				fmt.Fprintf(stdout, "  #%d %s\n", i+1, v.Description)
+				fmt.Fprintf(w, "  #%d %s\n", i+1, v.Description)
 			}
-		}
-		if *stats && !*jsonOut {
-			printTelemetry(stdout, rep.Telemetry)
+			if *stats {
+				printTelemetry(w, rep.Telemetry)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
 		}
 		if rep.Interrupted {
 			fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
@@ -235,39 +295,42 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep := rvpredict.DetectContext(ctx, tr, opt)
-	if *jsonOut {
-		if err := emitJSON(stdout, rep); err != nil {
-			fmt.Fprintln(stderr, "rvpredict:", err)
-			return 2
+	rep, err := rvpredict.Run(ctx, tr, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "rvpredict:", err)
+		return 2
+	}
+	err = deliver(func(w io.Writer) error {
+		if *jsonOut {
+			return emitJSON(w, rep)
 		}
-		if rep.Interrupted {
-			return exitInterrupted
+		s := rep.Stats
+		fmt.Fprintf(w, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
+			s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
+		fmt.Fprintf(w, "%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
+			rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
+			rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
+		for i, r := range rep.Races {
+			fmt.Fprintf(w, "  #%d %s\n", i+1, r.Description)
+			if *witness && r.Witness != nil {
+				fmt.Fprint(w, race.RenderWitness(tr, r.Witness))
+			}
 		}
-		return foundExit(len(rep.Races))
-	}
-
-	s := rep.Stats
-	fmt.Fprintf(stdout, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
-		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
-	fmt.Fprintf(stdout, "%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
-		rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
-		rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
-	for i, r := range rep.Races {
-		fmt.Fprintf(stdout, "  #%d %s\n", i+1, r.Description)
-		if *witness && r.Witness != nil {
-			fmt.Fprint(stdout, race.RenderWitness(tr, r.Witness))
+		if rep.BudgetExhausted {
+			fmt.Fprintln(w, "note: global budget exhausted; results are sound but may be incomplete")
 		}
-	}
-	if rep.BudgetExhausted {
-		fmt.Fprintln(stdout, "note: global budget exhausted; results are sound but may be incomplete")
-	}
-	for _, f := range rep.WindowFailures {
-		fmt.Fprintf(stdout, "note: window %d (offset %d, %d events) failed: %s\n",
-			f.Window, f.Offset, f.Events, f.PanicValue)
-	}
-	if *stats {
-		printTelemetry(stdout, rep.Telemetry)
+		for _, f := range rep.WindowFailures {
+			fmt.Fprintf(w, "note: window %d (offset %d, %d events) failed: %s\n",
+				f.Window, f.Offset, f.Events, f.PanicValue)
+		}
+		if *stats {
+			printTelemetry(w, rep.Telemetry)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "rvpredict:", err)
+		return 2
 	}
 	if rep.Interrupted {
 		fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")

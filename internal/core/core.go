@@ -158,6 +158,27 @@ type Options struct {
 	// attempt). Test-only: it exists to drive the panic-isolation and
 	// retry recovery paths reproducibly; production runs leave it nil.
 	FaultInjector *faultinject.Injector
+	// OnWindowDone, when non-nil, receives the durable outcome of every
+	// window whose analysis reached a final verdict: clean completions
+	// and isolated panics alike, but not windows cut short by
+	// cancellation or the global budget (a partial outcome must never be
+	// replayed as the window's final one). Outcomes are in whole-trace
+	// coordinates. With Parallelism > 1 the hook is invoked concurrently
+	// from window workers; implementations must serialise internally. It
+	// is the attachment point of the durable window journal
+	// (internal/journal).
+	OnWindowDone func(race.WindowOutcome)
+	// ResumeWindows maps window index → previously journaled outcome. A
+	// window present in the map is not analysed: its outcome is replayed
+	// into the canonical merge exactly as if the window had just
+	// completed — races (and witnesses), failures, counter deltas,
+	// signature verdicts and the telemetry window record — and tallied
+	// as windows_replayed. Outcomes must come from a run over the same
+	// trace with result-affecting options unchanged (the journal's
+	// header fingerprint enforces this). MaxAttemptsPerSig > 0 is not
+	// supported together with ResumeWindows: per-signature attempt
+	// tallies are not part of the journaled outcome.
+	ResumeWindows map[int]race.WindowOutcome
 }
 
 // Detector is the paper's maximal race detector ("RV" in Table 1).
@@ -299,7 +320,8 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 	start := time.Now()
 	col := d.opt.Telemetry
 	tracer := d.opt.Tracer
-	instrumented := col != nil || tracer != nil
+	hook := d.opt.OnWindowDone
+	instrumented := col != nil || tracer != nil || hook != nil
 	var res race.Result
 	seen := make(map[race.Signature]bool)
 	attempts := make(map[race.Signature]int)
@@ -308,6 +330,14 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
 		widx := d.winBase + localWin
 		localWin++
+		// Resume: a journaled window's outcome is merged without
+		// re-analysis, before the cancellation and budget gates — replay
+		// is free and its results are already durable, so even a run
+		// interrupted immediately still reflects them.
+		if out, ok := d.opt.ResumeWindows[widx]; ok {
+			d.replayWindow(&res, out, seen)
+			return
+		}
 		if ctx.Err() != nil {
 			res.Cancelled = true
 			return
@@ -321,12 +351,23 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		// recorded as a WindowFailure, and the run continues with every
 		// other window's results intact. The failed window contributes no
 		// results: its races merge only after the scheduler completes, so
-		// the drop is all-or-nothing and deterministic.
+		// the drop is all-or-nothing and deterministic. The failure is
+		// itself a final, durable verdict — the completion hook records
+		// it so a resumed run reproduces this run's report exactly
+		// instead of silently retrying the window.
 		defer func() {
 			if r := recover(); r != nil {
-				res.Failures = append(res.Failures,
-					windowFailure(widx, d.traceOffset+offset, w.Len(), r))
+				f := windowFailure(widx, d.traceOffset+offset, w.Len(), r)
+				res.Failures = append(res.Failures, f)
 				col.CountWindowFailure()
+				if hook != nil {
+					hook(race.WindowOutcome{
+						Window:   widx,
+						Offset:   d.traceOffset + offset,
+						Events:   w.Len(),
+						Failures: []race.WindowFailure{f},
+					})
+				}
 			}
 		}()
 		d.fireFault(faultinject.PointWindow, widx)
@@ -339,6 +380,8 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		}
 		racesBefore := len(res.Races)
 		solved := 0
+		wChecked, wAborts, wRetried := 0, 0, 0
+		final := true // no cancellation/budget cut — the outcome is replayable
 
 		span := col.StartPhase(telemetry.PhaseEnumerate)
 		cops := race.EnumerateCOPs(w)
@@ -370,14 +413,19 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 				g := groups[i]
 				res.COPsChecked += gr.solved
 				solved += gr.solved
+				wChecked += gr.solved
 				res.SolverAborts += gr.aborts
+				wAborts += gr.aborts
 				res.PairsRetried += gr.retried
+				wRetried += gr.retried
 				attempts[g.sig] = gr.attempts
 				if gr.cancelled {
 					res.Cancelled = true
+					final = false
 				}
 				if gr.budgetGone {
 					res.BudgetExhausted = true
+					final = false
 				}
 				if gr.isRace {
 					seen[g.sig] = true
@@ -396,6 +444,7 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		}
 		if ctx.Err() != nil {
 			res.Cancelled = true
+			final = false
 		}
 
 		if col != nil {
@@ -411,12 +460,93 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		if tracer != nil {
 			tracer.WindowDone(widx, len(res.Races)-racesBefore, time.Since(wstart))
 		}
+		if hook != nil && final {
+			out := race.WindowOutcome{
+				Window:       widx,
+				Offset:       d.traceOffset + offset,
+				Events:       w.Len(),
+				Candidates:   len(cops),
+				Solved:       solved,
+				COPsChecked:  wChecked,
+				SolverAborts: wAborts,
+				PairsRetried: wRetried,
+				ElapsedNS:    int64(time.Since(wstart)),
+			}
+			if n := len(res.Races) - racesBefore; n > 0 {
+				// The hook contract is whole-trace coordinates; rebase a
+				// parallel slice's races (copies — res keeps its own).
+				out.Races = make([]race.Race, n)
+				copy(out.Races, res.Races[racesBefore:])
+				if d.traceOffset != 0 {
+					for i := range out.Races {
+						out.Races[i].A += d.traceOffset
+						out.Races[i].B += d.traceOffset
+						if out.Races[i].Witness != nil {
+							out.Races[i].Witness = rebase(out.Races[i].Witness, d.traceOffset)
+						}
+					}
+				}
+			}
+			hook(out)
+		}
 	})
 	if ctx.Err() != nil {
 		res.Cancelled = true
 	}
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// replayWindow merges one journaled outcome as if the window had just
+// completed its analysis: races enter the result in their original
+// detection order with their signatures marked seen (and shared with
+// parallel workers via foundSig), failures and counter deltas are
+// re-applied, and telemetry records the window as replayed. No solver
+// query is issued.
+func (d *Detector) replayWindow(res *race.Result, out race.WindowOutcome, seen map[race.Signature]bool) {
+	col := d.opt.Telemetry
+	tracer := d.opt.Tracer
+	if tracer != nil {
+		tracer.WindowStart(out.Window, out.Events)
+	}
+	res.COPsChecked += out.COPsChecked
+	res.SolverAborts += out.SolverAborts
+	res.PairsRetried += out.PairsRetried
+	for _, r := range out.Races {
+		// Journaled races are in whole-trace coordinates; the in-flight
+		// result of a parallel slice uses slice-local ones (the parallel
+		// merge re-adds the slice offset).
+		if d.traceOffset != 0 {
+			r.A -= d.traceOffset
+			r.B -= d.traceOffset
+			if r.Witness != nil {
+				r.Witness = rebase(r.Witness, -d.traceOffset)
+			}
+		}
+		seen[r.Sig] = true
+		if d.foundSig != nil {
+			d.foundSig(r.Sig)
+		}
+		res.Races = append(res.Races, r)
+	}
+	// Failures are journaled — and merged — in whole-trace coordinates in
+	// both modes, so they append unchanged.
+	for range out.Failures {
+		col.CountWindowFailure()
+	}
+	res.Failures = append(res.Failures, out.Failures...)
+	col.CountWindowReplayed()
+	col.WindowDone(telemetry.WindowRecord{
+		Offset:     out.Offset,
+		Events:     out.Events,
+		Candidates: out.Candidates,
+		Solved:     out.Solved,
+		Findings:   len(out.Races),
+		ElapsedNS:  out.ElapsedNS,
+	})
+	if tracer != nil {
+		tracer.WindowDone(out.Window, len(out.Races), time.Duration(out.ElapsedNS))
+	}
 }
 
 // detectParallel fans the windows out over Parallelism workers. Each

@@ -20,6 +20,9 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -36,6 +39,16 @@ const (
 	// PointDecode is crossed by tracefile decoding tests per decoded
 	// section; it exists so corrupt-input scripts share the vocabulary.
 	PointDecode Point = "decode"
+	// PointJournalAppend is crossed once per window record appended to
+	// the durable journal (internal/journal), before the record's bytes
+	// are written. Crash faults here simulate process death mid-append —
+	// FaultCrashTorn leaves a torn tail for recovery to truncate.
+	PointJournalAppend Point = "journal_append"
+	// PointReportFlush is crossed once per atomic report write
+	// (journal.WriteFileAtomic), before the temp file's bytes are
+	// written. Crash faults here prove the rename-last discipline: the
+	// destination must never exist half-written.
+	PointReportFlush Point = "report_flush"
 )
 
 // Scoped derives a point tied to one pipeline coordinate, e.g. a window
@@ -63,6 +76,17 @@ const (
 	// budget expired at this crossing — report a timeout outcome without
 	// solving — exercising the retry scheduler deterministically.
 	FaultTimeout
+	// FaultCrash: the instrumented code must complete the crossing's
+	// durable effect (e.g. write and sync a full journal record) and
+	// then terminate the process via CrashNow — simulating death between
+	// two clean operations. Crash faults only make sense in re-exec
+	// tests; in-process tests must never script them.
+	FaultCrash
+	// FaultCrashTorn: the instrumented code must make the crossing's
+	// durable effect visibly incomplete (e.g. write and sync only a
+	// prefix of the record's bytes) and then terminate via CrashNow —
+	// simulating death mid-write, the torn tail recovery must truncate.
+	FaultCrashTorn
 )
 
 // String returns the fault's name.
@@ -74,8 +98,25 @@ func (f Fault) String() string {
 		return "panic"
 	case FaultTimeout:
 		return "timeout"
+	case FaultCrash:
+		return "crash"
+	case FaultCrashTorn:
+		return "crash-torn"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// CrashExitCode is the process exit status of an injected crash. It is
+// distinct from every status the CLI uses (0–3), so a re-exec harness can
+// tell an injected death from an ordinary failure.
+const CrashExitCode = 7
+
+// CrashNow terminates the process immediately with CrashExitCode, without
+// running deferred functions — the moral equivalent of SIGKILL for
+// crash-recovery tests. Instrumented code calls it after honouring the
+// durability semantics of FaultCrash or FaultCrashTorn.
+func CrashNow() {
+	os.Exit(CrashExitCode)
 }
 
 // InjectedPanic is the value panicked with by MaybePanic, carrying the
@@ -122,6 +163,58 @@ func (in *Injector) Script(p Point, hit int, f Fault) *Injector {
 	}
 	in.script[p][hit] = f
 	return in
+}
+
+// ParseScript builds an injector from a textual script of the form
+//
+//	point:hit=fault[;point:hit=fault...]
+//
+// where fault is one of none, panic, timeout, crash or crash-torn, hit is
+// the 0-based crossing index, and point may be a scoped point like
+// "window#2". Empty entries are ignored. The format exists so re-exec
+// crash tests can pass a script to a child process through an environment
+// variable; cmd/rvpredict reads it from RVPREDICT_FAULTS.
+func ParseScript(spec string) (*Injector, error) {
+	in := New()
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		eq := strings.LastIndex(entry, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("faultinject: bad script entry %q (want point:hit=fault)", entry)
+		}
+		var fault Fault
+		switch name := entry[eq+1:]; name {
+		case "none":
+			fault = FaultNone
+		case "panic":
+			fault = FaultPanic
+		case "timeout":
+			fault = FaultTimeout
+		case "crash":
+			fault = FaultCrash
+		case "crash-torn":
+			fault = FaultCrashTorn
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault %q in %q", name, entry)
+		}
+		colon := strings.LastIndex(entry[:eq], ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("faultinject: bad script entry %q (want point:hit=fault)", entry)
+		}
+		hit, err := strconv.Atoi(entry[colon+1 : eq])
+		if err != nil || hit < 0 {
+			return nil, fmt.Errorf("faultinject: bad hit index in %q", entry)
+		}
+		point := Point(entry[:colon])
+		if point == "" {
+			return nil, fmt.Errorf("faultinject: empty point in %q", entry)
+		}
+		in.Script(point, hit, fault)
+	}
+	return in, nil
 }
 
 // Fire records one crossing of point p and returns the fault scripted for

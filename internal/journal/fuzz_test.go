@@ -1,0 +1,74 @@
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/race"
+)
+
+// FuzzJournalDecode hardens journal recovery against corrupt files: the
+// decoder must classify any input as a valid journal, a torn tail, or a
+// format/fingerprint error — never panic, over-allocate or report an
+// intact prefix longer than the input.
+func FuzzJournalDecode(f *testing.F) {
+	// Seed with a valid journal and structured mutants of it.
+	var valid []byte
+	{
+		var e encBuf
+		e.raw([]byte(Magic))
+		e.uvarint(Version)
+		fp := Fingerprint{
+			Trace:   sha256.Sum256([]byte("t")),
+			Options: sha256.Sum256([]byte("o")),
+		}
+		e.frame(append(append([]byte{}, fp.Trace[:]...), fp.Options[:]...))
+		e.frame(encodeOutcome(race.WindowOutcome{
+			Window: 0, Offset: 0, Events: 8, Candidates: 2, Solved: 1, COPsChecked: 1,
+			Races: []race.Race{{
+				COP:     race.COP{A: 1, B: 5},
+				Sig:     race.Signature{First: 3, Second: 4},
+				Witness: []int{0, 1, 5},
+			}},
+		}))
+		e.frame(encodeOutcome(race.WindowOutcome{
+			Window: 1, Offset: 8, Events: 8,
+			Failures: []race.WindowFailure{{Window: 1, Offset: 8, Events: 8, PanicValue: "p", Stack: "s"}},
+		}))
+		valid = e.b
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                               // torn tail
+	f.Add(faultinject.Corrupt(valid, len(valid)-1, 0x01))     // bad crc
+	f.Add(faultinject.Corrupt(valid, 10, 0x10))               // bad header
+	f.Add([]byte(Magic))                                      // magic only
+	f.Add([]byte("RVPJ\x01\xff\xff\xff\xff\xff\xff\xff\x7f")) // huge length claim
+	f.Add([]byte{})
+	f.Add([]byte("RVPT\x01")) // trace-file magic, not a journal
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, info, err := decodeStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if info.Bytes > int64(len(data)) {
+			t.Fatalf("intact prefix %d exceeds input length %d", info.Bytes, len(data))
+		}
+		// A decodable journal must re-encode its outcomes losslessly:
+		// frame each decoded outcome again and re-decode it.
+		for _, out := range info.Outcomes {
+			var e encBuf
+			e.frame(encodeOutcome(out))
+			again, err := decodeOutcome(encodeOutcome(out))
+			if err != nil {
+				t.Fatalf("re-decode of decoded outcome failed: %v", err)
+			}
+			if again.Window != out.Window || len(again.Races) != len(out.Races) {
+				t.Fatalf("outcome did not survive re-encode: %+v vs %+v", again, out)
+			}
+		}
+		_ = fp
+	})
+}

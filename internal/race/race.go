@@ -106,6 +106,44 @@ type WindowFailure struct {
 	Stack string `json:"stack,omitempty"`
 }
 
+// WindowOutcome is the complete, replayable record of one analysis
+// window's contribution to a Result — the checkpoint unit of the durable
+// window journal (internal/journal). Windows are analysed independently
+// and merged deterministically, so replaying a journaled outcome into
+// the merge reproduces the window's effect without re-entering the
+// solver.
+//
+// Races (including witness indices) and Failures are in whole-trace
+// coordinates, regardless of whether the window was analysed
+// sequentially or as a parallel slice.
+type WindowOutcome struct {
+	// Window is the window's index in trace order; Offset the index of
+	// its first event in the whole trace; Events its length.
+	Window int
+	Offset int
+	Events int
+
+	// Candidates is the window's enumerated COP count; Solved its solver
+	// query count; the remaining counters are the window's deltas to the
+	// corresponding Result fields.
+	Candidates   int
+	Solved       int
+	COPsChecked  int
+	SolverAborts int
+	PairsRetried int
+	// ElapsedNS is the window's original analysis wall-clock time
+	// (telemetry only; replay reports it unchanged).
+	ElapsedNS int64
+
+	// Races are the window's new races, in detection order.
+	Races []Race
+	// Failures is non-empty when the window's worker panicked and was
+	// isolated: the outcome then records the durable fact that the
+	// window contributed nothing, so a resumed run reproduces the
+	// faulted run's report exactly instead of silently retrying.
+	Failures []WindowFailure
+}
+
 // Count returns the number of distinct races found.
 func (r Result) Count() int { return len(r.Races) }
 

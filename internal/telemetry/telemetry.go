@@ -211,6 +211,13 @@ type Collector struct {
 	triDispatched  atomic.Int64
 	triFastPath    atomic.Int64
 
+	// Durable-journal tallies (internal/journal).
+	journalRecords  atomic.Int64
+	journalBytes    atomic.Int64
+	journalFsyncNS  atomic.Int64
+	journalReplayed atomic.Int64
+	journalTorn     atomic.Int64
+
 	mu      sync.Mutex
 	windows []WindowRecord
 }
@@ -480,6 +487,45 @@ func (c *Collector) AddTriageFastPath(d time.Duration) {
 	c.triFastPath.Add(int64(d))
 }
 
+// CountJournalWrite tallies one write to the durable window journal:
+// records is 1 for a window record, 0 for the header, and bytes the
+// framed size written.
+func (c *Collector) CountJournalWrite(records int, bytes int) {
+	if c == nil {
+		return
+	}
+	c.journalRecords.Add(int64(records))
+	c.journalBytes.Add(int64(bytes))
+}
+
+// AddJournalFsync accumulates the wall-clock cost of one journal fsync
+// (group commit makes these less frequent than appends).
+func (c *Collector) AddJournalFsync(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.journalFsyncNS.Add(int64(d))
+}
+
+// CountWindowReplayed tallies one window whose journaled outcome was
+// replayed on resume instead of being re-analysed — the window issued no
+// solver queries this run.
+func (c *Collector) CountWindowReplayed() {
+	if c == nil {
+		return
+	}
+	c.journalReplayed.Add(1)
+}
+
+// CountTornTailTruncated tallies one torn journal tail (truncated or
+// corrupt final region) detected and truncated away during recovery.
+func (c *Collector) CountTornTailTruncated() {
+	if c == nil {
+		return
+	}
+	c.journalTorn.Add(1)
+}
+
 // WindowDone appends one window's record. Records may arrive in any order
 // (parallel mode); Snapshot sorts them by offset.
 func (c *Collector) WindowDone(rec WindowRecord) {
@@ -555,6 +601,13 @@ func (c *Collector) Snapshot() *Metrics {
 			Dispatched:  c.triDispatched.Load(),
 			FastPathNS:  c.triFastPath.Load(),
 		},
+		Journal: JournalCounters{
+			RecordsWritten:    c.journalRecords.Load(),
+			WindowsReplayed:   c.journalReplayed.Load(),
+			Bytes:             c.journalBytes.Load(),
+			FsyncNS:           c.journalFsyncNS.Load(),
+			TornTailTruncated: c.journalTorn.Load(),
+		},
 	}
 	m.Outcomes.Solved = m.Outcomes.Sat + m.Outcomes.Unsat +
 		m.Outcomes.Timeout + m.Outcomes.ConflictBudget + m.Outcomes.Cancelled
@@ -586,6 +639,7 @@ type Metrics struct {
 	Outcomes    OutcomeTally      `json:"outcomes"`
 	PairSched   PairSchedCounters `json:"pair_scheduler"`
 	Triage      TriageCounters    `json:"triage"`
+	Journal     JournalCounters   `json:"journal"`
 	WindowCount int               `json:"window_count"`
 	Windows     []WindowRecord    `json:"windows,omitempty"`
 }
@@ -603,6 +657,10 @@ func (m *Metrics) NonTiming() Metrics {
 	out.PairSched.Rollbacks = 0
 	out.PairSched.QueueWaitNS = 0
 	out.Triage.FastPathNS = 0
+	// The journal block describes this run's persistence activity, not the
+	// detection result: a resumed run legitimately differs from a clean one
+	// (that is the point), and bytes/fsync time vary with group commit.
+	out.Journal = JournalCounters{}
 	out.Windows = append([]WindowRecord(nil), m.Windows...)
 	for i := range out.Windows {
 		out.Windows[i].ElapsedNS = 0
@@ -654,6 +712,20 @@ type TriageCounters struct {
 	CPConfirmed int64 `json:"cp_confirmed"`
 	Dispatched  int64 `json:"dispatched"`
 	FastPathNS  int64 `json:"fast_path_ns"`
+}
+
+// JournalCounters describes the durable window journal's activity:
+// records written (window records only — the header is counted in Bytes
+// but not RecordsWritten), windows replayed from the journal on resume,
+// total framed bytes written, cumulative fsync wall-clock, and torn tails
+// truncated during recovery. Excluded from NonTiming wholesale: a resumed
+// run's journal block is expected to differ from a clean run's.
+type JournalCounters struct {
+	RecordsWritten    int64 `json:"records_written"`
+	WindowsReplayed   int64 `json:"windows_replayed"`
+	Bytes             int64 `json:"bytes"`
+	FsyncNS           int64 `json:"fsync_ns"`
+	TornTailTruncated int64 `json:"torn_tail_truncated"`
 }
 
 // SolverCounters aggregates the solver-stack counters over every solver

@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/atomicity"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/faultinject"
 	"repro/internal/hb"
+	"repro/internal/journal"
 	"repro/internal/lockset"
 	"repro/internal/race"
 	"repro/internal/said"
@@ -195,6 +197,107 @@ type Options struct {
 	// only — injected faults make the detector deliberately under-report
 	// — and must stay nil in production use.
 	FaultInjector *faultinject.Injector
+	// Journal, when non-empty, is the path of a durable window journal
+	// (MaximalCF via Run only): every window that reaches a final
+	// verdict is appended as a CRC-framed record, so a run killed by a
+	// crash can be resumed without repeating completed solver work. See
+	// internal/journal and doc/robustness.md.
+	Journal string
+	// Resume replays the windows recorded in Journal instead of
+	// re-analysing them, then continues journaling the rest. The
+	// journal's header fingerprint must match this run (same trace, same
+	// result-affecting options) or Run refuses with journal.ErrFingerprint.
+	// Requires Journal.
+	Resume bool
+	// JournalGroupCommit is the journal's batched-fsync interval: an
+	// append only fsyncs when this much time has passed since the last
+	// sync, bounding a crash's data loss to one interval's records
+	// (which a resume simply re-analyses — exactness is unaffected).
+	// 0 means DefaultJournalGroupCommit; negative is invalid. Use a
+	// tiny positive value (1ns) to force a sync on every append.
+	JournalGroupCommit time.Duration
+
+	// onWindowDone and resumeWindows are the journal plumbing installed
+	// by Run; col carries Run's pre-created collector so the journal
+	// writer and the detector share one. DetectContext passes them
+	// through untouched.
+	onWindowDone  func(race.WindowOutcome)
+	resumeWindows map[int]race.WindowOutcome
+	col           *telemetry.Collector
+}
+
+// DefaultJournalGroupCommit is the journal fsync batching interval used
+// when Options.JournalGroupCommit is zero.
+const DefaultJournalGroupCommit = 100 * time.Millisecond
+
+// OptionsError reports one invalid Options field (or field combination)
+// rejected by Validate. It is the single typed error for every rejected
+// configuration, so callers can errors.As on it and print Field/Reason.
+type OptionsError struct {
+	// Field names the offending option (the first one found, in a fixed
+	// check order); Reason says what is wrong with it.
+	Field  string
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("rvpredict: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the options for combinations with no defined meaning
+// and returns an *OptionsError naming the first offending field, or nil.
+// Detect and DetectContext remain lenient for compatibility (they clamp
+// instead of failing); Run validates up front so misconfigurations fail
+// loudly instead of producing undefined downstream behaviour.
+func (o Options) Validate() error {
+	if o.WindowSize < -1 {
+		return &OptionsError{Field: "WindowSize", Reason: fmt.Sprintf("%d; use -1 for a single whole-trace window", o.WindowSize)}
+	}
+	if o.Parallelism < 0 {
+		return &OptionsError{Field: "Parallelism", Reason: fmt.Sprintf("%d; worker counts cannot be negative", o.Parallelism)}
+	}
+	if o.PairParallelism < 0 {
+		return &OptionsError{Field: "PairParallelism", Reason: fmt.Sprintf("%d; worker counts cannot be negative", o.PairParallelism)}
+	}
+	if o.FirstPassTimeout < 0 {
+		return &OptionsError{Field: "FirstPassTimeout", Reason: "negative; use 0 to disable the two-pass scheduler"}
+	}
+	if o.GlobalBudget < 0 {
+		return &OptionsError{Field: "GlobalBudget", Reason: "negative; use 0 for an unbounded run"}
+	}
+	if o.MaxConflicts < 0 {
+		return &OptionsError{Field: "MaxConflicts", Reason: "negative; use 0 for an unbounded search"}
+	}
+	if o.NoTriage && o.TriageCP {
+		return &OptionsError{Field: "TriageCP", Reason: "requests a second triage tier while NoTriage disables triage entirely"}
+	}
+	if o.Resume && o.Journal == "" {
+		return &OptionsError{Field: "Resume", Reason: "requires Journal: there is nothing to resume from"}
+	}
+	if o.Journal != "" && o.Algorithm != MaximalCF {
+		return &OptionsError{Field: "Journal", Reason: fmt.Sprintf("journaling supports the %s algorithm only, not %s", MaximalCF, o.Algorithm)}
+	}
+	if o.JournalGroupCommit < 0 {
+		return &OptionsError{Field: "JournalGroupCommit", Reason: "negative; use 0 for the default interval or a tiny positive value to sync every append"}
+	}
+	return nil
+}
+
+// fingerprintString is the canonical encoding of the result-affecting
+// options, hashed into the journal's header fingerprint. It covers
+// exactly the options that change what a window's outcome contains —
+// algorithm, windowing, solver budgets and witness production — and
+// deliberately excludes the options guaranteed result-identical
+// (Parallelism, PairParallelism, triage mode) plus everything
+// observational (telemetry, tracing, the journal knobs themselves), so a
+// journal written under one parallelism/triage setting resumes under any
+// other. Options are normalised first: equivalent spellings (zero vs the
+// explicit default) hash equal.
+func (o Options) fingerprintString() string {
+	n := o.normalise()
+	return fmt.Sprintf("rvpredict-options-v1 algo=%s window=%d solve=%d first=%d budget=%d conflicts=%d witness=%t",
+		n.Algorithm, n.WindowSize, int64(n.SolveTimeout), int64(n.FirstPassTimeout),
+		int64(n.GlobalBudget), n.MaxConflicts, n.Witness)
 }
 
 func (o Options) normalise() Options {
@@ -292,6 +395,94 @@ func Detect(tr *trace.Trace, opt Options) Report {
 	return DetectContext(context.Background(), tr, opt)
 }
 
+// Run is the validating, journal-aware entry point: it rejects invalid
+// options with an *OptionsError, and when Options.Journal is set it
+// makes the run crash-safe — every completed window's outcome is
+// appended to the journal, and with Options.Resume the journaled windows
+// are replayed instead of re-analysed, producing a report identical to
+// an uninterrupted run's while issuing strictly fewer solver queries.
+// Detection errors (an unreadable journal, a fingerprint mismatch) are
+// returned, not absorbed. Without Journal, Run is DetectContext plus
+// validation. A nil ctx is treated as context.Background().
+func Run(ctx context.Context, tr *trace.Trace, opt Options) (Report, error) {
+	if err := opt.Validate(); err != nil {
+		return Report{}, err
+	}
+	if opt.Journal == "" {
+		return DetectContext(ctx, tr, opt), nil
+	}
+	return detectJournalled(ctx, tr, opt)
+}
+
+// detectJournalled wires a journal writer (and, on resume, the recovered
+// outcomes) into the core detector's window-completion hook, then runs
+// the ordinary detection path.
+func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report, error) {
+	traceFP, err := journal.TraceFingerprint(tr)
+	if err != nil {
+		return Report{}, err
+	}
+	fp := journal.Fingerprint{
+		Trace:   traceFP,
+		Options: journal.OptionsFingerprint(opt.fingerprintString()),
+	}
+	col := newCollector(opt)
+	gc := opt.JournalGroupCommit
+	if gc == 0 {
+		gc = DefaultJournalGroupCommit
+	}
+	jopt := journal.Options{
+		GroupCommit:   gc,
+		Telemetry:     col,
+		FaultInjector: opt.FaultInjector,
+	}
+
+	var w *journal.Writer
+	if opt.Resume {
+		var info journal.RecoverInfo
+		w, info, err = journal.Resume(opt.Journal, fp, jopt)
+		if err != nil {
+			return Report{}, err
+		}
+		if info.TornTail {
+			col.CountTornTailTruncated()
+		}
+		if len(info.Outcomes) > 0 {
+			opt.resumeWindows = make(map[int]race.WindowOutcome, len(info.Outcomes))
+			for _, out := range info.Outcomes {
+				opt.resumeWindows[out.Window] = out
+			}
+		}
+	} else {
+		w, err = journal.Create(opt.Journal, fp, jopt)
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	// Appends run concurrently under Parallelism > 1 (the writer locks
+	// internally); the first append error is kept and surfaced — a race
+	// that could not be made durable must not be silently undurable.
+	var appendMu sync.Mutex
+	var appendErr error
+	opt.onWindowDone = func(out race.WindowOutcome) {
+		if err := w.Append(out); err != nil {
+			appendMu.Lock()
+			if appendErr == nil {
+				appendErr = err
+			}
+			appendMu.Unlock()
+		}
+	}
+	opt.col = col
+
+	rep := DetectContext(ctx, tr, opt)
+	if err := w.Close(); err != nil && appendErr == nil {
+		appendErr = err
+	}
+	return rep, appendErr
+}
+
 // DetectContext is Detect under a context: cancelling ctx interrupts the
 // run — the context is polled between windows, between pairs and inside
 // the solver's search loop — and the partial report is returned with
@@ -302,7 +493,10 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 		ctx = context.Background()
 	}
 	opt = opt.normalise()
-	col := newCollector(opt)
+	col := opt.col
+	if col == nil {
+		col = newCollector(opt)
+	}
 	var det interface {
 		DetectContext(ctx context.Context, tr *trace.Trace) race.Result
 	}
@@ -335,6 +529,8 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 			Telemetry:        col,
 			Tracer:           opt.Tracer,
 			FaultInjector:    opt.FaultInjector,
+			OnWindowDone:     opt.onWindowDone,
+			ResumeWindows:    opt.resumeWindows,
 		})
 	}
 	res := det.DetectContext(ctx, tr)
