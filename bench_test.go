@@ -525,8 +525,12 @@ func serverTrace(b *testing.B) *trace.Trace {
 }
 
 // BenchmarkTelemetryOverhead measures full RV detection on the
-// examples/server workload with telemetry off and on: the off/on delta is
-// the collection overhead documented in doc/observability.md.
+// examples/server workload across the observation ladder: no collector
+// (the nil-receiver disabled path, which must stay within ~2% of the
+// bare detector), counters on, counters + span recording, and counters
+// + the live introspection HTTP server attached (no scrapers — the cost
+// of having the endpoint up, not of serving it). The off/on deltas are
+// the overheads documented in doc/observability.md.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	tr := serverTrace(b)
 	const window = 2000
@@ -543,6 +547,26 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Telemetry: col}).Detect(tr)
 			if m := col.Snapshot(); m.Outcomes.Solved == 0 && len(res.Races) > 0 {
 				b.Fatal("telemetry recorded nothing")
+			}
+		}
+	})
+	b.Run("spans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col := telemetry.NewCollector()
+			col.AttachSpans(telemetry.NewSpanRecorder(0))
+			core.New(core.Options{WindowSize: window, SolveTimeout: time.Minute,
+				Telemetry: col}).Detect(tr)
+			if len(col.Spans().Events()) == 0 {
+				b.Fatal("span recorder captured nothing")
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		opt := rvpredict.Options{WindowSize: window, SolveTimeout: time.Minute,
+			Telemetry: true, DebugAddr: "127.0.0.1:0"}
+		for i := 0; i < b.N; i++ {
+			if _, err := rvpredict.Run(nil, tr, opt); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

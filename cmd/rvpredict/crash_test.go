@@ -115,6 +115,18 @@ func TestCrashMidJournalThenResume(t *testing.T) {
 	if resumed.Telemetry.Journal.TornTailTruncated != 1 {
 		t.Errorf("torn_tail_truncated = %d, want 1", resumed.Telemetry.Journal.TornTailTruncated)
 	}
+	// The two journaled windows' races come back marked Replayed — an
+	// operational flag, normalised away before the identity comparison.
+	var replayed int
+	for i := range resumed.Races {
+		if resumed.Races[i].Provenance.Replayed {
+			replayed++
+			resumed.Races[i].Provenance.Replayed = false
+		}
+	}
+	if replayed != 4 {
+		t.Errorf("resumed report carries %d replayed races, want 4 (two per journaled window)", replayed)
+	}
 	clean.Telemetry, resumed.Telemetry = nil, nil
 	clean.Elapsed, resumed.Elapsed = 0, 0
 	if !reflect.DeepEqual(resumed, clean) {

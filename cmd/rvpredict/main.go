@@ -65,6 +65,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	// Everything the command writes to stderr — progress lines, the
+	// introspection banner, status notes, errors — goes through one
+	// serialising writer, so concurrent callbacks (parallel windows, the
+	// HTTP server goroutine) can never interleave mid-line.
+	stderr = &syncWriter{w: stderr}
 	fs := flag.NewFlagSet("rvpredict", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -88,6 +93,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		outPath    = fs.String("out", "", "write the report to `file` atomically (temp file + rename) instead of stdout")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file` on exit")
+		httpAddr   = fs.String("http", "", "serve live introspection on `addr` while analysing: /metrics, /progress, /races, /debug/pprof (\":0\" picks a port, printed on stderr)")
+		traceOut   = fs.String("trace-out", "", "write the run's span timeline to `file` as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
+		version    = fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: rvpredict [flags] trace.rvpt")
@@ -95,6 +103,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		b := rvpredict.BuildInfo()
+		fmt.Fprintf(stdout, "rvpredict %s %s\n", b.Version, b.Revision)
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -192,6 +205,17 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		opt.Tracer = &progressTracer{w: stderr, start: time.Now()}
 	}
+	if *httpAddr != "" {
+		opt.DebugAddr = *httpAddr
+		opt.OnDebugAddr = func(addr string) {
+			fmt.Fprintf(stderr, "rvpredict: introspection on http://%s/\n", addr)
+		}
+	}
+	var spans *rvpredict.SpanRecorder
+	if *traceOut != "" {
+		spans = rvpredict.NewSpanRecorder(0)
+		opt.Spans = spans
+	}
 
 	// deliver renders one report to -out (atomically) or stdout; every
 	// report path below goes through it so a killed run can never leave a
@@ -214,6 +238,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *deadlocks || *atomicity {
 		if *journalTo != "" || *resume {
 			fmt.Fprintln(stderr, "rvpredict: -journal/-resume apply to race detection only")
+			return 2
+		}
+		if *httpAddr != "" || *traceOut != "" {
+			fmt.Fprintln(stderr, "rvpredict: -http/-trace-out apply to race detection only")
 			return 2
 		}
 	}
@@ -332,11 +360,45 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rvpredict:", err)
 		return 2
 	}
+	if spans != nil {
+		if err := writeTraceEvents(*traceOut, spans, inj); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		if n := spans.Dropped(); n > 0 {
+			fmt.Fprintf(stderr, "rvpredict: span ring wrapped; %d oldest spans dropped from %s\n", n, *traceOut)
+		}
+	}
 	if rep.Interrupted {
 		fmt.Fprintln(stderr, "rvpredict: interrupted; partial results above")
 		return exitInterrupted
 	}
 	return foundExit(len(rep.Races))
+}
+
+// writeTraceEvents renders the recorded span timeline as Chrome
+// trace-event JSON and writes it with the same atomic discipline as
+// -out: a crash mid-write never leaves a half-written timeline.
+func writeTraceEvents(path string, spans *rvpredict.SpanRecorder, inj *faultinject.Injector) error {
+	var buf bytes.Buffer
+	if err := spans.WriteChromeTrace(&buf); err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(path, buf.Bytes(), inj)
+}
+
+// syncWriter serialises whole writes to one underlying writer. fmt's
+// Fprintf issues a single Write per call, so each formatted line passes
+// through atomically.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // foundExit maps a finding count to the command's exit status.

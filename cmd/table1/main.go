@@ -47,15 +47,21 @@ type techResult struct {
 // rowRecord is one -json output line: everything a Table 1 row carries,
 // plus the RV run's telemetry snapshot.
 type rowRecord struct {
-	Program   string             `json:"program"`
-	Stats     trace.Stats        `json:"stats"`
-	QC        techResult         `json:"qc"`
-	RV        techResult         `json:"rv"`
-	Said      *techResult        `json:"said,omitempty"`
-	CP        techResult         `json:"cp"`
-	HB        techResult         `json:"hb"`
-	Planted   workloads.Expect   `json:"planted"`
-	Telemetry *telemetry.Metrics `json:"telemetry"`
+	Program string           `json:"program"`
+	Stats   trace.Stats      `json:"stats"`
+	QC      techResult       `json:"qc"`
+	RV      techResult       `json:"rv"`
+	Said    *techResult      `json:"said,omitempty"`
+	CP      techResult       `json:"cp"`
+	HB      techResult       `json:"hb"`
+	Planted workloads.Expect `json:"planted"`
+	// Triage and Journal lift the RV telemetry's tier-confirmation and
+	// journal counters to the top level, so scripts/bench_compare.py can
+	// diff them between snapshots without digging through the full
+	// telemetry tree.
+	Triage    *telemetry.TriageCounters  `json:"triage,omitempty"`
+	Journal   *telemetry.JournalCounters `json:"journal,omitempty"`
+	Telemetry *telemetry.Metrics         `json:"telemetry"`
 }
 
 func tech(r race.Result) techResult {
@@ -130,6 +136,10 @@ func main() {
 				HB:        tech(hbr),
 				Planted:   want,
 				Telemetry: col.Snapshot(),
+			}
+			if rec.Telemetry != nil {
+				rec.Triage = &rec.Telemetry.Triage
+				rec.Journal = &rec.Telemetry.Journal
 			}
 			if !*skipSaid {
 				s := tech(sd)

@@ -31,6 +31,19 @@ func collectOutcomes(t *testing.T, tr *trace.Trace, opt Options) (race.Result, m
 	return res, outs
 }
 
+// clearReplayed returns res with every race's replay-origin flag reset.
+// Provenance is part of the resume bit-identity contract except for
+// Replayed, which is operational metadata: a resumed run truthfully
+// reports its races as replayed where the clean run derived them live.
+func clearReplayed(res race.Result) race.Result {
+	out := res
+	out.Races = append([]race.Race(nil), res.Races...)
+	for i := range out.Races {
+		out.Races[i].Prov.Replayed = false
+	}
+	return out
+}
+
 // TestWindowOutcomeHookMatchesResult: in a clean sequential run the hook
 // must fire exactly once per window, in whole-trace coordinates, and the
 // outcomes must add up — races, counters, window metadata — to exactly the
@@ -139,7 +152,15 @@ func TestResumeReplaysExactly(t *testing.T) {
 				Telemetry:     col,
 			})
 			res.Elapsed = 0
-			if !reflect.DeepEqual(res, baseline) {
+			// Replayed windows carry their provenance verbatim — only the
+			// replay-origin flag may differ from the clean run.
+			for _, r := range res.Races {
+				if keep(r.Prov.Window) != r.Prov.Replayed {
+					t.Errorf("%s subset, par %d: race %+v replayed flag = %v, want %v",
+						name, par, r.COP, r.Prov.Replayed, keep(r.Prov.Window))
+				}
+			}
+			if res = clearReplayed(res); !reflect.DeepEqual(res, baseline) {
 				t.Errorf("%s subset, par %d: resumed result differs:\n got %+v\nwant %+v",
 					name, par, res, baseline)
 			}
@@ -198,7 +219,7 @@ func TestResumeReplaysFailureVerdict(t *testing.T) {
 		Telemetry:     col,
 	})
 	faulted.Elapsed, resumed.Elapsed = 0, 0
-	if !reflect.DeepEqual(resumed, faulted) {
+	if !reflect.DeepEqual(clearReplayed(resumed), faulted) {
 		t.Errorf("resumed result differs from the faulted run:\n got %+v\nwant %+v", resumed, faulted)
 	}
 	m := col.Snapshot()

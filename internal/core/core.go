@@ -371,6 +371,15 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 			}
 		}()
 		d.fireFault(faultinject.PointWindow, widx)
+		// Live gauge + timeline span for the window. The deferred closes
+		// run before the panic-isolation recover above (LIFO), so a
+		// failed window still leaves the gauge balanced and its span on
+		// the timeline.
+		col.CountWindowStarted()
+		defer col.CountWindowFinished()
+		lane := telemetry.WindowLane(widx)
+		wspan := col.BeginSpan("window", lane, col.SpanRoot())
+		defer wspan.End()
 		if tracer != nil {
 			tracer.WindowStart(widx, w.Len())
 		}
@@ -384,7 +393,9 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		final := true // no cancellation/budget cut — the outcome is replayable
 
 		span := col.StartPhase(telemetry.PhaseEnumerate)
+		esp := col.BeginSpan("enumerate", lane, wspan.ID())
 		cops := race.EnumerateCOPs(w)
+		esp.End()
 		span.End()
 		col.CountEnumerated(len(cops))
 
@@ -392,20 +403,28 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 		// scheduler then solves the groups (in parallel when
 		// PairParallelism > 1) and the results merge below in canonical
 		// group order, so the window's contribution is deterministic.
+		psp := col.BeginSpan("mhb+triage", lane, wspan.ID())
 		groups, mhb := d.partition(w, cops, seen, attempts)
+		psp.End()
 		col.CountPairGroups(len(groups))
 		if len(groups) > 0 && ctx.Err() == nil {
 			if mhb == nil {
 				// NoQuickCheck runs: partition computed no clocks, but the
 				// window encoders still need the MHB pass.
 				span = col.StartPhase(telemetry.PhaseMHB)
+				msp := col.BeginSpan("mhb", lane, wspan.ID())
 				mhb = vc.ComputeMHB(w)
+				msp.End()
 				span.End()
 			}
 			wc := &windowCtx{
 				ctx: ctx, w: w, mhb: mhb, widx: widx, offset: offset,
 				globalDeadline: globalDeadline, cancel: cancel,
+				spanParent: wspan.ID(),
 			}
+			// Provenance attribution is lazy: only windows that report a
+			// race pay for the attributor's clock passes.
+			var att *attributor
 			for i, gr := range d.solveGroups(wc, groups) {
 				if gr == nil {
 					continue
@@ -432,8 +451,16 @@ func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, 
 					if d.foundSig != nil {
 						d.foundSig(g.sig)
 					}
-					res.Races = append(res.Races, gr.race)
+					r := gr.race
+					if att == nil {
+						att = newAttributor(w)
+					}
+					att.stamp(&r, widx, offset)
+					res.Races = append(res.Races, r)
 				}
+			}
+			if att != nil {
+				att.release()
 			}
 		}
 		if mhb != nil {
@@ -523,6 +550,9 @@ func (d *Detector) replayWindow(res *race.Result, out race.WindowOutcome, seen m
 				r.Witness = rebase(r.Witness, -d.traceOffset)
 			}
 		}
+		// Provenance travels with the journaled race; only the replay
+		// origin is this run's own fact.
+		r.Prov.Replayed = true
 		seen[r.Sig] = true
 		if d.foundSig != nil {
 			d.foundSig(r.Sig)
@@ -702,35 +732,52 @@ func (ws *windowSolver) prepare(d *Detector, cop race.COP) (g sat.Lit, ok bool) 
 	return g, true
 }
 
+// queryStats is the CDCL work of one solver query, captured for race
+// provenance. On the shared window solver the values are deltas around
+// the query; every group is solved from the identical checkpointed base
+// state, so the deltas are deterministic across worker assignment.
+type queryStats struct {
+	decisions    int64
+	propagations int64
+	conflicts    int64
+}
+
 // solve decides one prepared COP under the given per-attempt budget,
 // clipped against the run's global deadline. The deadline is always
 // (re)installed — the solver is shared across queries and retries, so a
 // stale deadline from a previous attempt must never leak into this one.
 func (ws *windowSolver) solve(d *Detector, widx int, cop race.COP, g sat.Lit,
-	timeout time.Duration, globalDeadline time.Time) (isRace bool, witness []int, outcome telemetry.Outcome) {
+	timeout time.Duration, globalDeadline time.Time) (isRace bool, witness []int, outcome telemetry.Outcome, qs queryStats) {
 	if f := d.fireFault(faultinject.PointSolve, widx); f == faultinject.FaultTimeout {
-		return false, nil, telemetry.OutcomeTimeout
+		return false, nil, telemetry.OutcomeTimeout, qs
 	}
 	col := d.opt.Telemetry
 	ws.s.SetDeadline(solveDeadline(timeout, globalDeadline))
 	if d.opt.MaxConflicts > 0 {
 		ws.s.SetMaxConflicts(d.opt.MaxConflicts)
 	}
+	st0 := ws.s.Stats()
 	span := col.StartPhase(telemetry.PhaseSolve)
 	verdict := ws.s.SolveAssuming(g)
 	span.End()
 	switch verdict {
 	case sat.Sat:
+		st1 := ws.s.Stats()
+		qs = queryStats{
+			decisions:    st1.Decisions - st0.Decisions,
+			propagations: st1.Propagations - st0.Propagations,
+			conflicts:    st1.Conflicts - st0.Conflicts,
+		}
 		if d.opt.Witness {
 			span = col.StartPhase(telemetry.PhaseWitness)
 			witness = ws.enc.Witness(cop.A, cop.B)
 			span.End()
 		}
-		return true, witness, telemetry.OutcomeSat
+		return true, witness, telemetry.OutcomeSat, qs
 	case sat.Aborted:
-		return false, nil, telemetry.OutcomeOf(ws.s, false, true)
+		return false, nil, telemetry.OutcomeOf(ws.s, false, true), qs
 	}
-	return false, nil, telemetry.OutcomeUnsat
+	return false, nil, telemetry.OutcomeUnsat, qs
 }
 
 // checkMerged decides one COP with the paper's variable-merging encoding
@@ -738,9 +785,9 @@ func (ws *windowSolver) solve(d *Detector, widx int, cop race.COP, g sat.Lit,
 // Retries on this path rebuild the solver from scratch — the encoding is
 // deterministic, so only the budget differs between attempts.
 func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP, widx int,
-	timeout time.Duration, globalDeadline time.Time, cancel func() bool) (isRace bool, witness []int, outcome telemetry.Outcome) {
+	timeout time.Duration, globalDeadline time.Time, cancel func() bool) (isRace bool, witness []int, outcome telemetry.Outcome, qs queryStats) {
 	if f := d.fireFault(faultinject.PointSolve, widx); f == faultinject.FaultTimeout {
-		return false, nil, telemetry.OutcomeTimeout
+		return false, nil, telemetry.OutcomeTimeout, qs
 	}
 	col := d.opt.Telemetry
 	s := smt.NewSolver()
@@ -755,20 +802,20 @@ func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP, widx i
 	enc.Pruning = !d.opt.NoPruning
 	if err := enc.AssertMHB(); err != nil {
 		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return false, nil, telemetry.OutcomeUnsat, qs
 	}
 	if err := enc.AssertLocks(); err != nil {
 		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return false, nil, telemetry.OutcomeUnsat, qs
 	}
 	cf := encode.NewCF(enc, s, d.opt.BranchDepWindow)
 	if err := cf.AssertControlFlow(cop.A); err != nil {
 		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return false, nil, telemetry.OutcomeUnsat, qs
 	}
 	if err := cf.AssertControlFlow(cop.B); err != nil {
 		span.End()
-		return false, nil, telemetry.OutcomeUnsat
+		return false, nil, telemetry.OutcomeUnsat, qs
 	}
 	span.End()
 	span = col.StartPhase(telemetry.PhaseSolve)
@@ -776,16 +823,23 @@ func (d *Detector) checkMerged(w *trace.Trace, mhb *vc.MHB, cop race.COP, widx i
 	span.End()
 	switch verdict {
 	case sat.Sat:
+		// A fresh solver per query on this path: the stats are absolute.
+		st := s.Stats()
+		qs = queryStats{
+			decisions:    st.Decisions,
+			propagations: st.Propagations,
+			conflicts:    st.Conflicts,
+		}
 		if d.opt.Witness {
 			span = col.StartPhase(telemetry.PhaseWitness)
 			witness = enc.Witness(cop.A, cop.B)
 			span.End()
 		}
-		return true, witness, telemetry.OutcomeSat
+		return true, witness, telemetry.OutcomeSat, qs
 	case sat.Aborted:
-		return false, nil, telemetry.OutcomeOf(s, false, true)
+		return false, nil, telemetry.OutcomeOf(s, false, true), qs
 	}
-	return false, nil, telemetry.OutcomeUnsat
+	return false, nil, telemetry.OutcomeUnsat, qs
 }
 
 func rebase(idxs []int, offset int) []int {

@@ -36,6 +36,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,7 @@ type windowCtx struct {
 	offset         int // window offset inside the analysed trace
 	globalDeadline time.Time
 	cancel         func() bool
+	spanParent     uint64 // window span ID, parent of worker/group spans
 }
 
 // partition runs the prefilters over the enumerated COPs and groups the
@@ -259,7 +261,9 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 
 	// runWorker drains the shared queue on one replica, then runs the
 	// escalating second pass for the deferred pairs of the groups it owns.
-	runWorker := func(ws *windowSolver) {
+	// lane is the worker's timeline lane: one group span per dequeue makes
+	// worker occupancy read directly off the trace.
+	runWorker := func(ws *windowSolver, lane int32) {
 		col.CountPairWorker()
 		// Queue wait: how long after the queue opened this worker made its
 		// first claim — its replica construction plus any budget wait.
@@ -272,7 +276,10 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 			if i >= len(groups) {
 				break
 			}
+			gsp := col.BeginSpan(groupSpanName(col, "group", groups[i]), lane, wc.spanParent)
 			results[i] = d.solveGroup(wc, ws, groups[i])
+			gsp.End()
+			col.CountGroupDone()
 			if len(results[i].deferred) > 0 {
 				owned = append(owned, i)
 			}
@@ -281,7 +288,9 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 			if stop.Load() {
 				break
 			}
+			rsp := col.BeginSpan(groupSpanName(col, "retry", groups[i]), lane, wc.spanParent)
 			d.retryDeferred(wc, ws, groups[i], results[i])
+			rsp.End()
 		}
 		if ws != nil {
 			col.AddSolver(ws.s)
@@ -290,7 +299,8 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 
 	// guarded wraps one worker (replica construction included) in panic
 	// capture: the first panic stops the pool and is re-raised below.
-	guarded := func(replica bool) {
+	// k is the worker's index (0 = the coordinator solving inline).
+	guarded := func(k int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
@@ -301,14 +311,17 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 				stop.Store(true)
 			}
 		}()
+		lane := telemetry.WorkerLane(wc.widx, k)
 		var ws *windowSolver
 		if !d.opt.MergeRaceVars {
-			if replica {
+			if k > 0 {
 				col.CountPairReplica()
 			}
+			rsp := col.BeginSpan("encode replica", lane, wc.spanParent)
 			ws = d.buildReplica(wc, groups)
+			rsp.End()
 		}
-		runWorker(ws)
+		runWorker(ws, lane)
 	}
 
 	pp := d.opt.PairParallelism
@@ -326,18 +339,28 @@ func (d *Detector) solveGroups(wc *windowCtx, groups []*sigGroup) []*groupResult
 			break
 		}
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			defer func() { <-d.budget }()
-			guarded(true)
-		}()
+			guarded(k)
+		}(k)
 	}
-	guarded(false)
+	guarded(0)
 	wg.Wait()
 	if hasPanic {
 		panic(panicVal)
 	}
 	return results
+}
+
+// groupSpanName renders one signature group's timeline-span name. The
+// formatting allocates, so it is skipped (the span is inert anyway)
+// unless a recorder is attached.
+func groupSpanName(col *telemetry.Collector, kind string, g *sigGroup) string {
+	if col.Spans() == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s %d:%d ×%d", kind, g.sig.First, g.sig.Second, len(g.cops))
 }
 
 // solveGroup decides one signature group from the canonical base state:
@@ -360,16 +383,21 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 			gr.cancelled = true
 			break
 		}
+		// Instances decided after dispatch (the signature's race already
+		// found, shared parallel verdict, attempt budget reached mid-group)
+		// are pair-scheduler skips, not signature-dedup hits: partition
+		// already classified them, so counting them as dedup again would
+		// break the candidate-funnel identity the /metrics endpoint checks.
 		if gr.isRace {
-			col.CountSigDedup()
+			col.CountPairSkip()
 			continue
 		}
 		if d.skipSig != nil && d.skipSig(g.sig) {
-			col.CountSigDedup()
+			col.CountPairSkip()
 			continue
 		}
 		if d.opt.MaxAttemptsPerSig > 0 && gr.attempts >= d.opt.MaxAttemptsPerSig {
-			col.CountSigDedup()
+			col.CountPairSkip()
 			continue
 		}
 		if gr.budgetGone || (!wc.globalDeadline.IsZero() && time.Now().After(wc.globalDeadline)) {
@@ -409,12 +437,13 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 			isRace  bool
 			witness []int
 			outcome telemetry.Outcome
+			qs      queryStats
 		)
 		if d.opt.MergeRaceVars {
 			// Merging fuses the pair onto one order variable, so the
 			// encoding is rebuilt per COP (the ablation path): no shared
 			// replica, but the scheduler structure is identical.
-			isRace, witness, outcome = d.checkMerged(wc.w, wc.mhb, cop, wc.widx,
+			isRace, witness, outcome, qs = d.checkMerged(wc.w, wc.mhb, cop, wc.widx,
 				passTimeout, wc.globalDeadline, wc.cancel)
 		} else {
 			ws.dirty = true
@@ -422,7 +451,7 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 			if !hasG {
 				isRace, witness, outcome = false, nil, telemetry.OutcomeUnsat
 			} else {
-				isRace, witness, outcome = ws.solve(d, wc.widx, cop, guard,
+				isRace, witness, outcome, qs = ws.solve(d, wc.widx, cop, guard,
 					passTimeout, wc.globalDeadline)
 			}
 		}
@@ -451,6 +480,12 @@ func (d *Detector) solveGroup(wc *windowCtx, ws *windowSolver, g *sigGroup) *gro
 				COP: race.COP{A: cop.A + wc.offset, B: cop.B + wc.offset},
 				Sig: g.sig,
 			}
+			// Query stats for provenance; kept only if the merge-time
+			// attribution decides the SMT tier was necessary
+			// (attributor.stamp zeroes them otherwise).
+			gr.race.Prov.Decisions = qs.decisions
+			gr.race.Prov.Propagations = qs.propagations
+			gr.race.Prov.Conflicts = qs.conflicts
 			if witness != nil {
 				gr.race.Witness = rebase(witness, wc.offset)
 			}
@@ -476,7 +511,7 @@ func (d *Detector) retryDeferred(wc *windowCtx, ws *windowSolver, g *sigGroup, g
 		if gr.isRace {
 			// Another instance of the signature was proven racy in the
 			// meantime; this deferred instance is redundant.
-			col.CountSigDedup()
+			col.CountPairSkip()
 			continue
 		}
 		var guard sat.Lit
@@ -502,6 +537,7 @@ func (d *Detector) retryDeferred(wc *windowCtx, ws *windowSolver, g *sigGroup, g
 			isRace  bool
 			witness []int
 			final   = telemetry.OutcomeTimeout
+			qs      queryStats
 		)
 		budget := d.opt.FirstPassTimeout * retryEscalation
 		for attempt := 0; attempt < maxRetryAttempts; attempt++ {
@@ -527,10 +563,10 @@ func (d *Detector) retryDeferred(wc *windowCtx, ws *windowSolver, g *sigGroup, g
 				qstart = time.Now()
 			}
 			if d.opt.MergeRaceVars {
-				isRace, witness, final = d.checkMerged(wc.w, wc.mhb, cop, wc.widx,
+				isRace, witness, final, qs = d.checkMerged(wc.w, wc.mhb, cop, wc.widx,
 					budget, wc.globalDeadline, wc.cancel)
 			} else {
-				isRace, witness, final = ws.solve(d, wc.widx, cop, guard,
+				isRace, witness, final, qs = ws.solve(d, wc.widx, cop, guard,
 					budget, wc.globalDeadline)
 			}
 			col.CountOutcome(final)
@@ -557,6 +593,9 @@ func (d *Detector) retryDeferred(wc *windowCtx, ws *windowSolver, g *sigGroup, g
 				COP: race.COP{A: cop.A + wc.offset, B: cop.B + wc.offset},
 				Sig: g.sig,
 			}
+			gr.race.Prov.Decisions = qs.decisions
+			gr.race.Prov.Propagations = qs.propagations
+			gr.race.Prov.Conflicts = qs.conflicts
 			if witness != nil {
 				gr.race.Witness = rebase(witness, wc.offset)
 			}

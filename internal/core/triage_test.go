@@ -65,13 +65,45 @@ func triageResult(tr *trace.Trace, window int, opt Options) race.Result {
 	return res
 }
 
+// assertProvenance checks the provenance contract on one result: every
+// race must carry a confirming tier, the window index its access pair
+// actually lies in, a witness length matching the attached witness, no
+// replay mark on a clean run, and solver stats only when the SMT tier
+// confirmed it. The matrix's DeepEqual then extends the bit-identity
+// contract to the whole Provenance struct: provenance must not depend
+// on triage mode, Parallelism or PairParallelism.
+func assertProvenance(t *testing.T, label string, res race.Result, window int) {
+	t.Helper()
+	for _, r := range res.Races {
+		p := r.Prov
+		if p.Tier == "" {
+			t.Errorf("%s: race %d,%d has no provenance tier", label, r.A, r.B)
+		}
+		if want := r.A / window; p.Window != want {
+			t.Errorf("%s: race %d,%d provenance window = %d, want %d",
+				label, r.A, r.B, p.Window, want)
+		}
+		if p.WitnessLen != len(r.Witness) {
+			t.Errorf("%s: race %d,%d provenance witness_len = %d, want %d",
+				label, r.A, r.B, p.WitnessLen, len(r.Witness))
+		}
+		if p.Replayed {
+			t.Errorf("%s: race %d,%d marked replayed on a clean run", label, r.A, r.B)
+		}
+		if p.Tier != race.TierSMT && (p.Decisions != 0 || p.Propagations != 0 || p.Conflicts != 0) {
+			t.Errorf("%s: race %d,%d has solver stats on tier %s: %+v",
+				label, r.A, r.B, p.Tier, p)
+		}
+	}
+}
+
 // TestTriageBitIdentityMatrix is the triage tier's acceptance test: the
 // full race.Result — races in order, signatures, witnesses, COPsChecked,
-// flags — must be bit-identical with the tier off, with the SHB tier on,
-// and with the CP tier on, across every planted race motif, with and
-// without witness schedules, under every Parallelism × PairParallelism
-// combination. Run under -race in CI it doubles as the data-race check
-// for the shared clock slabs.
+// per-race provenance, flags — must be bit-identical with the tier off,
+// with the SHB tier on, and with the CP tier on, across every planted
+// race motif, with and without witness schedules, under every
+// Parallelism × PairParallelism combination. Run under -race in CI it
+// doubles as the data-race check for the shared clock slabs.
 func TestTriageBitIdentityMatrix(t *testing.T) {
 	withProcs(t, 4)
 	for _, tc := range triageFixtures(t) {
@@ -80,6 +112,7 @@ func TestTriageBitIdentityMatrix(t *testing.T) {
 			if tc.racy && len(base.Races) == 0 {
 				t.Fatalf("%s: expected races in the fixture", tc.name)
 			}
+			assertProvenance(t, tc.name+"/baseline", base, tc.window)
 			for _, par := range []int{1, 4} {
 				for _, pairPar := range []int{1, 4} {
 					modes := []struct {

@@ -56,9 +56,13 @@ import (
 )
 
 // Magic is the journal file signature; Version the current format.
+// Version 2 added per-race provenance (confirming tier, window, solver
+// query stats, replay origin); version-1 journals are rejected as
+// ErrFormat, which Resume treats like any unusable journal — the run
+// simply starts fresh.
 const (
 	Magic   = "RVPJ"
-	Version = 1
+	Version = 2
 )
 
 // Decode-hardening caps, in the spirit of tracefile.Decode: a hostile or
@@ -229,7 +233,11 @@ func (w *Writer) syncLocked() error {
 	if w.opt.Telemetry.Enabled() {
 		t0 = time.Now()
 	}
+	// Fsync stalls land on the run lane of the timeline: they block the
+	// window-completion hook that journals outcomes.
+	sp := w.opt.Telemetry.BeginSpan("journal fsync", telemetry.RunLane(), w.opt.Telemetry.SpanRoot())
 	err := w.f.Sync()
+	sp.End()
 	if !t0.IsZero() {
 		w.opt.Telemetry.AddJournalFsync(time.Since(t0))
 	}
@@ -460,6 +468,20 @@ func encodeOutcome(out race.WindowOutcome) []byte {
 			for _, idx := range r.Witness {
 				e.uvarint(uint64(idx))
 			}
+		}
+		// Provenance (format v2). Replayed round-trips too: the journal
+		// stores the record verbatim, and the replay path re-stamps the
+		// flag on merge anyway.
+		e.str(r.Prov.Tier)
+		e.uvarint(uint64(r.Prov.Window))
+		e.varint(r.Prov.Decisions)
+		e.varint(r.Prov.Propagations)
+		e.varint(r.Prov.Conflicts)
+		e.uvarint(uint64(r.Prov.WitnessLen))
+		if r.Prov.Replayed {
+			e.uvarint(1)
+		} else {
+			e.uvarint(0)
 		}
 	}
 	e.uvarint(uint64(len(out.Failures)))
@@ -725,6 +747,31 @@ func decodeOutcome(payload []byte) (race.WindowOutcome, error) {
 				return out, err
 			}
 		}
+		if err == nil {
+			r.Prov.Tier, err = d.str()
+		}
+		read(&r.Prov.Window)
+		if err == nil {
+			r.Prov.Decisions, err = d.varint()
+		}
+		if err == nil {
+			r.Prov.Propagations, err = d.varint()
+		}
+		if err == nil {
+			r.Prov.Conflicts, err = d.varint()
+		}
+		read(&r.Prov.WitnessLen)
+		var replayed uint64
+		if err == nil {
+			replayed, err = d.uvarint()
+		}
+		if err != nil {
+			return out, err
+		}
+		if replayed > 1 {
+			return out, ErrFormat
+		}
+		r.Prov.Replayed = replayed == 1
 		out.Races = append(out.Races, r)
 	}
 	nFail, err := d.count()

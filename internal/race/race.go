@@ -36,6 +36,62 @@ func SigOf(tr *trace.Trace, a, b int) Signature {
 	return Signature{First: l1, Second: l2}
 }
 
+// Confirming-tier names used in Provenance.Tier, ordered by the
+// inclusion chain HB ⊆ CP ⊆ RV: the named tier is the cheapest sound
+// argument that proves the race, independent of which execution path
+// happened to fire for it in a given run (that independence is what
+// makes provenance bit-identical across triage modes).
+const (
+	// TierSHB: the pair is concurrent under schedulable happens-before
+	// (SHB clocks, including the reads-from pre-join check), which —
+	// together with disjoint locksets — soundly proves the SMT query
+	// satisfiable (see internal/core/triage.go).
+	TierSHB = "shb"
+	// TierCP: SHB cannot confirm the pair, but it is unordered by the
+	// causally-precedes relation composed with SHB.
+	TierCP = "cp"
+	// TierSMT: only the full DPLL(T) solve proves the race; solver query
+	// stats are recorded alongside.
+	TierSMT = "smt"
+	// TierHB marks races reported by the happens-before baseline
+	// detector (Algorithm HappensBefore).
+	TierHB = "hb"
+	// TierQuickCheck marks reports of the unsound hybrid prefilter
+	// (Algorithm QuickCheck) — potential races, not confirmed ones.
+	TierQuickCheck = "quick-check"
+)
+
+// Provenance records why one reported race is trusted: the confirming
+// tier, the analysis window that produced it, the solver's query stats
+// when the SMT tier ran, and whether the race was replayed from a
+// durable journal rather than re-derived.
+//
+// Everything except Replayed is deterministic — bit-identical across
+// Parallelism, PairParallelism, triage modes and resume (test-enforced
+// by the triage identity matrix). Replayed is operational metadata: a
+// resumed run legitimately differs from a clean one there, exactly like
+// the telemetry Journal block excluded by Metrics.NonTiming.
+type Provenance struct {
+	// Tier is the confirming tier (one of the Tier* constants).
+	Tier string `json:"tier"`
+	// Window is the analysis window (whole-trace index) whose solve — or
+	// replay — produced the race.
+	Window int `json:"window"`
+	// Decisions/Propagations/Conflicts are the CDCL deltas of the solver
+	// query that proved the race; set only when Tier is TierSMT (every
+	// group is solved from the same checkpointed base state, so the
+	// deltas are deterministic across worker assignment).
+	Decisions    int64 `json:"decisions,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
+	Conflicts    int64 `json:"conflicts,omitempty"`
+	// WitnessLen is the length of the reconstructed witness schedule
+	// (0 when no witness was requested).
+	WitnessLen int `json:"witness_len,omitempty"`
+	// Replayed marks a race merged from a journaled window outcome on
+	// resume instead of being re-derived this run.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
 // Race is one detected race, with an optional witness schedule.
 type Race struct {
 	COP
@@ -44,6 +100,11 @@ type Race struct {
 	// prefix ending with the two racing accesses adjacent — the trace τ₁ab
 	// of Definition 4. Only the SMT-based detectors produce witnesses.
 	Witness []int
+	// Prov records why the race is trusted (confirming tier, window,
+	// solver stats, replay origin). The core detector stamps it on every
+	// race; the public rvpredict layer fills in the baseline detectors'
+	// tiers.
+	Prov Provenance
 }
 
 // Describe renders the race with location names from tr.

@@ -1,0 +1,298 @@
+// Structured span tracing: a lock-free, bounded recorder of timed spans
+// (run → window → phase → pair granularity) that exports Chrome
+// trace-event JSON for chrome://tracing / Perfetto.
+//
+// The recorder follows the Collector's design contract: attaching one is
+// opt-in, every record call on the disabled path is a nil check, and
+// recording never blocks — spans are published into a fixed ring with a
+// single atomic cursor, so a slow consumer (or none at all) costs the
+// detection hot path nothing. When the ring wraps, the oldest spans are
+// overwritten and counted as dropped rather than stalling the pipeline:
+// for timeline debugging the recent window is the interesting one.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCapacity is the ring size used when NewSpanRecorder is given
+// a non-positive capacity: enough for every window, phase and pair-group
+// span of a mid-sized run at ~64 bytes a slot.
+const DefaultSpanCapacity = 1 << 16
+
+// SpanEvent is one completed span. Start and Dur are nanoseconds relative
+// to the recorder's epoch (monotonic, from time.Since), so events order
+// correctly even across goroutines.
+type SpanEvent struct {
+	ID     uint64
+	Parent uint64 // 0 means no parent (a root span)
+	Name   string
+	Lane   int32 // display lane (Chrome trace tid); see RunLane et al.
+	Start  int64 // ns since the recorder's epoch
+	Dur    int64 // ns
+}
+
+// Display-lane scheme. Lanes map to Chrome trace-event thread IDs: the
+// run itself (and the journal, whose fsyncs stall it) on lane 0, each
+// window on its own lane, each pair worker of a window on a lane of its
+// own so worker occupancy reads directly off the timeline.
+const laneWindowShift = 8
+
+// RunLane is the lane of run-scoped spans (run, journal fsync).
+func RunLane() int32 { return 0 }
+
+// WindowLane returns the lane of window widx's window-scoped spans
+// (the window itself, its enumerate/MHB/triage phases).
+func WindowLane(widx int) int32 { return int32(widx+1) << laneWindowShift }
+
+// WorkerLane returns the lane of pair worker k of window widx. Worker
+// indices ≥ 255 share the last lane (the pool is capped at GOMAXPROCS,
+// so this is theoretical).
+func WorkerLane(widx, k int) int32 {
+	if k > 254 {
+		k = 254
+	}
+	return WindowLane(widx) + 1 + int32(k)
+}
+
+// SpanRecorder records completed spans into a bounded ring. All methods
+// are safe for concurrent use; a nil *SpanRecorder is the disabled state
+// (Begin returns an inert span). Construct with NewSpanRecorder.
+type SpanRecorder struct {
+	epoch time.Time
+	slots []atomic.Pointer[SpanEvent]
+	// cursor is the count of publishes ever; slot = (cursor-1) % len.
+	cursor  atomic.Uint64
+	dropped atomic.Int64
+	ids     atomic.Uint64
+	root    atomic.Uint64
+}
+
+// NewSpanRecorder returns an empty recorder holding up to capacity spans
+// (DefaultSpanCapacity when capacity ≤ 0).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanRecorder{
+		epoch: time.Now(),
+		slots: make([]atomic.Pointer[SpanEvent], capacity),
+	}
+}
+
+// ActiveSpan is an in-flight span returned by Begin. The zero ActiveSpan
+// (from a nil recorder) is inert. End publishes the completed span; a
+// span never published (worker death) simply leaves no event, which is
+// the honest timeline for a span that never finished.
+type ActiveSpan struct {
+	r      *SpanRecorder
+	id     uint64
+	parent uint64
+	start  int64
+	name   string
+	lane   int32
+}
+
+// Begin opens a span. parent is the enclosing span's ID (0 for roots).
+func (r *SpanRecorder) Begin(name string, lane int32, parent uint64) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{
+		r:      r,
+		id:     r.ids.Add(1),
+		parent: parent,
+		start:  int64(time.Since(r.epoch)),
+		name:   name,
+		lane:   lane,
+	}
+}
+
+// ID returns the span's ID for use as a child's parent (0 when inert).
+func (s ActiveSpan) ID() uint64 { return s.id }
+
+// End completes the span and publishes it into the ring.
+func (s ActiveSpan) End() {
+	if s.r == nil {
+		return
+	}
+	ev := &SpanEvent{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Lane:   s.lane,
+		Start:  s.start,
+		Dur:    int64(time.Since(s.r.epoch)) - s.start,
+	}
+	i := s.r.cursor.Add(1) - 1
+	if i >= uint64(len(s.r.slots)) {
+		s.r.dropped.Add(1)
+	}
+	s.r.slots[i%uint64(len(s.r.slots))].Store(ev)
+}
+
+// SetRoot records the run-level root span's ID so detection layers that
+// did not create it can parent their spans under it.
+func (r *SpanRecorder) SetRoot(id uint64) {
+	if r == nil {
+		return
+	}
+	r.root.Store(id)
+}
+
+// Root returns the run-level root span ID (0 if none was set).
+func (r *SpanRecorder) Root() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.root.Load()
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (r *SpanRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Events returns a snapshot of the recorded spans, ordered by start time.
+// Concurrent recording may publish during the scan; the snapshot is each
+// slot's value at its read.
+func (r *SpanRecorder) Events() []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]SpanEvent, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace-event object. The format is the
+// trace-event JSON both chrome://tracing and Perfetto load: complete
+// events ("X") with microsecond timestamps, plus thread-name metadata
+// ("M") naming the lanes.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	TS    float64        `json:"ts,omitempty"`
+	Dur   float64        `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// laneName renders the display name of one lane under the lane scheme.
+func laneName(lane int32) string {
+	if lane == 0 {
+		return "run + journal"
+	}
+	widx := int(lane>>laneWindowShift) - 1
+	if lane&(1<<laneWindowShift-1) == 0 {
+		return fmt.Sprintf("window %d", widx)
+	}
+	return fmt.Sprintf("window %d worker %d", widx, int(lane&(1<<laneWindowShift-1))-1)
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form).
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events)+8)
+	lanes := make(map[int32]bool)
+	for _, ev := range events {
+		lanes[ev.Lane] = true
+	}
+	ordered := make([]int32, 0, len(lanes))
+	for lane := range lanes {
+		ordered = append(ordered, lane)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, lane := range ordered {
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   lane,
+			Args:  map[string]any{"name": laneName(lane)},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Phase: "X",
+			PID:   1,
+			TID:   ev.Lane,
+			TS:    float64(ev.Start) / 1e3,
+			Dur:   float64(ev.Dur) / 1e3,
+			Args:  map[string]any{"id": ev.ID},
+		}
+		if ev.Parent != 0 {
+			ce.Args["parent"] = ev.Parent
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}
+
+// AttachSpans connects a span recorder to the collector: detection layers
+// holding only the collector can then open spans via BeginSpan. Attach
+// before the run starts; a nil recorder detaches.
+func (c *Collector) AttachSpans(r *SpanRecorder) {
+	if c == nil {
+		return
+	}
+	if r == nil {
+		c.spans.Store(nil)
+		return
+	}
+	c.spans.Store(r)
+}
+
+// Spans returns the attached recorder, or nil.
+func (c *Collector) Spans() *SpanRecorder {
+	if c == nil {
+		return nil
+	}
+	return c.spans.Load()
+}
+
+// BeginSpan opens a span on the attached recorder. With no recorder (or a
+// nil collector) it returns an inert span without reading the clock —
+// the same disabled-path contract as every other Collector method.
+func (c *Collector) BeginSpan(name string, lane int32, parent uint64) ActiveSpan {
+	if c == nil {
+		return ActiveSpan{}
+	}
+	r := c.spans.Load()
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return r.Begin(name, lane, parent)
+}
+
+// SpanRoot returns the attached recorder's root span ID (0 when absent).
+func (c *Collector) SpanRoot() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.spans.Load().Root()
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanRecorderBasics: spans publish with IDs, parents, lanes and
+// non-negative durations, and Events returns them start-ordered.
+func TestSpanRecorderBasics(t *testing.T) {
+	r := NewSpanRecorder(16)
+	run := r.Begin("run", RunLane(), 0)
+	r.SetRoot(run.ID())
+	w := r.Begin("window", WindowLane(0), r.Root())
+	g := r.Begin("group", WorkerLane(0, 1), w.ID())
+	g.End()
+	w.End()
+	run.End()
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() returned %d spans, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Errorf("events out of start order: %+v", evs)
+		}
+	}
+	byName := map[string]SpanEvent{}
+	for _, ev := range evs {
+		if ev.Dur < 0 {
+			t.Errorf("span %q has negative duration %d", ev.Name, ev.Dur)
+		}
+		byName[ev.Name] = ev
+	}
+	if byName["window"].Parent != run.ID() {
+		t.Errorf("window parent = %d, want run %d", byName["window"].Parent, run.ID())
+	}
+	if byName["group"].Parent != byName["window"].ID {
+		t.Errorf("group parent = %d, want window %d", byName["group"].Parent, byName["window"].ID)
+	}
+	if byName["group"].Lane != WorkerLane(0, 1) {
+		t.Errorf("group lane = %d, want %d", byName["group"].Lane, WorkerLane(0, 1))
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+// TestSpanRecorderRingWrap: a full ring overwrites oldest spans and
+// counts them dropped instead of growing or blocking.
+func TestSpanRecorderRingWrap(t *testing.T) {
+	r := NewSpanRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Begin("s", 0, 0).End()
+	}
+	if got := len(r.Events()); got != 4 {
+		t.Errorf("ring holds %d spans, want 4", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+}
+
+// TestSpanRecorderNilSafety: the disabled path (nil recorder, detached
+// collector) must be inert, like every other telemetry call site.
+func TestSpanRecorderNilSafety(t *testing.T) {
+	var r *SpanRecorder
+	s := r.Begin("x", 0, 0)
+	s.End()
+	if s.ID() != 0 || r.Dropped() != 0 || r.Root() != 0 || r.Events() != nil {
+		t.Error("nil recorder is not inert")
+	}
+	r.SetRoot(7)
+
+	var c *Collector
+	c.BeginSpan("x", 0, 0).End()
+	c.AttachSpans(nil)
+	if c.Spans() != nil || c.SpanRoot() != 0 {
+		t.Error("nil collector is not inert")
+	}
+
+	c = NewCollector()
+	c.BeginSpan("x", 0, 0).End() // no recorder attached: inert
+	if c.Spans() != nil {
+		t.Error("collector without recorder should return nil Spans")
+	}
+}
+
+// TestWriteChromeTrace: the export is valid trace-event JSON — an object
+// with a traceEvents array of complete ("X") events plus thread-name
+// metadata, loadable by chrome://tracing and Perfetto.
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewSpanRecorder(16)
+	run := r.Begin("run", RunLane(), 0)
+	w := r.Begin("window", WindowLane(2), run.ID())
+	g := r.Begin("group 1:2 ×3", WorkerLane(2, 0), w.ID())
+	g.End()
+	w.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int32          `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur", ev.Name)
+			}
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name = %q, want thread_name", ev.Name)
+			}
+			names[ev.Args["name"].(string)] = true
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	if meta != 3 {
+		t.Errorf("thread_name events = %d, want 3 (run, window, worker lanes)", meta)
+	}
+	for _, want := range []string{"run + journal", "window 2", "window 2 worker 0"} {
+		if !names[want] {
+			t.Errorf("missing lane name %q in %v", want, names)
+		}
+	}
+}
+
+// TestSpanRecorderConcurrent hammers the recorder from parallel
+// goroutines (run with -race in CI): publishing and snapshotting must be
+// free of data races and never lose the accounting identity
+// published == retained + dropped.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder(64)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s := r.Begin("span", WorkerLane(0, w), 0)
+				s.End()
+				if i%32 == 0 {
+					r.Events()
+					var buf bytes.Buffer
+					if err := r.WriteChromeTrace(&buf); err != nil {
+						t.Errorf("WriteChromeTrace during publish: %v", err)
+					}
+					if !strings.Contains(buf.String(), "traceEvents") {
+						t.Error("export missing traceEvents key")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Events()) + int(r.Dropped()); got != workers*per {
+		t.Errorf("retained+dropped = %d, want %d", got, workers*per)
+	}
+}

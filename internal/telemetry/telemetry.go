@@ -203,7 +203,14 @@ type Collector struct {
 	pairWorkers   atomic.Int64
 	pairReplicas  atomic.Int64
 	pairRollbacks atomic.Int64
+	pairSkips     atomic.Int64
 	queueWait     atomic.Int64
+
+	// Live gauges (never part of the Metrics snapshot: they describe the
+	// instant, not the run, and are read by the introspection server).
+	windowsStarted  atomic.Int64
+	windowsFinished atomic.Int64
+	groupsDone      atomic.Int64
 
 	// Triage-tier tallies (sound vector-clock fast paths before SMT).
 	triConfirmed   atomic.Int64
@@ -217,6 +224,9 @@ type Collector struct {
 	journalFsyncNS  atomic.Int64
 	journalReplayed atomic.Int64
 	journalTorn     atomic.Int64
+
+	// spans is the optionally attached span recorder (spans.go).
+	spans atomic.Pointer[SpanRecorder]
 
 	mu      sync.Mutex
 	windows []WindowRecord
@@ -445,6 +455,70 @@ func (c *Collector) CountPairRollback() {
 	c.pairRollbacks.Add(1)
 }
 
+// CountPairSkip tallies one dispatched signature-group instance skipped at
+// solve time because the group's verdict was already decided (an earlier
+// instance raced, a cross-slice shared verdict arrived, or the signature's
+// attempt budget ran out between dispatch and dequeue). Distinct from
+// CountSigDedup, which counts candidates deduplicated at partition time:
+// keeping the two apart is what makes the candidate funnel identity exact
+// (enumerated = filtered + deduped + confirmed + dispatched).
+func (c *Collector) CountPairSkip() {
+	if c == nil {
+		return
+	}
+	c.pairSkips.Add(1)
+}
+
+// CountWindowStarted / CountWindowFinished move the windows-in-flight
+// gauge; they feed the introspection server only and never appear in the
+// Metrics snapshot.
+func (c *Collector) CountWindowStarted() {
+	if c == nil {
+		return
+	}
+	c.windowsStarted.Add(1)
+}
+
+// CountWindowFinished marks one window's analysis complete (including
+// failed or replayed windows).
+func (c *Collector) CountWindowFinished() {
+	if c == nil {
+		return
+	}
+	c.windowsFinished.Add(1)
+}
+
+// WindowsInFlight returns the number of windows currently being analysed.
+func (c *Collector) WindowsInFlight() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.windowsStarted.Load() - c.windowsFinished.Load()
+}
+
+// CountGroupDone marks one dispatched signature group fully handled
+// (solved, skipped, or abandoned); GroupsQueued derives the live queue
+// depth from it.
+func (c *Collector) CountGroupDone() {
+	if c == nil {
+		return
+	}
+	c.groupsDone.Add(1)
+}
+
+// GroupsQueued returns the number of dispatched signature groups not yet
+// fully handled — the live depth of the pair-scheduler queues.
+func (c *Collector) GroupsQueued() int64 {
+	if c == nil {
+		return 0
+	}
+	n := c.pairGroups.Load() - c.groupsDone.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // AddQueueWait accumulates one signature group's dispatch latency: the
 // wall-clock time from the window's queue opening until a worker dequeued
 // the group.
@@ -593,6 +667,7 @@ func (c *Collector) Snapshot() *Metrics {
 			Workers:     c.pairWorkers.Load(),
 			Replicas:    c.pairReplicas.Load(),
 			Rollbacks:   c.pairRollbacks.Load(),
+			SigSkips:    c.pairSkips.Load(),
 			QueueWaitNS: c.queueWait.Load(),
 		},
 		Triage: TriageCounters{
@@ -692,10 +767,15 @@ func (p PhaseNanos) Total() time.Duration {
 // served them, and the aggregate queue-wait. Groups is deterministic; the
 // other fields vary with scheduling and are excluded from NonTiming.
 type PairSchedCounters struct {
-	Groups      int64 `json:"groups"`
-	Workers     int64 `json:"workers"`
-	Replicas    int64 `json:"replicas"`
-	Rollbacks   int64 `json:"rollbacks"`
+	Groups    int64 `json:"groups"`
+	Workers   int64 `json:"workers"`
+	Replicas  int64 `json:"replicas"`
+	Rollbacks int64 `json:"rollbacks"`
+	// SigSkips counts dispatched group instances skipped at solve time
+	// because their signature's verdict was already decided. Deterministic
+	// for sequential and pair-parallel runs; under window parallelism the
+	// cross-slice verdict share makes it timing-dependent.
+	SigSkips    int64 `json:"sig_skips"`
 	QueueWaitNS int64 `json:"queue_wait_ns"`
 }
 

@@ -150,6 +150,19 @@ func TestResumeMatrixBitIdentical(t *testing.T) {
 				}
 			}
 
+			// Races from the three replayed windows must say so; the
+			// re-analysed window's must not. The flag is operational
+			// metadata — it records how this run obtained the verdict, not
+			// the verdict itself — so it is normalised away before the
+			// identity comparison below.
+			for _, r := range resumed.Races {
+				wantReplay := r.Provenance.Window < 3
+				if r.Provenance.Replayed != wantReplay {
+					t.Errorf("par %d × pairPar %d: race %d,%d replayed = %t, want %t",
+						c.par, c.pairPar, r.First, r.Second, r.Provenance.Replayed, wantReplay)
+				}
+			}
+
 			// The report itself must match the uninterrupted run exactly.
 			// Telemetry and Elapsed differ by design (fewer queries, less
 			// time); with window parallelism the cross-window verdict
@@ -158,6 +171,10 @@ func TestResumeMatrixBitIdentical(t *testing.T) {
 			cleanCmp, resumedCmp := clean, resumed
 			cleanCmp.Telemetry, resumedCmp.Telemetry = nil, nil
 			cleanCmp.Elapsed, resumedCmp.Elapsed = 0, 0
+			resumedCmp.Races = append([]rvpredict.Race(nil), resumed.Races...)
+			for i := range resumedCmp.Races {
+				resumedCmp.Races[i].Provenance.Replayed = false
+			}
 			if c.fullCompare {
 				if !reflect.DeepEqual(resumedCmp, cleanCmp) {
 					t.Errorf("par %d × pairPar %d: resumed report differs:\n got %+v\nwant %+v",

@@ -216,6 +216,28 @@ type Options struct {
 	// 0 means DefaultJournalGroupCommit; negative is invalid. Use a
 	// tiny positive value (1ns) to force a sync on every append.
 	JournalGroupCommit time.Duration
+	// DebugAddr, when non-empty, serves the live introspection
+	// endpoints — /metrics (Prometheus text exposition), /progress
+	// (server-sent candidate-funnel events), /races (the races found so
+	// far with their provenance) and /debug/pprof — on this TCP address
+	// for the duration of the run. ":0" binds an ephemeral port;
+	// OnDebugAddr reports what was bound. Honoured by Run, the
+	// validating entry point (Detect/DetectContext ignore it). Purely
+	// observational: excluded from the journal fingerprint, never
+	// changes what is detected. The /races feed follows the MaximalCF
+	// window-completion hook; baseline algorithms expose metrics only.
+	DebugAddr string
+	// OnDebugAddr, when non-nil, is called once with the introspection
+	// server's bound address ("host:port") before detection begins —
+	// the rendezvous for DebugAddr ":0". Requires DebugAddr.
+	OnDebugAddr func(addr string)
+	// Spans, when non-nil, records the run's span timeline — run,
+	// window, MHB/encode/triage/solve phases, pair-scheduler worker
+	// occupancy, journal fsync stalls — into the given bounded ring
+	// recorder (MaximalCF detail; other algorithms record the run span
+	// only). Export with SpanRecorder.WriteChromeTrace for
+	// chrome://tracing or Perfetto. Observational only, like DebugAddr.
+	Spans *SpanRecorder
 
 	// onWindowDone and resumeWindows are the journal plumbing installed
 	// by Run; col carries Run's pre-created collector so the journal
@@ -280,6 +302,9 @@ func (o Options) Validate() error {
 	if o.JournalGroupCommit < 0 {
 		return &OptionsError{Field: "JournalGroupCommit", Reason: "negative; use 0 for the default interval or a tiny positive value to sync every append"}
 	}
+	if o.OnDebugAddr != nil && o.DebugAddr == "" {
+		return &OptionsError{Field: "OnDebugAddr", Reason: "requires DebugAddr: there is no server whose address could be reported"}
+	}
 	return nil
 }
 
@@ -316,6 +341,16 @@ func (o Options) normalise() Options {
 	return o
 }
 
+// Provenance records, for one reported race, which confirming tier
+// established it (SHB triage, CP triage, the SMT solver, or a baseline
+// detector's fixed tier), in which analysis window, and — when the SMT
+// solver ran — what the query cost. It is attributed at merge time from
+// the window's relations, so it is identical whichever execution
+// strategy produced the report (sequential, window- or pair-parallel,
+// triage on or off, resumed from a journal); only the operational
+// Replayed flag reflects how this particular run obtained the window.
+type Provenance = race.Provenance
+
 // Race is one detected data race.
 type Race struct {
 	// First and Second are the indices of the racing events in the input
@@ -332,6 +367,10 @@ type Race struct {
 	// prefix of event indices ending with the two racing accesses
 	// scheduled back to back (Definition 4's τ₁ab).
 	Witness []int `json:"witness,omitempty"`
+	// Provenance identifies the confirming tier, window and solver cost
+	// behind this race (see the Provenance type for the determinism
+	// contract).
+	Provenance Provenance `json:"provenance"`
 }
 
 // Report is the result of one Detect call.
@@ -368,6 +407,10 @@ type Report struct {
 	WindowFailures []WindowFailure `json:"window_failures,omitempty"`
 	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
+	// Build identifies the rvpredict build that produced the report:
+	// module version and VCS revision from the binary's embedded build
+	// information (see BuildInfo).
+	Build BuildID `json:"build_info"`
 }
 
 // WindowFailure records one analysis window whose worker panicked. The
@@ -408,6 +451,16 @@ func Run(ctx context.Context, tr *trace.Trace, opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	if opt.DebugAddr != "" {
+		if opt.col == nil {
+			opt.col = newCollector(opt)
+		}
+		srv, err := startIntrospection(tr, &opt)
+		if err != nil {
+			return Report{}, err
+		}
+		defer srv.Close()
+	}
 	if opt.Journal == "" {
 		return DetectContext(ctx, tr, opt), nil
 	}
@@ -426,7 +479,10 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 		Trace:   traceFP,
 		Options: journal.OptionsFingerprint(opt.fingerprintString()),
 	}
-	col := newCollector(opt)
+	col := opt.col
+	if col == nil {
+		col = newCollector(opt)
+	}
 	gc := opt.JournalGroupCommit
 	if gc == 0 {
 		gc = DefaultJournalGroupCommit
@@ -463,6 +519,9 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 	// Appends run concurrently under Parallelism > 1 (the writer locks
 	// internally); the first append error is kept and surfaced — a race
 	// that could not be made durable must not be silently undurable.
+	// The writer composes with any hook already installed (the
+	// introspection feed): durability first, observation after.
+	prev := opt.onWindowDone
 	var appendMu sync.Mutex
 	var appendErr error
 	opt.onWindowDone = func(out race.WindowOutcome) {
@@ -472,6 +531,9 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 				appendErr = err
 			}
 			appendMu.Unlock()
+		}
+		if prev != nil {
+			prev(out)
 		}
 	}
 	opt.col = col
@@ -497,6 +559,11 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 	if col == nil {
 		col = newCollector(opt)
 	}
+	// The run span is the root of the exported timeline: everything the
+	// detectors record (windows, phases, workers, journal fsyncs) parents
+	// onto it via SpanRoot.
+	runSpan := col.BeginSpan("run", telemetry.RunLane(), 0)
+	col.Spans().SetRoot(runSpan.ID())
 	var det interface {
 		DetectContext(ctx context.Context, tr *trace.Trace) race.Result
 	}
@@ -537,6 +604,7 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 	scan := col.StartPhase(telemetry.PhaseTraceScan)
 	stats := tr.ComputeStats()
 	scan.End()
+	runSpan.End()
 	rep := Report{
 		Algorithm:       opt.Algorithm,
 		Stats:           stats,
@@ -547,7 +615,12 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 		PairsRetried:    res.PairsRetried,
 		Interrupted:     res.Cancelled,
 		BudgetExhausted: res.BudgetExhausted,
-		Telemetry:       col.Snapshot(),
+		Build:           BuildInfo(),
+	}
+	if opt.Telemetry {
+		// The collector may exist solely for DebugAddr/Spans; the report
+		// carries a snapshot only when telemetry was asked for.
+		rep.Telemetry = col.Snapshot()
 	}
 	for _, f := range res.Failures {
 		rep.WindowFailures = append(rep.WindowFailures, WindowFailure(f))
@@ -562,9 +635,36 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 			},
 			Description: r.Describe(tr),
 			Witness:     r.Witness,
+			Provenance:  publicProvenance(r, opt),
 		})
 	}
 	return rep
+}
+
+// publicProvenance returns the race's provenance, stamping the baseline
+// detectors' fixed tier when the detector left it blank: only the
+// MaximalCF core attributes per-race tiers itself. The window index is
+// derived from the normalised window size (0 = whole trace = window 0).
+func publicProvenance(r race.Race, opt Options) race.Provenance {
+	p := r.Prov
+	if p.Tier != "" {
+		return p
+	}
+	switch opt.Algorithm {
+	case CausallyPrecedes:
+		p.Tier = race.TierCP
+	case HappensBefore:
+		p.Tier = race.TierHB
+	case QuickCheck:
+		p.Tier = race.TierQuickCheck
+	default: // SaidEtAl and any future SMT baseline
+		p.Tier = race.TierSMT
+	}
+	if opt.WindowSize > 0 {
+		p.Window = r.A / opt.WindowSize
+	}
+	p.WitnessLen = len(r.Witness)
+	return p
 }
 
 // uncancellable adapts the vector-clock detectors — fast, purely
@@ -585,13 +685,19 @@ func (u uncancellable) DetectContext(ctx context.Context, tr *trace.Trace) race.
 	return res
 }
 
-// newCollector returns a live collector when telemetry was requested, or
-// a nil collector — every method of which is a no-op — otherwise.
+// newCollector returns a live collector when any observation surface
+// was requested — a telemetry snapshot, the introspection server (its
+// gauges read the collector) or span recording — or a nil collector,
+// every method of which is a no-op, otherwise.
 func newCollector(opt Options) *telemetry.Collector {
-	if !opt.Telemetry {
+	if !opt.Telemetry && opt.DebugAddr == "" && opt.Spans == nil {
 		return nil
 	}
-	return telemetry.NewCollector()
+	c := telemetry.NewCollector()
+	if opt.Spans != nil {
+		c.AttachSpans(opt.Spans)
+	}
+	return c
 }
 
 // CheckWitness validates a witness schedule against the trace: program
@@ -661,7 +767,9 @@ func DetectDeadlocksContext(ctx context.Context, tr *trace.Trace, opt Options) D
 		Windows:     res.Windows,
 		Elapsed:     res.Elapsed,
 		Interrupted: res.Cancelled,
-		Telemetry:   col.Snapshot(),
+	}
+	if opt.Telemetry {
+		rep.Telemetry = col.Snapshot()
 	}
 	for _, d := range res.Deadlocks {
 		rep.Deadlocks = append(rep.Deadlocks, PredictedDeadlock{
@@ -736,7 +844,9 @@ func DetectAtomicityViolationsContext(ctx context.Context, tr *trace.Trace, opt 
 		Windows:     res.Windows,
 		Elapsed:     res.Elapsed,
 		Interrupted: res.Cancelled,
-		Telemetry:   col.Snapshot(),
+	}
+	if opt.Telemetry {
+		rep.Telemetry = col.Snapshot()
 	}
 	for _, v := range res.Violations {
 		rep.Violations = append(rep.Violations, AtomicityViolation{

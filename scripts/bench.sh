@@ -5,7 +5,7 @@
 # ordinary review diffs. See doc/performance.md.
 #
 # Usage:
-#   scripts/bench.sh [out.json]              # default out: BENCH_5.json
+#   scripts/bench.sh [out.json]              # default out: BENCH_6.json
 #   scripts/bench.sh compare old.json new.json   # diff two snapshots only
 #   COMPARE=BENCH_3.json scripts/bench.sh    # bench, then diff vs a snapshot
 #   BENCHTIME=10x scripts/bench.sh           # more iterations, steadier numbers
@@ -22,9 +22,9 @@ if [[ "${1:-}" == "compare" ]]; then
   exec python3 scripts/bench_compare.py "$@"
 fi
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-3x}"
-bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect)$}"
+bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead)$}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_*.json snapshots (see bench_to_json.py for the schema).
+"""Compare two benchmark snapshots.
 
-Usage: bench_compare.py old.json new.json [--threshold PCT] [--strict]
+Usage: bench_compare.py old new [--threshold PCT] [--strict]
+
+Accepts two input formats, detected per file:
+
+  * BENCH_*.json snapshots (see bench_to_json.py for the schema);
+  * cmd/table1 -json output (newline-delimited row records): each row
+    becomes one entry named after the program, with RV elapsed time as
+    its ns/op and the row's race counts plus triage/journal telemetry
+    (tier confirmations, dispatches, journal records) as extra metrics.
 
 Prints one line per benchmark present in both snapshots with the ns/op
-delta and, when both runs carried memory metrics (-benchmem), the
-allocs/op delta. Deltas beyond the threshold (default 10%) are flagged:
-slower/more allocations as REGRESSION, faster as improvement. With
---strict the exit status is 1 when any regression was flagged, so CI can
-choose to gate on it; the default is informational (exit 0) because
-single-shot bench runs on shared runners are noisy.
+delta, the allocs/op delta when both runs carried memory metrics
+(-benchmem), and a delta for every other numeric metric the two entries
+share (for table1 input: triage_confirmed, triage_dispatched, ...).
+Deltas beyond the threshold (default 10%) are flagged: slower/more as
+REGRESSION, less as improvement. With --strict the exit status is 1 when
+any regression was flagged, so CI can choose to gate on it; the default
+is informational (exit 0) because single-shot bench runs on shared
+runners are noisy.
 """
 
 import argparse
@@ -17,9 +27,41 @@ import json
 import sys
 
 
+def load_table1(text):
+    """Parse cmd/table1 -json rows into the snapshot entry shape."""
+    out = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        metrics = {"rv_races": row["rv"]["races"]}
+        for block, keys in (
+            ("triage", ("confirmed", "cp_confirmed", "dispatched")),
+            ("journal", ("records_written", "windows_replayed")),
+        ):
+            for key, val in (row.get(block) or {}).items():
+                if key in keys and isinstance(val, (int, float)):
+                    metrics[f"{block}_{key}"] = val
+        out[row["program"]] = {
+            "name": row["program"],
+            "ns_per_op": float(row["rv"]["elapsed_ns"]),
+            "metrics": metrics,
+        }
+    return out
+
+
 def load(path):
     with open(path) as f:
-        snap = json.load(f)
+        text = f.read()
+    try:
+        snap = json.loads(text)
+    except json.JSONDecodeError:
+        return load_table1(text)  # NDJSON: one record per line
+    if isinstance(snap, dict) and "program" in snap:
+        return load_table1(text)  # a single table1 row
+    if not isinstance(snap, dict) or "results" not in snap:
+        raise SystemExit(f"bench_compare: {path}: unrecognised snapshot shape")
     out = {}
     for r in snap.get("results", []):
         out[r["name"]] = r
@@ -65,14 +107,28 @@ def main() -> int:
         o, e = old[n], new[n]
         ns_delta = 100.0 * (e["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"]
         flags = [describe(ns_delta)]
-        oa, na = metric(o, "allocs/op"), metric(e, "allocs/op")
-        if oa and na is not None:
-            alloc_delta = 100.0 * (na - oa) / oa
-            alloc_col = f"{alloc_delta:+7.1f}%"
-            flags.append(describe(alloc_delta))
-        else:
-            alloc_col = "-"
+        alloc_col = "-"
+        extras = []
+        common = set(o.get("metrics", {})) & set(e.get("metrics", {}))
+        for key in sorted(common):
+            ov, nv = metric(o, key), metric(e, key)
+            if not isinstance(ov, (int, float)) or not isinstance(nv, (int, float)):
+                continue
+            if ov == 0:
+                if nv != 0:
+                    extras.append(f"{key} 0→{nv:g}")
+                    flags.append("REGRESSION" if nv > 0 else "")
+                    regressions += 1
+                continue
+            delta = 100.0 * (nv - ov) / ov
+            flags.append(describe(delta))
+            if key == "allocs/op":
+                alloc_col = f"{delta:+7.1f}%"
+            elif delta != 0.0:
+                extras.append(f"{key} {delta:+.1f}%")
         flag = " ".join(sorted({f for f in flags if f}))
+        if extras:
+            flag = (flag + "  " if flag else "") + "[" + ", ".join(extras) + "]"
         print(f"{n:<{width}}  {o['ns_per_op']:>12.0f}  {e['ns_per_op']:>12.0f}  "
               f"{ns_delta:+7.1f}%  {alloc_col:>8}  {flag}")
 
