@@ -22,7 +22,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/said"
 	"repro/internal/sat"
 	"repro/internal/smt"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
@@ -626,6 +629,105 @@ func BenchmarkDeadlockDetect(b *testing.B) {
 		if len(res.Deadlocks) == 0 {
 			b.Fatal("expected deadlocks")
 		}
+	}
+}
+
+// streamBenchTrace builds a lock-disciplined workload of the given
+// length over a fixed set of addresses, locks and locations, so its
+// metadata footprint does not scale with event count — what grows is
+// only the event stream itself, which is exactly what the ingest bound
+// is about.
+func streamBenchTrace(events int) *trace.Trace {
+	bld := trace.NewBuilder()
+	const threads = 4
+	for blk := 0; blk*5 < events; blk++ {
+		t := trace.TID(1 + blk%threads)
+		l := trace.Addr(200 + blk%threads)
+		x := trace.Addr(10 + blk%64)
+		loc := trace.Loc(1000 + blk%128)
+		bld.At(loc).Acquire(t, l)
+		bld.At(loc+1).Write(t, x, int64(blk))
+		bld.At(loc+2).Read(t, x)
+		bld.Release(t, l)
+		bld.At(loc + 3).Branch(t)
+	}
+	return bld.Trace()
+}
+
+// BenchmarkStreamIngest demonstrates the streaming daemon's bounded
+// ingest memory: the same workload shape is streamed at growing event
+// counts against a fixed window size, and the open session's live-heap
+// footprint — the difference between quiescent live heap with the whole
+// stream ingested (session still open) and after the session completes,
+// with the input trace pinned across both samples — stays flat while
+// the event count grows 64×: per-session memory is O(window), not
+// O(stream).
+func BenchmarkStreamIngest(b *testing.B) {
+	liveHeap := func() float64 {
+		runtime.GC()
+		runtime.GC() // twice: sync.Pool contents survive one collection
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc) / (1 << 20)
+	}
+	for _, events := range []int{16_000, 128_000, 1_024_000} {
+		tr := streamBenchTrace(events)
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			d, err := stream.New(stream.Options{
+				StateDir: b.TempDir(),
+				Detect: rvpredict.Options{
+					WindowSize:   4096,
+					SolveTimeout: time.Minute,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go d.Serve(ln) //nolint:errcheck
+
+			var sessionMB float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := stream.NewClient(conn)
+				if _, err := cl.Handshake(fmt.Sprintf("bench-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.SendTrace(tr, 0, 4096); err != nil {
+					b.Fatal(err)
+				}
+				// The whole stream is ingested (SendTrace blocks under the
+				// daemon's backpressure) but the session is still open.
+				b.StopTimer()
+				mid := liveHeap()
+				b.StartTimer()
+				rep, err := cl.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Stats.Events != tr.Len() {
+					b.Fatalf("streamed %d events, report says %d", tr.Len(), rep.Stats.Events)
+				}
+				conn.Close()
+				b.StopTimer()
+				if m := mid - liveHeap(); m > sessionMB {
+					sessionMB = m
+				}
+				runtime.KeepAlive(tr)
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events), "events")
+			b.ReportMetric(sessionMB, "session_live_MB")
+		})
 	}
 }
 

@@ -1,0 +1,182 @@
+package capture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/stream"
+	"repro/rvpredict"
+	"repro/trace"
+)
+
+// StreamOptions configures StreamTrace.
+type StreamOptions struct {
+	// Addr is the rvpredictd daemon's TCP address ("host:port").
+	Addr string
+	// Token names the session — the resumption key. Reusing a token
+	// resumes its durable session (after a disconnect or a daemon
+	// restart) instead of starting over; a completed session's token
+	// returns its stored report. Tokens are filename-safe strings of
+	// at most 64 characters.
+	Token string
+	// BatchEvents is the event-batch size (default 4096).
+	BatchEvents int
+	// BackoffMin and BackoffMax bound the reconnect backoff (defaults
+	// 100ms and 5s). Each retry doubles the delay, with jitter, up to
+	// BackoffMax.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// MaxAttempts bounds consecutive failed attempts before giving up
+	// (default 8). A successfully established session resets the
+	// counter — a long stream may survive any number of mid-stream
+	// disconnects as long as reconnects keep succeeding.
+	MaxAttempts int
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// OnRetry, when non-nil, observes each retry: the consecutive
+	// failure count and the error about to be retried.
+	OnRetry func(attempt int, err error)
+}
+
+// StreamTrace streams tr to an rvpredictd daemon and returns its
+// report. The session is durable on the daemon side: if the connection
+// drops — network fault, daemon restart, even a daemon crash — the
+// client reconnects with exponential backoff and jitter, learns from
+// the handshake how many events already reached stable storage, and
+// resumes from there. When no degradation fires on the daemon, the
+// returned report is bit-identical (up to timing fields) to
+// rvpredict.Detect(tr, ...) with the daemon's detection options.
+func StreamTrace(ctx context.Context, tr *trace.Trace, opt StreamOptions) (*rvpredict.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Addr == "" {
+		return nil, fmt.Errorf("capture: StreamOptions.Addr is required")
+	}
+	if opt.Token == "" {
+		return nil, fmt.Errorf("capture: StreamOptions.Token is required")
+	}
+	if opt.BackoffMin <= 0 {
+		opt.BackoffMin = 100 * time.Millisecond
+	}
+	if opt.BackoffMax < opt.BackoffMin {
+		opt.BackoffMax = 5 * time.Second
+		if opt.BackoffMax < opt.BackoffMin {
+			opt.BackoffMax = opt.BackoffMin
+		}
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 8
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 10 * time.Second
+	}
+
+	attempt := 0
+	for {
+		rep, progressed, err := streamOnce(ctx, tr, &opt)
+		if err == nil {
+			return rep, nil
+		}
+		if progressed {
+			// The daemon admitted the session: whatever was streamed
+			// before the failure is (mostly) durable, so this was not a
+			// wasted attempt.
+			attempt = 0
+		}
+		attempt++
+		var rej *stream.RejectError
+		if errors.As(err, &rej) && rej.Permanent() {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= opt.MaxAttempts {
+			return nil, fmt.Errorf("capture: giving up after %d attempts: %w", attempt, err)
+		}
+		if opt.OnRetry != nil {
+			opt.OnRetry(attempt, err)
+		}
+		if err := sleepCtx(ctx, backoff(opt.BackoffMin, opt.BackoffMax, attempt)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// streamOnce runs one connection lifecycle: dial, handshake, resume
+// point, stream, report. progressed reports that the handshake was
+// accepted (the retry counter resets on progress).
+func streamOnce(ctx context.Context, tr *trace.Trace, opt *StreamOptions) (rep *rvpredict.Report, progressed bool, err error) {
+	d := net.Dialer{Timeout: opt.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", opt.Addr)
+	if err != nil {
+		return nil, false, err
+	}
+	// Propagate cancellation into blocking reads/writes.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	defer close(stop)
+	defer conn.Close()
+
+	cl := stream.NewClient(conn)
+	conn.SetDeadline(time.Now().Add(opt.DialTimeout))
+	wel, err := cl.Handshake(opt.Token)
+	if err != nil {
+		return nil, false, err
+	}
+	// The report wait spans the daemon's final window analysis; no
+	// fixed deadline can bound it, so rely on ctx for cancellation.
+	conn.SetDeadline(time.Time{})
+	if wel.Complete {
+		rep, err := cl.ReadReport()
+		return rep, true, err
+	}
+	if wel.ResumeEvents > tr.Len() {
+		return nil, true, fmt.Errorf("capture: daemon holds %d events for session %q but the trace has %d — token collision?",
+			wel.ResumeEvents, opt.Token, tr.Len())
+	}
+	if err := cl.SendTrace(tr, wel.ResumeEvents, opt.BatchEvents); err != nil {
+		return nil, true, err
+	}
+	rep, err = cl.End()
+	return rep, true, err
+}
+
+// backoff returns the nth retry delay: exponential from min, capped at
+// max, with ±25% jitter so a herd of reconnecting clients spreads out.
+func backoff(min, max time.Duration, attempt int) time.Duration {
+	d := min
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	quarter := int64(d / 4)
+	if quarter > 0 {
+		d += time.Duration(rand.Int63n(2*quarter+1) - quarter)
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -39,11 +39,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/capture"
 	"repro/internal/faultinject"
 	"repro/internal/journal"
 	"repro/internal/race"
 	"repro/internal/tracefile"
 	"repro/rvpredict"
+	"repro/trace"
 )
 
 func main() {
@@ -95,6 +97,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memprofile = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 		httpAddr   = fs.String("http", "", "serve live introspection on `addr` while analysing: /metrics, /progress, /races, /debug/pprof (\":0\" picks a port, printed on stderr)")
 		traceOut   = fs.String("trace-out", "", "write the run's span timeline to `file` as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
+		daemonAddr = fs.String("daemon", "", "stream the trace to the rvpredictd daemon at `addr` instead of analysing locally (requires -token; the daemon's flags govern analysis)")
+		token      = fs.String("token", "", "session `name` for -daemon: reusing a token resumes its durable session after a disconnect or daemon restart")
 		version    = fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	)
 	fs.Usage = func() {
@@ -246,6 +250,49 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *daemonAddr != "" {
+		switch {
+		case *token == "":
+			fmt.Fprintln(stderr, "rvpredict: -daemon requires -token (the session's resumption key)")
+			return 2
+		case *deadlocks || *atomicity:
+			fmt.Fprintln(stderr, "rvpredict: -daemon streams race detection only")
+			return 2
+		case *journalTo != "" || *resume || *httpAddr != "" || *traceOut != "" || *stats:
+			fmt.Fprintln(stderr, "rvpredict: -journal/-resume/-http/-trace-out/-stats are owned by the daemon in -daemon mode")
+			return 2
+		case strings.ToLower(*algoName) != "rv":
+			fmt.Fprintln(stderr, "rvpredict: the daemon runs the rv algorithm; -algo applies to local analysis")
+			return 2
+		}
+		rep, err := capture.StreamTrace(ctx, tr, capture.StreamOptions{
+			Addr:  *daemonAddr,
+			Token: *token,
+			OnRetry: func(attempt int, err error) {
+				fmt.Fprintf(stderr, "rvpredict: stream attempt %d failed (%v); reconnecting\n", attempt, err)
+			},
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(stderr, "rvpredict: interrupted")
+				return exitInterrupted
+			}
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		if err := deliver(func(w io.Writer) error {
+			if *jsonOut {
+				return emitJSON(w, rep)
+			}
+			renderRaceReport(w, rep, tr, *witness)
+			return nil
+		}); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		return foundExit(len(rep.Races))
+	}
+
 	if *deadlocks {
 		rep := rvpredict.DetectDeadlocksContext(ctx, tr, opt)
 		err := deliver(func(w io.Writer) error {
@@ -332,25 +379,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			return emitJSON(w, rep)
 		}
-		s := rep.Stats
-		fmt.Fprintf(w, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
-			s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
-		fmt.Fprintf(w, "%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
-			rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
-			rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
-		for i, r := range rep.Races {
-			fmt.Fprintf(w, "  #%d %s\n", i+1, r.Description)
-			if *witness && r.Witness != nil {
-				fmt.Fprint(w, race.RenderWitness(tr, r.Witness))
-			}
-		}
-		if rep.BudgetExhausted {
-			fmt.Fprintln(w, "note: global budget exhausted; results are sound but may be incomplete")
-		}
-		for _, f := range rep.WindowFailures {
-			fmt.Fprintf(w, "note: window %d (offset %d, %d events) failed: %s\n",
-				f.Window, f.Offset, f.Events, f.PanicValue)
-		}
+		renderRaceReport(w, &rep, tr, *witness)
 		if *stats {
 			printTelemetry(w, rep.Telemetry)
 		}
@@ -399,6 +428,34 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.w.Write(p)
+}
+
+// renderRaceReport prints the human-readable race report — shared by
+// local analysis and -daemon streaming, so both modes are diffable.
+func renderRaceReport(w io.Writer, rep *rvpredict.Report, tr *trace.Trace, witness bool) {
+	s := rep.Stats
+	fmt.Fprintf(w, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
+		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
+	fmt.Fprintf(w, "%s: %d race(s) in %v (%d pairs checked, %d windows, %d timeouts)\n",
+		rep.Algorithm, len(rep.Races), rep.Elapsed.Round(time.Millisecond),
+		rep.PairsChecked, rep.Windows, rep.SolverTimeouts)
+	for i, r := range rep.Races {
+		fmt.Fprintf(w, "  #%d %s\n", i+1, r.Description)
+		if witness && r.Witness != nil {
+			fmt.Fprint(w, race.RenderWitness(tr, r.Witness))
+		}
+	}
+	if rep.BudgetExhausted {
+		fmt.Fprintln(w, "note: global budget exhausted; results are sound but may be incomplete")
+	}
+	if rep.DegradedWindows > 0 {
+		fmt.Fprintf(w, "note: %d window(s) analysed in degraded mode; races shown are sound, but SMT-only races in those windows may be missing\n",
+			rep.DegradedWindows)
+	}
+	for _, f := range rep.WindowFailures {
+		fmt.Fprintf(w, "note: window %d (offset %d, %d events) failed: %s\n",
+			f.Window, f.Offset, f.Events, f.PanicValue)
+	}
 }
 
 // foundExit maps a finding count to the command's exit status.

@@ -318,209 +318,378 @@ func windowFailure(win, offset, events int, r any) race.WindowFailure {
 // each window isolated against worker panics.
 func (d *Detector) detectWindows(ctx context.Context, globalDeadline time.Time, tr *trace.Trace) race.Result {
 	start := time.Now()
+	run := d.newWindowRun()
+	localWin := 0
+	run.res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
+		widx := d.winBase + localWin
+		localWin++
+		run.analyze(ctx, globalDeadline, w, widx, offset, false)
+	})
+	if ctx.Err() != nil {
+		run.res.Cancelled = true
+	}
+	run.res.Elapsed = time.Since(start)
+	return run.res
+}
+
+// windowRun threads the sequential driver's cross-window state: the
+// accumulated result plus the signature seen/attempt maps that make later
+// windows' partitions depend on earlier verdicts. detectWindows drives it
+// over race.Windows; the streaming session layer (internal/stream) drives
+// it one externally-materialised window at a time through WindowRunner.
+type windowRun struct {
+	d        *Detector
+	res      race.Result
+	seen     map[race.Signature]bool
+	attempts map[race.Signature]int
+	// timed forces per-window wall-clock measurement (and outcome
+	// construction) even without telemetry or a completion hook — the
+	// streaming runner consumes the outcome directly. The batch driver
+	// leaves it false so an untelemetered run still performs no clock
+	// reads.
+	timed bool
+}
+
+func (d *Detector) newWindowRun() *windowRun {
+	return &windowRun{
+		d:        d,
+		seen:     make(map[race.Signature]bool),
+		attempts: make(map[race.Signature]int),
+	}
+}
+
+// WindowStatus classifies how analyze disposed of one window.
+type WindowStatus int
+
+const (
+	// WindowAnalyzed: the window ran to a final verdict (clean completion
+	// or an isolated panic failure); its outcome is durable and was
+	// delivered to OnWindowDone.
+	WindowAnalyzed WindowStatus = iota
+	// WindowReplayed: the window's journaled outcome from ResumeWindows
+	// was merged without re-analysis (and without re-firing the hook).
+	WindowReplayed
+	// WindowCut: the window was cut short by cancellation or the global
+	// budget; the partial outcome is not a final verdict and must not be
+	// journaled or replayed.
+	WindowCut
+)
+
+// analyze runs one window to a verdict and merges it into the
+// accumulated result — the body of the sequential detection loop. With
+// degraded set, the SMT tier is shed: only pairs the sound vector-clock
+// triage tier already confirmed are reported (flagged Degraded in
+// provenance and in the outcome), unconfirmed pairs are shed and counted
+// in PairsShed, and no solver query is issued — the verdict stays sound
+// but is no longer maximal.
+func (wr *windowRun) analyze(ctx context.Context, globalDeadline time.Time, w *trace.Trace, widx, offset int, degraded bool) (out race.WindowOutcome, status WindowStatus) {
+	d := wr.d
 	col := d.opt.Telemetry
 	tracer := d.opt.Tracer
 	hook := d.opt.OnWindowDone
-	instrumented := col != nil || tracer != nil || hook != nil
-	var res race.Result
-	seen := make(map[race.Signature]bool)
-	attempts := make(map[race.Signature]int)
-	localWin := 0
+	instrumented := col != nil || tracer != nil || hook != nil || wr.timed
+	res := &wr.res
+	seen, attempts := wr.seen, wr.attempts
 	cancel := func() bool { return ctx.Err() != nil }
-	res.Windows = race.Windows(tr, d.opt.WindowSize, func(w *trace.Trace, offset int) {
-		widx := d.winBase + localWin
-		localWin++
-		// Resume: a journaled window's outcome is merged without
-		// re-analysis, before the cancellation and budget gates — replay
-		// is free and its results are already durable, so even a run
-		// interrupted immediately still reflects them.
-		if out, ok := d.opt.ResumeWindows[widx]; ok {
-			d.replayWindow(&res, out, seen)
-			return
-		}
-		if ctx.Err() != nil {
-			res.Cancelled = true
-			return
-		}
-		if !globalDeadline.IsZero() && time.Now().After(globalDeadline) {
-			res.BudgetExhausted = true
-			return
-		}
-		// Panic isolation: an encoder or solver bug in this window — on
-		// the coordinator or on any pair worker — is recovered here,
-		// recorded as a WindowFailure, and the run continues with every
-		// other window's results intact. The failed window contributes no
-		// results: its races merge only after the scheduler completes, so
-		// the drop is all-or-nothing and deterministic. The failure is
-		// itself a final, durable verdict — the completion hook records
-		// it so a resumed run reproduces this run's report exactly
-		// instead of silently retrying the window.
-		defer func() {
-			if r := recover(); r != nil {
-				f := windowFailure(widx, d.traceOffset+offset, w.Len(), r)
-				res.Failures = append(res.Failures, f)
-				col.CountWindowFailure()
-				if hook != nil {
-					hook(race.WindowOutcome{
-						Window:   widx,
-						Offset:   d.traceOffset + offset,
-						Events:   w.Len(),
-						Failures: []race.WindowFailure{f},
-					})
-				}
+	// Resume: a journaled window's outcome is merged without
+	// re-analysis, before the cancellation and budget gates — replay
+	// is free and its results are already durable, so even a run
+	// interrupted immediately still reflects them.
+	if prev, ok := d.opt.ResumeWindows[widx]; ok {
+		d.replayWindow(res, prev, seen)
+		return prev, WindowReplayed
+	}
+	if ctx.Err() != nil {
+		res.Cancelled = true
+		return out, WindowCut
+	}
+	if !globalDeadline.IsZero() && time.Now().After(globalDeadline) {
+		res.BudgetExhausted = true
+		return out, WindowCut
+	}
+	status = WindowCut
+	// Panic isolation: an encoder or solver bug in this window — on
+	// the coordinator or on any pair worker — is recovered here,
+	// recorded as a WindowFailure, and the run continues with every
+	// other window's results intact. The failed window contributes no
+	// results: its races merge only after the scheduler completes, so
+	// the drop is all-or-nothing and deterministic. The failure is
+	// itself a final, durable verdict — the completion hook records
+	// it so a resumed run reproduces this run's report exactly
+	// instead of silently retrying the window.
+	defer func() {
+		if r := recover(); r != nil {
+			f := windowFailure(widx, d.traceOffset+offset, w.Len(), r)
+			res.Failures = append(res.Failures, f)
+			col.CountWindowFailure()
+			out = race.WindowOutcome{
+				Window:   widx,
+				Offset:   d.traceOffset + offset,
+				Events:   w.Len(),
+				Failures: []race.WindowFailure{f},
 			}
-		}()
-		d.fireFault(faultinject.PointWindow, widx)
-		// Live gauge + timeline span for the window. The deferred closes
-		// run before the panic-isolation recover above (LIFO), so a
-		// failed window still leaves the gauge balanced and its span on
-		// the timeline.
-		col.CountWindowStarted()
-		defer col.CountWindowFinished()
-		lane := telemetry.WindowLane(widx)
-		wspan := col.BeginSpan("window", lane, col.SpanRoot())
-		defer wspan.End()
-		if tracer != nil {
-			tracer.WindowStart(widx, w.Len())
+			status = WindowAnalyzed
+			if hook != nil {
+				hook(out)
+			}
 		}
-		var wstart time.Time
-		if instrumented {
-			wstart = time.Now()
-		}
-		racesBefore := len(res.Races)
-		solved := 0
-		wChecked, wAborts, wRetried := 0, 0, 0
-		final := true // no cancellation/budget cut — the outcome is replayable
+	}()
+	d.fireFault(faultinject.PointWindow, widx)
+	// Live gauge + timeline span for the window. The deferred closes
+	// run before the panic-isolation recover above (LIFO), so a
+	// failed window still leaves the gauge balanced and its span on
+	// the timeline.
+	col.CountWindowStarted()
+	defer col.CountWindowFinished()
+	lane := telemetry.WindowLane(widx)
+	wspan := col.BeginSpan("window", lane, col.SpanRoot())
+	defer wspan.End()
+	if tracer != nil {
+		tracer.WindowStart(widx, w.Len())
+	}
+	var wstart time.Time
+	if instrumented {
+		wstart = time.Now()
+	}
+	racesBefore := len(res.Races)
+	solved := 0
+	wChecked, wAborts, wRetried, wShed := 0, 0, 0, 0
+	final := true // no cancellation/budget cut — the outcome is replayable
 
-		span := col.StartPhase(telemetry.PhaseEnumerate)
-		esp := col.BeginSpan("enumerate", lane, wspan.ID())
-		cops := race.EnumerateCOPs(w)
-		esp.End()
-		span.End()
-		col.CountEnumerated(len(cops))
+	span := col.StartPhase(telemetry.PhaseEnumerate)
+	esp := col.BeginSpan("enumerate", lane, wspan.ID())
+	cops := race.EnumerateCOPs(w)
+	esp.End()
+	span.End()
+	col.CountEnumerated(len(cops))
 
-		// Prefilters and signature grouping run up front; the pair
-		// scheduler then solves the groups (in parallel when
-		// PairParallelism > 1) and the results merge below in canonical
-		// group order, so the window's contribution is deterministic.
-		psp := col.BeginSpan("mhb+triage", lane, wspan.ID())
-		groups, mhb := d.partition(w, cops, seen, attempts)
-		psp.End()
-		col.CountPairGroups(len(groups))
-		if len(groups) > 0 && ctx.Err() == nil {
-			if mhb == nil {
-				// NoQuickCheck runs: partition computed no clocks, but the
-				// window encoders still need the MHB pass.
-				span = col.StartPhase(telemetry.PhaseMHB)
-				msp := col.BeginSpan("mhb", lane, wspan.ID())
-				mhb = vc.ComputeMHB(w)
-				msp.End()
-				span.End()
-			}
-			wc := &windowCtx{
-				ctx: ctx, w: w, mhb: mhb, widx: widx, offset: offset,
-				globalDeadline: globalDeadline, cancel: cancel,
-				spanParent: wspan.ID(),
-			}
-			// Provenance attribution is lazy: only windows that report a
-			// race pay for the attributor's clock passes.
-			var att *attributor
-			for i, gr := range d.solveGroups(wc, groups) {
-				if gr == nil {
-					continue
-				}
-				g := groups[i]
-				res.COPsChecked += gr.solved
-				solved += gr.solved
-				wChecked += gr.solved
-				res.SolverAborts += gr.aborts
-				wAborts += gr.aborts
-				res.PairsRetried += gr.retried
-				wRetried += gr.retried
-				attempts[g.sig] = gr.attempts
-				if gr.cancelled {
-					res.Cancelled = true
-					final = false
-				}
-				if gr.budgetGone {
-					res.BudgetExhausted = true
-					final = false
-				}
-				if gr.isRace {
+	// Prefilters and signature grouping run up front; the pair
+	// scheduler then solves the groups (in parallel when
+	// PairParallelism > 1) and the results merge below in canonical
+	// group order, so the window's contribution is deterministic.
+	psp := col.BeginSpan("mhb+triage", lane, wspan.ID())
+	groups, mhb := d.partition(w, cops, seen, attempts)
+	psp.End()
+	col.CountPairGroups(len(groups))
+	switch {
+	case len(groups) > 0 && ctx.Err() == nil && degraded:
+		// Graceful degradation: no solver is constructed and no query
+		// issued. Each group's first triage-confirmed instance is
+		// reported exactly as the fast path would have (same COP, same
+		// canonical order, no witness), the rest of the group is shed.
+		// Confirmations are sound, so a degraded window never reports a
+		// false race — it may only miss SMT-only ones.
+		var att *attributor
+		for _, g := range groups {
+			reported := false
+			for k := range g.cops {
+				if !reported && g.confirmed != nil && g.confirmed[k] &&
+					(d.skipSig == nil || !d.skipSig(g.sig)) {
+					reported = true
 					seen[g.sig] = true
 					if d.foundSig != nil {
 						d.foundSig(g.sig)
 					}
-					r := gr.race
+					res.COPsChecked++
+					solved++
+					wChecked++
+					r := race.Race{
+						COP: race.COP{A: g.cops[k].A + offset, B: g.cops[k].B + offset},
+						Sig: g.sig,
+					}
 					if att == nil {
 						att = newAttributor(w)
 					}
 					att.stamp(&r, widx, offset)
+					r.Prov.Degraded = true
 					res.Races = append(res.Races, r)
+				} else {
+					wShed++
 				}
 			}
-			if att != nil {
-				att.release()
+		}
+		if att != nil {
+			att.release()
+		}
+	case len(groups) > 0 && ctx.Err() == nil:
+		if mhb == nil {
+			// NoQuickCheck runs: partition computed no clocks, but the
+			// window encoders still need the MHB pass.
+			span = col.StartPhase(telemetry.PhaseMHB)
+			msp := col.BeginSpan("mhb", lane, wspan.ID())
+			mhb = vc.ComputeMHB(w)
+			msp.End()
+			span.End()
+		}
+		wc := &windowCtx{
+			ctx: ctx, w: w, mhb: mhb, widx: widx, offset: offset,
+			globalDeadline: globalDeadline, cancel: cancel,
+			spanParent: wspan.ID(),
+		}
+		// Provenance attribution is lazy: only windows that report a
+		// race pay for the attributor's clock passes.
+		var att *attributor
+		for i, gr := range d.solveGroups(wc, groups) {
+			if gr == nil {
+				continue
+			}
+			g := groups[i]
+			res.COPsChecked += gr.solved
+			solved += gr.solved
+			wChecked += gr.solved
+			res.SolverAborts += gr.aborts
+			wAborts += gr.aborts
+			res.PairsRetried += gr.retried
+			wRetried += gr.retried
+			attempts[g.sig] = gr.attempts
+			if gr.cancelled {
+				res.Cancelled = true
+				final = false
+			}
+			if gr.budgetGone {
+				res.BudgetExhausted = true
+				final = false
+			}
+			if gr.isRace {
+				seen[g.sig] = true
+				if d.foundSig != nil {
+					d.foundSig(g.sig)
+				}
+				r := gr.race
+				if att == nil {
+					att = newAttributor(w)
+				}
+				att.stamp(&r, widx, offset)
+				res.Races = append(res.Races, r)
 			}
 		}
-		if mhb != nil {
-			// Clean window completion: return the clock slab to the shared
-			// pool. The panic path above skips this deliberately — a worker
-			// could still alias the slab — and lets the GC reclaim it.
-			mhb.Release()
+		if att != nil {
+			att.release()
 		}
-		if ctx.Err() != nil {
-			res.Cancelled = true
-			final = false
-		}
+	}
+	if mhb != nil {
+		// Clean window completion: return the clock slab to the shared
+		// pool. The panic path above skips this deliberately — a worker
+		// could still alias the slab — and lets the GC reclaim it.
+		mhb.Release()
+	}
+	if ctx.Err() != nil {
+		res.Cancelled = true
+		final = false
+	}
+	// Counted per completed degraded window — candidates or not — so the
+	// gauge always agrees with Report.DegradedWindows.
+	if degraded && final {
+		col.CountDegradedWindow()
+	}
 
-		if col != nil {
-			col.WindowDone(telemetry.WindowRecord{
-				Offset:     d.traceOffset + offset,
-				Events:     w.Len(),
-				Candidates: len(cops),
-				Solved:     solved,
-				Findings:   len(res.Races) - racesBefore,
-				ElapsedNS:  int64(time.Since(wstart)),
-			})
+	if col != nil {
+		col.WindowDone(telemetry.WindowRecord{
+			Offset:     d.traceOffset + offset,
+			Events:     w.Len(),
+			Candidates: len(cops),
+			Solved:     solved,
+			Findings:   len(res.Races) - racesBefore,
+			ElapsedNS:  int64(time.Since(wstart)),
+		})
+	}
+	if tracer != nil {
+		tracer.WindowDone(widx, len(res.Races)-racesBefore, time.Since(wstart))
+	}
+	if final {
+		status = WindowAnalyzed
+	}
+	if (hook != nil || wr.timed) && final {
+		out = race.WindowOutcome{
+			Window:       widx,
+			Offset:       d.traceOffset + offset,
+			Events:       w.Len(),
+			Candidates:   len(cops),
+			Solved:       solved,
+			COPsChecked:  wChecked,
+			SolverAborts: wAborts,
+			PairsRetried: wRetried,
+			ElapsedNS:    int64(time.Since(wstart)),
+			Degraded:     degraded,
+			PairsShed:    wShed,
 		}
-		if tracer != nil {
-			tracer.WindowDone(widx, len(res.Races)-racesBefore, time.Since(wstart))
-		}
-		if hook != nil && final {
-			out := race.WindowOutcome{
-				Window:       widx,
-				Offset:       d.traceOffset + offset,
-				Events:       w.Len(),
-				Candidates:   len(cops),
-				Solved:       solved,
-				COPsChecked:  wChecked,
-				SolverAborts: wAborts,
-				PairsRetried: wRetried,
-				ElapsedNS:    int64(time.Since(wstart)),
-			}
-			if n := len(res.Races) - racesBefore; n > 0 {
-				// The hook contract is whole-trace coordinates; rebase a
-				// parallel slice's races (copies — res keeps its own).
-				out.Races = make([]race.Race, n)
-				copy(out.Races, res.Races[racesBefore:])
-				if d.traceOffset != 0 {
-					for i := range out.Races {
-						out.Races[i].A += d.traceOffset
-						out.Races[i].B += d.traceOffset
-						if out.Races[i].Witness != nil {
-							out.Races[i].Witness = rebase(out.Races[i].Witness, d.traceOffset)
-						}
+		if n := len(res.Races) - racesBefore; n > 0 {
+			// The hook contract is whole-trace coordinates; rebase a
+			// parallel slice's races (copies — res keeps its own).
+			out.Races = make([]race.Race, n)
+			copy(out.Races, res.Races[racesBefore:])
+			if d.traceOffset != 0 {
+				for i := range out.Races {
+					out.Races[i].A += d.traceOffset
+					out.Races[i].B += d.traceOffset
+					if out.Races[i].Witness != nil {
+						out.Races[i].Witness = rebase(out.Races[i].Witness, d.traceOffset)
 					}
 				}
 			}
+		}
+		if hook != nil {
 			hook(out)
 		}
-	})
-	if ctx.Err() != nil {
-		res.Cancelled = true
 	}
-	res.Elapsed = time.Since(start)
+	return out, status
+}
+
+// WindowRunner drives the sequential detection pipeline over
+// externally-materialised windows — the streaming session layer's entry
+// point into the detector (internal/stream). It preserves detectWindows'
+// exact cross-window semantics: windows must be supplied in trace order
+// with consecutive indices, and the signature seen/attempt state threads
+// across calls, so the accumulated Result — and every per-window
+// outcome — is bit-identical to a batch run over the concatenated trace.
+// Not safe for concurrent use.
+type WindowRunner struct {
+	d       *Detector
+	run     *windowRun
+	start   time.Time
+	windows int
+}
+
+// NewWindowRunner returns a runner with the given options. Parallelism
+// is ignored (windows arrive one at a time); PairParallelism applies
+// within each window as in batch mode.
+func NewWindowRunner(opt Options) *WindowRunner {
+	d := New(opt)
+	workers := opt.PairParallelism
+	if workers < 1 {
+		workers = 1
+	}
+	d.budget = make(chan struct{}, workers)
+	run := d.newWindowRun()
+	run.timed = true
+	return &WindowRunner{d: d, run: run, start: time.Now()}
+}
+
+// RunWindow analyses one window whose first event sits at the given
+// whole-trace offset. Outcomes are returned in whole-trace coordinates
+// for every status: fresh verdicts (WindowAnalyzed, also delivered to
+// OnWindowDone), journal replays (WindowReplayed, the journaled outcome,
+// hook not re-fired) and cancellation cuts (WindowCut, partial, must not
+// be persisted). With degraded set the SMT tier is shed — see
+// windowRun.analyze.
+func (r *WindowRunner) RunWindow(ctx context.Context, w *trace.Trace, widx, offset int, degraded bool) (race.WindowOutcome, WindowStatus) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.windows++
+	return r.run.analyze(ctx, time.Time{}, w, widx, offset, degraded)
+}
+
+// Result finalises and returns the result accumulated so far: the
+// canonical merge of every window passed to RunWindow, exactly as
+// DetectContext would have produced over the whole trace.
+func (r *WindowRunner) Result() race.Result {
+	res := r.run.res
+	res.Windows = r.windows
+	res.Elapsed = time.Since(r.start)
+	if len(res.Races) > 0 {
+		res.Races = append([]race.Race(nil), res.Races...)
+	}
 	return res
 }
 

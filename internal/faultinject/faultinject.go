@@ -49,6 +49,21 @@ const (
 	// written. Crash faults here prove the rename-last discipline: the
 	// destination must never exist half-written.
 	PointReportFlush Point = "report_flush"
+	// PointStreamStall is crossed by the streaming daemon once per frame
+	// read from a client connection. FaultTimeout makes the daemon treat
+	// the read as an idle/stall timeout — the session is suspended to
+	// durable state exactly as if the client had gone silent — so the
+	// slow-client path is testable without real clock waits.
+	PointStreamStall Point = "stream_stall"
+	// PointStreamDisconnect is crossed alongside PointStreamStall, once
+	// per frame read. Any scripted fault drops the connection abruptly
+	// mid-stream, exercising the client's reconnect-and-resume path.
+	PointStreamDisconnect Point = "stream_disconnect"
+	// PointQueueSaturate is crossed once per window the streaming daemon
+	// hands to the solver queue. FaultTimeout simulates sustained queue
+	// saturation: the window skips the queue and is analysed in degraded
+	// (sound-tier-only) mode, deterministically.
+	PointQueueSaturate Point = "queue_saturate"
 )
 
 // Scoped derives a point tied to one pipeline coordinate, e.g. a window

@@ -50,6 +50,10 @@ type Options struct {
 	Version, Revision string
 	// ProgressInterval is the /progress SSE cadence (default 500ms).
 	ProgressInterval time.Duration
+	// Ready, when non-nil, gates /readyz: the endpoint answers 200 while
+	// Ready() is true and 503 once it turns false (a draining daemon).
+	// When nil, /readyz mirrors /healthz and always answers 200.
+	Ready func() bool
 }
 
 // Server serves the introspection endpoints. Construct with New; all
@@ -94,6 +98,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/races", s.handleRaces)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -222,6 +228,29 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleHealthz is the liveness probe: a 200 whenever the process can
+// serve HTTP at all. Restart policies key off this, so it must never
+// depend on admission state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+// handleReadyz is the readiness probe: 200 while the service accepts new
+// sessions, 503 once it is draining. Load balancers key off this to stop
+// routing new clients while in-flight sessions finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opt.Ready != nil && !s.opt.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n")) //nolint:errcheck
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n")) //nolint:errcheck
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -413,6 +442,25 @@ var metricDefs = []metricDef{
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(float64(m.Journal.TornTailTruncated)) }},
 	{"rvpredict_windows_total", "counter", "Analysis windows recorded.",
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(float64(m.WindowCount)) }},
+	{"rvpredict_sessions_active", "gauge", "Streaming sessions currently open on the daemon.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.SessionsActive()))
+		}},
+	{"rvpredict_sessions_rejected_total", "counter",
+		"Streaming clients turned away by admission control (session limit, busy token, draining, bad handshake).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.SessionsRejected()))
+		}},
+	{"rvpredict_ingest_backpressure_seconds_total", "counter",
+		"Wall-clock time streaming ingest spent blocked waiting for an analysis slot.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(secs(s.opt.Collector.IngestBackpressureNS()))
+		}},
+	{"rvpredict_degraded_windows_total", "counter",
+		"Windows analysed in degraded mode (SMT tier shed; sound-tier verdicts only).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.DegradedWindows()))
+		}},
 }
 
 // MetricNames returns the sorted names of every metric family /metrics

@@ -57,12 +57,13 @@ import (
 
 // Magic is the journal file signature; Version the current format.
 // Version 2 added per-race provenance (confirming tier, window, solver
-// query stats, replay origin); version-1 journals are rejected as
-// ErrFormat, which Resume treats like any unusable journal — the run
-// simply starts fresh.
+// query stats, replay origin); version 3 the degradation markers of the
+// streaming daemon (outcome-level Degraded/PairsShed, per-race Degraded
+// flag). Older-version journals are rejected as ErrFormat, which Resume
+// treats like any unusable journal — the run simply starts fresh.
 const (
 	Magic   = "RVPJ"
-	Version = 2
+	Version = 3
 )
 
 // Decode-hardening caps, in the spirit of tracefile.Decode: a hostile or
@@ -455,6 +456,14 @@ func encodeOutcome(out race.WindowOutcome) []byte {
 	e.uvarint(uint64(out.SolverAborts))
 	e.uvarint(uint64(out.PairsRetried))
 	e.varint(out.ElapsedNS)
+	// Degradation marker (format v3): a degraded outcome must replay as
+	// degraded — resume never silently upgrades a shed window.
+	if out.Degraded {
+		e.uvarint(1)
+	} else {
+		e.uvarint(0)
+	}
+	e.uvarint(uint64(out.PairsShed))
 	e.uvarint(uint64(len(out.Races)))
 	for _, r := range out.Races {
 		e.uvarint(uint64(r.A))
@@ -469,20 +478,24 @@ func encodeOutcome(out race.WindowOutcome) []byte {
 				e.uvarint(uint64(idx))
 			}
 		}
-		// Provenance (format v2). Replayed round-trips too: the journal
-		// stores the record verbatim, and the replay path re-stamps the
-		// flag on merge anyway.
+		// Provenance (format v2; v3 widens the trailing flag word).
+		// Replayed round-trips too: the journal stores the record
+		// verbatim, and the replay path re-stamps the flag on merge
+		// anyway.
 		e.str(r.Prov.Tier)
 		e.uvarint(uint64(r.Prov.Window))
 		e.varint(r.Prov.Decisions)
 		e.varint(r.Prov.Propagations)
 		e.varint(r.Prov.Conflicts)
 		e.uvarint(uint64(r.Prov.WitnessLen))
+		var flags uint64
 		if r.Prov.Replayed {
-			e.uvarint(1)
-		} else {
-			e.uvarint(0)
+			flags |= 1
 		}
+		if r.Prov.Degraded {
+			flags |= 2
+		}
+		e.uvarint(flags)
 	}
 	e.uvarint(uint64(len(out.Failures)))
 	for _, f := range out.Failures {
@@ -709,6 +722,15 @@ func decodeOutcome(payload []byte) (race.WindowOutcome, error) {
 	if err == nil {
 		out.ElapsedNS, err = d.varint()
 	}
+	var degraded uint64
+	if err == nil {
+		degraded, err = d.uvarint()
+	}
+	if err == nil && degraded > 1 {
+		err = ErrFormat
+	}
+	out.Degraded = degraded == 1
+	read(&out.PairsShed)
 	if err != nil {
 		return out, err
 	}
@@ -761,17 +783,18 @@ func decodeOutcome(payload []byte) (race.WindowOutcome, error) {
 			r.Prov.Conflicts, err = d.varint()
 		}
 		read(&r.Prov.WitnessLen)
-		var replayed uint64
+		var flags uint64
 		if err == nil {
-			replayed, err = d.uvarint()
+			flags, err = d.uvarint()
 		}
 		if err != nil {
 			return out, err
 		}
-		if replayed > 1 {
+		if flags > 3 {
 			return out, ErrFormat
 		}
-		r.Prov.Replayed = replayed == 1
+		r.Prov.Replayed = flags&1 != 0
+		r.Prov.Degraded = flags&2 != 0
 		out.Races = append(out.Races, r)
 	}
 	nFail, err := d.count()

@@ -90,6 +90,13 @@ type Provenance struct {
 	// Replayed marks a race merged from a journaled window outcome on
 	// resume instead of being re-derived this run.
 	Replayed bool `json:"replayed,omitempty"`
+	// Degraded marks a race reported by a window analysed in degraded
+	// mode (streaming daemon under sustained pressure): the SMT tier was
+	// shed and the race rests solely on the sound vector-clock triage
+	// confirmation. The verdict is still sound — degradation can only
+	// miss races, never invent them — but the window it came from is not
+	// maximal. Always false in batch runs.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Race is one detected race, with an optional witness schedule.
@@ -203,6 +210,16 @@ type WindowOutcome struct {
 	// window contributed nothing, so a resumed run reproduces the
 	// faulted run's report exactly instead of silently retrying.
 	Failures []WindowFailure
+
+	// Degraded marks a window analysed in degraded mode (SMT tier shed
+	// under pressure): every reported race is triage-confirmed and sound,
+	// but PairsShed candidate instances were never solved, so the window
+	// is not maximal. Replaying a degraded outcome reproduces exactly the
+	// degraded verdict — resume never silently upgrades it.
+	Degraded bool
+	// PairsShed counts the candidate COP instances the degraded window
+	// dropped without a verdict.
+	PairsShed int
 }
 
 // Count returns the number of distinct races found.

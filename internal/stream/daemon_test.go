@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/rvpredict"
+	"repro/trace"
+)
+
+// TestDegradeAfterTimeout exercises the timer path of graceful
+// degradation: the daemon's only solver slot is occupied, so the session
+// blocks in ingest until DegradeAfter expires and the window runs
+// degraded. White-box: the slot is seized directly, so the pressure is
+// deterministic rather than a timing game against a real solver run.
+func TestDegradeAfterTimeout(t *testing.T) {
+	b := trace.NewBuilder()
+	b.At(11).Write(1, 5, 1)
+	b.At(12).ReadV(2, 5, 1)
+	b.At(13).Write(1, 6, 2)
+	b.At(14).Write(2, 6, 2)
+	tr := b.Trace()
+
+	d, err := New(Options{
+		StateDir:           t.TempDir(),
+		Detect:             rvpredict.Options{WindowSize: 8, SolveTimeout: 30 * time.Second},
+		MaxInFlightWindows: 1,
+		DegradeAfter:       10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { d.Close() })
+
+	d.slots <- struct{}{} // hold the only slot for the whole test
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cl := NewClient(conn)
+	if _, err := cl.Handshake("tok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendTrace(tr, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DegradedWindows != 1 {
+		t.Fatalf("degraded windows = %d, want 1 (report %+v)", rep.DegradedWindows, rep)
+	}
+	for _, r := range rep.Races {
+		if !r.Provenance.Degraded {
+			t.Errorf("race %d,%d not flagged degraded", r.First, r.Second)
+		}
+	}
+	if d.col.IngestBackpressureNS() <= 0 {
+		t.Error("no ingest backpressure accounted despite the saturated queue")
+	}
+}

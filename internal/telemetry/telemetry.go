@@ -212,6 +212,16 @@ type Collector struct {
 	windowsFinished atomic.Int64
 	groupsDone      atomic.Int64
 
+	// Streaming-daemon tallies (internal/stream): session lifecycle,
+	// admission rejects, ingest time lost to solver backpressure, and
+	// windows that shed the SMT tier under sustained pressure. Like the
+	// live gauges above they feed the introspection server only.
+	sessionsStarted  atomic.Int64
+	sessionsFinished atomic.Int64
+	sessionsRejected atomic.Int64
+	backpressureNS   atomic.Int64
+	degradedWindows  atomic.Int64
+
 	// Triage-tier tallies (sound vector-clock fast paths before SMT).
 	triConfirmed   atomic.Int64
 	triCPConfirmed atomic.Int64
@@ -517,6 +527,88 @@ func (c *Collector) GroupsQueued() int64 {
 		return 0
 	}
 	return n
+}
+
+// CountSessionStarted / CountSessionFinished move the sessions-active
+// gauge of the streaming daemon; a session counts as finished whether it
+// completed, failed or was suspended for later resume.
+func (c *Collector) CountSessionStarted() {
+	if c == nil {
+		return
+	}
+	c.sessionsStarted.Add(1)
+}
+
+// CountSessionFinished marks one streaming session no longer active.
+func (c *Collector) CountSessionFinished() {
+	if c == nil {
+		return
+	}
+	c.sessionsFinished.Add(1)
+}
+
+// SessionsActive returns the number of streaming sessions currently open.
+func (c *Collector) SessionsActive() int64 {
+	if c == nil {
+		return 0
+	}
+	n := c.sessionsStarted.Load() - c.sessionsFinished.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// CountSessionRejected tallies one client turned away by admission
+// control (session limit reached, bad handshake, or drain in progress).
+func (c *Collector) CountSessionRejected() {
+	if c == nil {
+		return
+	}
+	c.sessionsRejected.Add(1)
+}
+
+// SessionsRejected returns the admission-reject tally.
+func (c *Collector) SessionsRejected() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.sessionsRejected.Load()
+}
+
+// AddIngestBackpressure accumulates wall-clock time a session's ingest
+// loop spent blocked because the solver queue was full — the time TCP
+// backpressure was being exerted on the client.
+func (c *Collector) AddIngestBackpressure(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.backpressureNS.Add(int64(d))
+}
+
+// IngestBackpressureNS returns the accumulated ingest backpressure time.
+func (c *Collector) IngestBackpressureNS() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.backpressureNS.Load()
+}
+
+// CountDegradedWindow tallies one window analysed in degraded mode (SMT
+// tier shed under sustained pressure; sound-tier verdicts only).
+func (c *Collector) CountDegradedWindow() {
+	if c == nil {
+		return
+	}
+	c.degradedWindows.Add(1)
+}
+
+// DegradedWindows returns the degraded-window tally.
+func (c *Collector) DegradedWindows() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.degradedWindows.Load()
 }
 
 // AddQueueWait accumulates one signature group's dispatch latency: the

@@ -53,20 +53,10 @@ func Encode(w io.Writer, tr *trace.Trace) error {
 	if err := bw.uvarint(uint64(tr.Len())); err != nil {
 		return err
 	}
+	var scratch []byte
 	for _, e := range tr.Events() {
-		if err := bw.varint(int64(e.Tid)); err != nil {
-			return err
-		}
-		if err := bw.w.WriteByte(byte(e.Op)); err != nil {
-			return err
-		}
-		if err := bw.uvarint(uint64(e.Addr)); err != nil {
-			return err
-		}
-		if err := bw.varint(e.Value); err != nil {
-			return err
-		}
-		if err := bw.uvarint(uint64(e.Loc)); err != nil {
+		scratch = AppendEvent(scratch[:0], e)
+		if _, err := bw.w.Write(scratch); err != nil {
 			return err
 		}
 	}
@@ -125,6 +115,61 @@ func Encode(w io.Writer, tr *trace.Trace) error {
 	return bw.w.Flush()
 }
 
+// AppendEvent appends the wire encoding of one event to dst — the exact
+// per-event layout Encode writes — and returns the extended slice. The
+// streaming protocol (internal/stream) frames batches of these
+// encodings, so a streamed window re-decodes bit-identically to a batch
+// Decode of the same events.
+func AppendEvent(dst []byte, e trace.Event) []byte {
+	dst = binary.AppendVarint(dst, int64(e.Tid))
+	dst = append(dst, byte(e.Op))
+	dst = binary.AppendUvarint(dst, uint64(e.Addr))
+	dst = binary.AppendVarint(dst, e.Value)
+	dst = binary.AppendUvarint(dst, uint64(e.Loc))
+	return dst
+}
+
+// DecodeEvent consumes one AppendEvent encoding from the front of buf,
+// returning the event and the number of bytes consumed. Truncated or
+// malformed input yields ErrFormat, never a panic — the streaming
+// decoder feeds it frames straight off the network.
+func DecodeEvent(buf []byte) (trace.Event, int, error) {
+	var e trace.Event
+	tid, n := binary.Varint(buf)
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: truncated event tid", ErrFormat)
+	}
+	off := n
+	if off >= len(buf) {
+		return e, 0, fmt.Errorf("%w: truncated event op", ErrFormat)
+	}
+	op := buf[off]
+	off++
+	addr, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: truncated event addr", ErrFormat)
+	}
+	off += n
+	val, n := binary.Varint(buf[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: truncated event value", ErrFormat)
+	}
+	off += n
+	loc, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: truncated event loc", ErrFormat)
+	}
+	off += n
+	e = trace.Event{
+		Tid:   trace.TID(tid),
+		Op:    trace.Op(op),
+		Addr:  trace.Addr(addr),
+		Value: val,
+		Loc:   trace.Loc(loc),
+	}
+	return e, off, nil
+}
+
 type addrVal struct {
 	addr trace.Addr
 	val  int64
@@ -133,6 +178,38 @@ type addrVal struct {
 type locName struct {
 	loc  trace.Loc
 	name string
+}
+
+// AddrValue pairs an address with its non-zero declared initial value.
+type AddrValue struct {
+	Addr  trace.Addr
+	Value int64
+}
+
+// LocNameEntry pairs a program location with its registered name.
+type LocNameEntry struct {
+	Loc  trace.Loc
+	Name string
+}
+
+// CollectMeta enumerates the metadata reachable from the trace's events
+// in the same deterministic order Encode serialises it: volatile
+// addresses, non-zero initial values and registered location names,
+// each keyed by first use. The streaming client (capture.StreamTrace)
+// sends exactly this set ahead of the events, which keeps a streamed
+// session's windows bit-identical to a batch run over the encoded
+// trace.
+func CollectMeta(tr *trace.Trace) ([]trace.Addr, []AddrValue, []LocNameEntry) {
+	vols, inits, names := collectMeta(tr)
+	outInits := make([]AddrValue, len(inits))
+	for i, kv := range inits {
+		outInits[i] = AddrValue{Addr: kv.addr, Value: kv.val}
+	}
+	outNames := make([]LocNameEntry, len(names))
+	for i, nm := range names {
+		outNames[i] = LocNameEntry{Loc: nm.loc, Name: nm.name}
+	}
+	return vols, outInits, outNames
 }
 
 // collectMeta extracts the metadata reachable from the trace's events in a

@@ -341,6 +341,21 @@ func (o Options) normalise() Options {
 	return o
 }
 
+// Normalised returns the options with every equivalent spelling mapped
+// to its canonical form (zero WindowSize → the paper's 10000, zero
+// SolveTimeout → 60 s, negatives → unbounded), exactly as the detection
+// entry points do internally. The streaming layer (internal/stream)
+// normalises up front so its per-window detector and a batch run over
+// the same options agree bit for bit.
+func (o Options) Normalised() Options { return o.normalise() }
+
+// ResultFingerprint returns the canonical string of every
+// result-affecting option (see the journal fingerprint contract): two
+// option values with equal ResultFingerprint produce identical reports
+// on identical traces. The streaming daemon binds each session journal
+// to it in place of batch mode's whole-trace fingerprint.
+func (o Options) ResultFingerprint() string { return o.fingerprintString() }
+
 // Provenance records, for one reported race, which confirming tier
 // established it (SHB triage, CP triage, the SMT solver, or a baseline
 // detector's fixed tier), in which analysis window, and — when the SMT
@@ -405,6 +420,12 @@ type Report struct {
 	// WindowFailures lists analysis windows whose worker panicked and was
 	// isolated; all other windows' results are intact.
 	WindowFailures []WindowFailure `json:"window_failures,omitempty"`
+	// DegradedWindows counts analysis windows the streaming daemon
+	// degraded under sustained pressure (SMT tier shed, sound-tier
+	// verdicts only, races flagged Degraded in provenance). Always zero
+	// in batch runs, so the key is omitted and batch reports are
+	// unaffected.
+	DegradedWindows int `json:"degraded_windows,omitempty"`
 	// Telemetry is the metrics snapshot, present iff Options.Telemetry.
 	Telemetry *Telemetry `json:"telemetry,omitempty"`
 	// Build identifies the rvpredict build that produced the report:

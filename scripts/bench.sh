@@ -22,9 +22,9 @@ if [[ "${1:-}" == "compare" ]]; then
   exec python3 scripts/bench_compare.py "$@"
 fi
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${BENCHTIME:-3x}"
-bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead)$}"
+bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead|BenchmarkStreamIngest)$}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

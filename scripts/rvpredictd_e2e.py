@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Black-box e2e check of the streaming daemon.
+
+Usage: rvpredictd_e2e.py <rvpredictd-binary> <rvpredict-binary> <trace.rvpt>
+
+Exercises the full robustness story against real processes:
+
+  * launches rvpredictd, then streams the fixture into it from two
+    concurrent `rvpredict -daemon` clients under different tokens;
+  * SIGKILLs the daemon while both sessions are mid-stream, restarts it
+    on the same port and state dir, and lets the clients' reconnect
+    logic resume their sessions to completion;
+  * scrapes /healthz, /readyz and /metrics from the restarted daemon and
+    requires `rvpredict_journal_windows_replayed_total` > 0 — the resume
+    must have actually replayed durable work, not recomputed from zero;
+  * diffs each streamed JSON report against a local batch run of the
+    same binary (elapsed_ns / build_info / telemetry and the per-race
+    `replayed` provenance marker normalised away): the streamed result
+    must be identical to batch;
+  * SIGTERMs the daemon and requires a clean drain (exit 0).
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+WINDOW = "2000"
+
+
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def start_daemon(binary, port, state_dir):
+    proc = subprocess.Popen(
+        [binary, "-listen", f"127.0.0.1:{port}", "-state-dir", state_dir,
+         "-http", "127.0.0.1:0", "-window", WINDOW, "-witness"],
+        stdout=subprocess.PIPE, text=True)
+    addr = http = None
+    deadline = time.time() + 15
+    while (addr is None or http is None) and time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(f"daemon exited before announcing listeners "
+                             f"(rc={proc.poll()})")
+        if m := re.match(r"listening (\S+)", line):
+            addr = m.group(1)
+        elif m := re.match(r"http (\S+)", line):
+            http = m.group(1)
+    if addr is None or http is None:
+        proc.kill()
+        raise SystemExit("daemon never announced its listeners")
+    return proc, addr, http
+
+
+def get(url, timeout=5):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode()
+
+
+def metric(body, name):
+    m = re.search(rf"(?m)^{re.escape(name)} ([0-9eE.+-]+)$", body)
+    if not m:
+        raise SystemExit(f"metric {name} missing from scrape")
+    return float(m.group(1))
+
+
+def normalize(report):
+    report = dict(report)
+    for key in ("elapsed_ns", "build_info", "telemetry"):
+        report.pop(key, None)
+    for race in report.get("races") or []:
+        race.get("provenance", {}).pop("replayed", None)
+    return report
+
+
+def main():
+    if len(sys.argv) != 4:
+        raise SystemExit(__doc__)
+    daemon_bin, cli_bin, fixture = sys.argv[1:]
+    state_dir = tempfile.mkdtemp(prefix="rvpd-state-")
+    port = free_port()
+
+    daemon, addr, http = start_daemon(daemon_bin, port, state_dir)
+    status, body = get(f"http://{http}/healthz")
+    if status != 200 or body.strip() != "ok":
+        raise SystemExit(f"/healthz = {status} {body!r}")
+    status, _ = get(f"http://{http}/readyz")
+    if status != 200:
+        raise SystemExit(f"/readyz = {status}, want 200 on a fresh daemon")
+
+    tokens = ["e2e-a", "e2e-b"]
+    clients = {
+        tok: subprocess.Popen(
+            [cli_bin, "-daemon", addr, "-token", tok, "-json", "-witness", fixture],
+            stdout=subprocess.PIPE, text=True)
+        for tok in tokens
+    }
+
+    # Wait until every session has durable journaled work, then SIGKILL
+    # the daemon mid-stream.
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if all(os.path.getsize(p) > 128 if os.path.exists(p := os.path.join(
+                state_dir, f"{tok}.journal")) else False for tok in tokens):
+            break
+        time.sleep(0.05)
+    else:
+        raise SystemExit("sessions never journaled a window — fixture too small?")
+    streaming = [tok for tok, c in clients.items() if c.poll() is None]
+    if not streaming:
+        raise SystemExit("both clients finished before the kill — fixture too small")
+    daemon.send_signal(signal.SIGKILL)
+    daemon.wait()
+    print(f"rvpredictd_e2e: daemon SIGKILLed with {len(streaming)} session(s) mid-stream")
+
+    # Restart on the same port + state dir; the clients reconnect with
+    # exponential backoff and resume their sessions on their own.
+    daemon, addr, http = start_daemon(daemon_bin, port, state_dir)
+    reports = {}
+    for tok, client in clients.items():
+        stdout, _ = client.communicate(timeout=300)
+        if client.returncode not in (0, 1):
+            raise SystemExit(f"client {tok} exited {client.returncode}")
+        reports[tok] = json.loads(stdout)
+
+    status, body = get(f"http://{http}/metrics")
+    if status != 200:
+        raise SystemExit(f"/metrics = {status}")
+    replayed = metric(body, "rvpredict_journal_windows_replayed_total")
+    if replayed <= 0:
+        raise SystemExit("windows_replayed = 0 after resume: the durable "
+                         "journal was not used")
+    if (active := metric(body, "rvpredict_sessions_active")) != 0:
+        raise SystemExit(f"sessions_active = {active} after completion")
+    for probe in ("healthz", "readyz"):
+        status, _ = get(f"http://{http}/{probe}")
+        if status != 200:
+            raise SystemExit(f"/{probe} = {status} on the restarted daemon")
+    print(f"rvpredictd_e2e: resumed with {replayed:.0f} windows replayed")
+
+    # The streamed reports must match a local batch run bit for bit.
+    batch = subprocess.run(
+        [cli_bin, "-json", "-witness", "-window", WINDOW, fixture],
+        stdout=subprocess.PIPE, text=True, timeout=600)
+    if batch.returncode not in (0, 1):
+        raise SystemExit(f"batch run exited {batch.returncode}")
+    want = normalize(json.loads(batch.stdout))
+    if not want.get("races"):
+        raise SystemExit("fixture produced no races — diff would be vacuous")
+    for tok, rep in reports.items():
+        got = normalize(rep)
+        if got != want:
+            for key in sorted(set(want) | set(got)):
+                if want.get(key) != got.get(key):
+                    print(f"  field {key!r} differs", file=sys.stderr)
+            raise SystemExit(f"streamed report for {tok} differs from batch")
+    print(f"rvpredictd_e2e: both streamed reports identical to batch "
+          f"({len(want['races'])} races)")
+
+    daemon.send_signal(signal.SIGTERM)
+    if (rc := daemon.wait(timeout=60)) != 0:
+        raise SystemExit(f"SIGTERM drain exited {rc}, want 0")
+    print("rvpredictd_e2e: clean drain")
+
+
+if __name__ == "__main__":
+    main()

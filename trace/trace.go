@@ -195,31 +195,70 @@ type Stats struct {
 
 // ComputeStats scans the trace once and returns its summary metrics.
 func (tr *Trace) ComputeStats() Stats {
-	var s Stats
-	threads := make(map[TID]bool)
-	locks := make(map[Addr]bool)
-	shared := make(map[Addr]bool)
+	var a StatsAccumulator
+	for addr := range tr.volatileAddrs {
+		a.SetVolatile(addr)
+	}
 	for i := range tr.events {
-		e := &tr.events[i]
-		threads[e.Tid] = true
-		switch {
-		case e.Op.IsAccess():
-			s.Accesses++
-			if !tr.Volatile(e.Addr) {
-				shared[e.Addr] = true
-			}
-		case e.Op == OpBranch:
-			s.Branches++
-		default:
-			s.Syncs++
-			if e.Op == OpAcquire || e.Op == OpRelease {
-				locks[e.Addr] = true
-			}
+		a.Add(tr.events[i])
+	}
+	return a.Stats()
+}
+
+// StatsAccumulator computes Stats one event at a time with bounded state
+// (sets of threads, locks and shared addresses — the trace's alphabet,
+// not its length). The streaming session layer uses it to report the
+// same Stats a whole-trace ComputeStats would, without materialising the
+// trace. Volatile addresses must be declared before the first access to
+// them is added, matching the wire-format contract that metadata
+// precedes the events that use it; ComputeStats itself satisfies this by
+// declaring every volatile up front. The zero value is ready to use.
+type StatsAccumulator struct {
+	s        Stats
+	threads  map[TID]bool
+	locks    map[Addr]bool
+	shared   map[Addr]bool
+	volatile map[Addr]bool
+}
+
+// SetVolatile declares addr volatile for subsequent Add calls.
+func (a *StatsAccumulator) SetVolatile(addr Addr) {
+	if a.volatile == nil {
+		a.volatile = make(map[Addr]bool)
+	}
+	a.volatile[addr] = true
+}
+
+// Add folds one event into the summary.
+func (a *StatsAccumulator) Add(e Event) {
+	if a.threads == nil {
+		a.threads = make(map[TID]bool)
+		a.locks = make(map[Addr]bool)
+		a.shared = make(map[Addr]bool)
+	}
+	a.threads[e.Tid] = true
+	a.s.Events++
+	switch {
+	case e.Op.IsAccess():
+		a.s.Accesses++
+		if !a.volatile[e.Addr] {
+			a.shared[e.Addr] = true
+		}
+	case e.Op == OpBranch:
+		a.s.Branches++
+	default:
+		a.s.Syncs++
+		if e.Op == OpAcquire || e.Op == OpRelease {
+			a.locks[e.Addr] = true
 		}
 	}
-	s.Threads = len(threads)
-	s.Events = len(tr.events)
-	s.Locks = len(locks)
-	s.Shared = len(shared)
+}
+
+// Stats returns the summary of everything added so far.
+func (a *StatsAccumulator) Stats() Stats {
+	s := a.s
+	s.Threads = len(a.threads)
+	s.Locks = len(a.locks)
+	s.Shared = len(a.shared)
 	return s
 }
