@@ -288,39 +288,62 @@ func (d *Daemon) acquireSlot(ctx context.Context) (holding, degrade bool) {
 	}
 }
 
+// acquireRecoverySlot obtains a solver slot for a window whose
+// journaled outcome was lost and is being re-analysed during recovery.
+// Recovery respects the same daemon-wide MaxInFlightWindows bound as
+// live ingest — a restart with many suspended sessions must not run
+// MaxSessions concurrent SMT analyses in its recovery spike — but it
+// never degrades and never trips the queue_saturate fault point:
+// resuming a session reproduces its exact pre-crash results. Returns
+// false only when ctx is cancelled (the caller's RunWindow is then cut
+// and surfaces ctx.Err, as on the live path).
+func (d *Daemon) acquireRecoverySlot(ctx context.Context) bool {
+	select {
+	case d.slots <- struct{}{}:
+		return true
+	default:
+	}
+	t0 := time.Now()
+	defer func() { d.col.AddIngestBackpressure(time.Since(t0)) }()
+	select {
+	case d.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 func (d *Daemon) releaseSlot() { <-d.slots }
 
-// admit reserves the session token under admission control, returning
-// a reject code (and counting the rejection) when the daemon cannot
-// take the session.
-func (d *Daemon) admit(token string) (byte, string) {
+// admit reserves the session token under admission control. On success
+// the token is bound to c inside the same critical section that checked
+// it — check and reservation are one atomic step, so two concurrent
+// connections presenting the same token (a client retry racing a
+// stalled first attempt) can never both own the session's durable
+// state, and MaxSessions is a hard bound. The returned release func
+// undoes the reservation; it must run only after the session's file
+// handles are closed. On failure it returns a reject code (and counts
+// the rejection).
+func (d *Daemon) admit(token string, c net.Conn) (release func(), code byte, msg string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	switch {
 	case d.draining:
 		d.col.CountSessionRejected()
-		return RejectDraining, "daemon is draining"
+		return nil, RejectDraining, "daemon is draining"
 	case d.active[token] != nil:
 		d.col.CountSessionRejected()
-		return RejectBusyToken, "another connection owns this session"
+		return nil, RejectBusyToken, "another connection owns this session"
 	case len(d.active) >= d.opt.MaxSessions:
 		d.col.CountSessionRejected()
-		return RejectSessionLimit, fmt.Sprintf("session limit (%d) reached", d.opt.MaxSessions)
+		return nil, RejectSessionLimit, fmt.Sprintf("session limit (%d) reached", d.opt.MaxSessions)
 	}
-	return 0, ""
-}
-
-// register binds the token to conn; release undoes it.
-func (d *Daemon) register(token string, c net.Conn) {
-	d.mu.Lock()
 	d.active[token] = c
-	d.mu.Unlock()
-}
-
-func (d *Daemon) unregister(token string) {
-	d.mu.Lock()
-	delete(d.active, token)
-	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.active, token)
+		d.mu.Unlock()
+	}, 0, ""
 }
 
 // serveConn runs one connection's lifecycle: handshake, admission,
@@ -329,12 +352,22 @@ func (d *Daemon) unregister(token string) {
 // synced best-effort) and the daemon lives on.
 func (d *Daemon) serveConn(c net.Conn) {
 	var sess *session
+	var release func()
 	defer func() {
 		if r := recover(); r != nil {
 			d.logf("stream: session panic isolated: %v\n%s", r, debug.Stack())
-			if sess != nil {
-				sess.close()
-			}
+		}
+		// Close the session (flushing and syncing its ingest log and
+		// journal) strictly before releasing the token: a reconnecting
+		// client admitted any earlier could reopen the same durable
+		// files while these handles still hold buffered data.
+		// sess.close is idempotent, so the normal paths' inline closes
+		// make this a no-op.
+		if sess != nil {
+			sess.close()
+		}
+		if release != nil {
+			release()
 		}
 		c.Close()
 	}()
@@ -348,13 +381,13 @@ func (d *Daemon) serveConn(c net.Conn) {
 		writeReject(c, RejectBadHandshake, err.Error())
 		return
 	}
-	if code, msg := d.admit(token); code != 0 {
+	var code byte
+	var msg string
+	if release, code, msg = d.admit(token, c); code != 0 {
 		d.writeDeadline(c)
 		writeReject(c, code, msg)
 		return
 	}
-	d.register(token, c)
-	defer d.unregister(token)
 	d.col.CountSessionStarted()
 	defer d.col.CountSessionFinished()
 

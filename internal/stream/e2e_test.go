@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -358,6 +360,57 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	if got := d.Collector().SessionsActive(); got != 0 {
 		t.Errorf("sessions_active after drain = %d, want 0", got)
+	}
+}
+
+// TestConcurrentAdmissionAtomic: the admission check and the token
+// reservation are one atomic step, so connections racing on the same
+// token admit exactly one winner, and distinct tokens racing a
+// MaxSessions bound admit exactly MaxSessions. (Regression: check and
+// registration were once separate critical sections, letting two
+// same-token connections both open the session's durable state.)
+func TestConcurrentAdmissionAtomic(t *testing.T) {
+	opt := rvpredict.Options{WindowSize: 8}
+	admitRace := func(addr string, tokens []string) int32 {
+		t.Helper()
+		var admitted int32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for _, tok := range tokens {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { conn.Close() })
+			wg.Add(1)
+			go func(tok string, conn net.Conn) {
+				defer wg.Done()
+				<-start
+				if _, err := stream.NewClient(conn).Handshake(tok); err == nil {
+					atomic.AddInt32(&admitted, 1)
+				} else {
+					var rej *stream.RejectError
+					if !errors.As(err, &rej) {
+						t.Errorf("Handshake(%q): %v, want a typed reject", tok, err)
+					}
+				}
+			}(tok, conn)
+		}
+		close(start)
+		wg.Wait()
+		return admitted
+	}
+
+	_, addr1 := startDaemon(t, stream.Options{StateDir: t.TempDir(), Detect: opt, MaxSessions: 8})
+	same := []string{"same", "same", "same", "same", "same", "same", "same", "same"}
+	if got := admitRace(addr1, same); got != 1 {
+		t.Errorf("same-token race admitted %d sessions, want exactly 1", got)
+	}
+
+	_, addr2 := startDaemon(t, stream.Options{StateDir: t.TempDir(), Detect: opt, MaxSessions: 2})
+	distinct := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	if got := admitRace(addr2, distinct); got != 2 {
+		t.Errorf("distinct-token race admitted %d sessions, want exactly MaxSessions (2)", got)
 	}
 }
 

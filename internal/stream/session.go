@@ -221,8 +221,9 @@ func (s *session) checkRecord(rec record) error {
 
 // applyRecord folds one validated record into the session. live
 // distinguishes network ingest (backpressure, degradation and fault
-// points are armed) from log replay during recovery (slots are skipped:
-// replayed windows are free and re-analysed ones run inline).
+// points are armed) from log replay during recovery (journal-replayed
+// windows are free; re-analysed ones still take a solver slot but
+// never degrade).
 func (s *session) applyRecord(ctx context.Context, rec record, live bool) error {
 	switch rec.kind {
 	case recVolatile:
@@ -322,9 +323,11 @@ func (s *session) newWindow() {
 // path it first syncs the ingest log (the durability invariant: a
 // journaled outcome's events are always on disk) and then acquires a
 // daemon-wide solver slot, blocking under backpressure and falling back
-// to degraded analysis if configured; replayed windows skip the queue
-// entirely. The window's races are rendered into report form here,
-// while its events are still resident.
+// to degraded analysis if configured. Journal-replayed windows skip the
+// queue entirely; windows re-analysed during recovery take a slot too
+// (the MaxInFlightWindows bound holds through a restart's recovery
+// spike) but never degrade. The window's races are rendered into
+// report form here, while its events are still resident.
 func (s *session) dispatchWindow(ctx context.Context, live bool) error {
 	w, widx, offset := s.cur, s.widx, s.winStart
 	s.cur = nil
@@ -338,8 +341,12 @@ func (s *session) dispatchWindow(ctx context.Context, live bool) error {
 	_, isReplay := s.resume[widx]
 	degraded := false
 	holding := false
-	if live && !isReplay {
-		holding, degraded = s.d.acquireSlot(ctx)
+	if !isReplay {
+		if live {
+			holding, degraded = s.d.acquireSlot(ctx)
+		} else {
+			holding = s.d.acquireRecoverySlot(ctx)
+		}
 	}
 	out, status := s.runner.RunWindow(ctx, w, widx, offset, degraded)
 	if holding {

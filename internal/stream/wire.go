@@ -180,7 +180,7 @@ func (d *wireBuf) index() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v > 1<<31 {
+	if v >= 1<<31 {
 		return 0, fmt.Errorf("%w: index %d exceeds cap", ErrProtocol, v)
 	}
 	return int(v), nil
