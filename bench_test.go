@@ -52,6 +52,18 @@ import (
 // benchScale shrinks rows so a full -bench=. sweep is laptop-sized.
 const benchScale = 4
 
+// liveHeapMB samples the quiescent live heap in MiB. Collecting twice
+// matters: sync.Pool contents survive one collection, and the slab pools
+// under the triage fast path are exactly what the allocation assertions
+// below are checking.
+func liveHeapMB() float64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
 var (
 	rowOnce   sync.Once
 	rowTraces map[string]*trace.Trace
@@ -120,6 +132,19 @@ func BenchmarkDetect(b *testing.B) {
 			b.ReportMetric(float64(m.Solver.Conflicts), "conflicts")
 			b.ReportMetric(float64(m.Outcomes.Solved), "queries")
 			b.ReportMetric(float64(m.Outcomes.Enumerated), "candidates")
+			// Triage fast-path allocation regression: every rung of the
+			// ladder borrows its clock state from the vc slab pools, so
+			// repeated detections must leave the quiescent live heap
+			// flat — growth here means a per-window state leak on the
+			// fast path (a clock set or witness index not Released).
+			before := liveHeapMB()
+			for r := 0; r < 2; r++ {
+				core.New(core.Options{WindowSize: window,
+					SolveTimeout: time.Minute}).Detect(tr)
+			}
+			if grown := liveHeapMB() - before; grown > 1.0 {
+				b.Errorf("live heap grew %.2f MiB over 2 detections — triage fast path is leaking per-window state", grown)
+			}
 			b.StartTimer()
 		})
 		b.Run(name+"/Said", func(b *testing.B) {
@@ -663,13 +688,7 @@ func streamBenchTrace(events int) *trace.Trace {
 // the event count grows 64×: per-session memory is O(window), not
 // O(stream).
 func BenchmarkStreamIngest(b *testing.B) {
-	liveHeap := func() float64 {
-		runtime.GC()
-		runtime.GC() // twice: sync.Pool contents survive one collection
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapAlloc) / (1 << 20)
-	}
+	liveHeap := liveHeapMB
 	for _, events := range []int{16_000, 128_000, 1_024_000} {
 		tr := streamBenchTrace(events)
 		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {

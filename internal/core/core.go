@@ -95,12 +95,29 @@ type Options struct {
 	// Triage is also inactive when NoQuickCheck is set (it shares the
 	// quick check's locksets and MHB pass).
 	NoTriage bool
-	// TriageCP enables the optional causally-precedes second triage tier
-	// for lock-heavy traces: pairs the SHB tier cannot confirm are
-	// checked against the CP relation composed with SHB, and concurrent
-	// pairs are confirmed without a solver query (the paper's CP ⊆ RV
-	// inclusion chain; bit-identity is test-enforced across the bundled
-	// workloads). Off by default — SHB alone is provably exact per pair,
+	// TriageLevel selects how far down the sound triage ladder a
+	// quick-check survivor may be confirmed before SMT dispatch:
+	//
+	//	"shb"   — SHB epoch/clock tier only (PR 4's behaviour)
+	//	"wcp"   — plus the weak-causally-precedes gate backed by the
+	//	          sync-preserving witness check (internal/wcp)
+	//	"syncp" — plus the sync-preserving witness check on its own
+	//	          (internal/syncp); the default ("" means "syncp")
+	//	"cp"    — plus the opt-in causally-precedes tier (see TriageCP)
+	//
+	// Every level yields a bit-identical race.Result — the tiers only
+	// decide which pairs skip the solver — so the level is a pure
+	// performance knob, excluded from the journal fingerprint.
+	// Unrecognised values fall back to the default. Ignored when
+	// NoTriage is set.
+	TriageLevel string
+	// TriageCP enables the full ladder including the causally-precedes
+	// tier (equivalent to TriageLevel "cp", kept for compatibility):
+	// pairs no witness-backed tier confirms are checked against the CP
+	// relation composed with SHB, and concurrent pairs are confirmed
+	// without a solver query (the paper's CP ⊆ RV inclusion chain;
+	// bit-identity is test-enforced across the bundled workloads). Off
+	// by default — the witness-backed tiers are provably exact per pair,
 	// while the CP tier inherits the CP soundness theorem's assumptions.
 	TriageCP bool
 	// MaxAttemptsPerSig bounds how many COPs of one signature are solved

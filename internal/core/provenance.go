@@ -2,29 +2,36 @@
 //
 // Attribution is computed at merge time, once per reported race, and is
 // deliberately independent of the run's triage configuration: a race is
-// attributed to the cheapest tier of the inclusion chain (SHB → CP →
-// SMT) that proves it, whether or not that tier's fast path actually
-// fired this run. That independence is what lets the triage identity
-// matrix include provenance in its bit-identity contract — a NoTriage
-// run, an SHB-triage run and a CP-triage run all stamp the same tier on
-// the same race. Only windows that report races pay for the clock
-// passes, so the cost is negligible next to the solves that found them.
+// attributed to the cheapest tier of the inclusion chain (SHB → WCP →
+// SyncP → CP → SMT) that proves it, whether or not that tier's fast path
+// actually fired this run. That independence is what lets the triage
+// identity matrix include provenance in its bit-identity contract — a
+// NoTriage run, an SHB-triage run and a full-ladder run all stamp the
+// same tier on the same race. Only windows that report races pay for the
+// clock passes, so the cost is negligible next to the solves that found
+// them.
 package core
 
 import (
 	"repro/internal/cp"
 	"repro/internal/hb"
 	"repro/internal/race"
+	"repro/internal/syncp"
+	"repro/internal/wcp"
 	"repro/trace"
 )
 
 // attributor classifies reported races of one window by confirming
-// tier. The SHB clocks are computed on construction; the CP relation
-// lazily, only when some race is not SHB-confirmable.
+// tier. The SHB clocks are computed on construction; the witness state
+// (SR clocks, sync-preserving index, WCP gate) and the CP relation
+// lazily, only when some race is not confirmed by a cheaper tier.
 type attributor struct {
-	w   *trace.Trace
-	shb *hb.EventClocks
-	rel *cp.Relation
+	w    *trace.Trace
+	shb  *hb.EventClocks
+	sr   *hb.EventClocks
+	sidx *syncp.Index
+	wrel *wcp.Relation
+	rel  *cp.Relation
 }
 
 func newAttributor(w *trace.Trace) *attributor {
@@ -36,12 +43,19 @@ func newAttributor(w *trace.Trace) *attributor {
 // (triage.go documents why they are sound confirmations), so the
 // attribution never disagrees with a fast path that fired.
 func (a *attributor) tier(cop race.COP) string {
-	ea, eb := a.shb.Epoch(cop.A), a.shb.Epoch(cop.B)
-	if !ea.LessEqClock(a.shb.Clock(cop.B)) && !eb.LessEqClock(a.shb.Clock(cop.A)) {
+	if syncp.ConfirmSHB(a.shb, cop.A, cop.B) {
 		return race.TierSHB
 	}
-	if a.shb.RFRaceable(cop.A, cop.B) {
-		return race.TierSHB
+	if a.sr == nil {
+		a.sr = hb.SRClocks(a.w)
+		a.sidx = syncp.NewIndex(a.w, a.sr)
+		a.wrel = wcp.ComputeWith(a.w, a.sr)
+	}
+	if a.sidx.Check(cop.A, cop.B) {
+		if !a.wrel.Ordered(cop.A, cop.B) {
+			return race.TierWCP
+		}
+		return race.TierSyncP
 	}
 	if a.rel == nil {
 		a.rel = cp.ComputeWith(a.w, a.shb)
@@ -57,14 +71,17 @@ func (a *attributor) release() {
 	if a.rel != nil {
 		a.rel.Release()
 	}
+	if a.sr != nil {
+		a.sr.Release() // the witness index and WCP gate borrow these clocks
+	}
 	a.shb.Release()
 }
 
 // stamp fills one merged race's provenance: the confirming tier, the
 // global window index and the witness length. Solver query stats were
 // captured at solve time; they are kept only for SMT-tier races — for
-// SHB/CP-confirmable races the solver is optional (the triage fast path
-// skips it), so keeping its stats would break bit-identity between
+// races a sound tier confirms the solver is optional (the triage fast
+// path skips it), so keeping its stats would break bit-identity between
 // triage modes.
 func (a *attributor) stamp(r *race.Race, widx, offset int) {
 	r.Prov.Tier = a.tier(race.COP{A: r.A - offset, B: r.B - offset})

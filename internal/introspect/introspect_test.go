@@ -19,18 +19,21 @@ import (
 )
 
 // seedCollector populates a collector with a self-consistent candidate
-// funnel: 10 enumerated = 2 quick-filtered + 1 dedup + 0 mhb + 3 SHB-
-// confirmed + 1 CP-confirmed + 3 dispatched.
+// funnel: 12 enumerated = 2 quick-filtered + 1 dedup + 0 mhb + 3 SHB-
+// confirmed + 1 WCP-confirmed + 1 SyncP-confirmed + 1 CP-confirmed +
+// 3 dispatched.
 func seedCollector() *telemetry.Collector {
 	col := telemetry.NewCollector()
-	col.CountEnumerated(10)
+	col.CountEnumerated(12)
 	col.CountQuickCheckFiltered()
 	col.CountQuickCheckFiltered()
 	col.CountSigDedup()
 	for i := 0; i < 3; i++ {
-		col.CountTriageConfirmed(false)
+		col.CountTriageConfirmed(race.TierSHB)
 	}
-	col.CountTriageConfirmed(true)
+	col.CountTriageConfirmed(race.TierWCP)
+	col.CountTriageConfirmed(race.TierSyncP)
+	col.CountTriageConfirmed(race.TierCP)
 	for i := 0; i < 3; i++ {
 		col.CountTriageDispatched()
 	}
@@ -156,9 +159,11 @@ func TestMetricsScrape(t *testing.T) {
 		get("rvpredict_signature_dedup_total") +
 		get("rvpredict_mhb_filtered_total") +
 		get("rvpredict_triage_confirmed_total") +
+		get("rvpredict_triage_wcp_confirmed_total") +
+		get("rvpredict_triage_syncp_confirmed_total") +
 		get("rvpredict_triage_cp_confirmed_total") +
 		get("rvpredict_triage_dispatched_total")
-	if enumerated != 10 || classified != enumerated {
+	if enumerated != 12 || classified != enumerated {
 		t.Errorf("funnel identity broken: enumerated %v, classified %v", enumerated, classified)
 	}
 	if got := get("rvpredict_windows_in_flight"); got != 1 {
@@ -230,11 +235,12 @@ func TestProgressSSE(t *testing.T) {
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
 			t.Fatalf("event payload not JSON: %v", err)
 		}
-		if f.Enumerated != 10 {
-			t.Errorf("funnel enumerated = %d, want 10", f.Enumerated)
+		if f.Enumerated != 12 {
+			t.Errorf("funnel enumerated = %d, want 12", f.Enumerated)
 		}
 		if sum := f.QuickCheckFiltered + f.SigDedup + f.MHBFiltered +
-			f.TriageConfirmed + f.TriageCPConfirmed + f.Dispatched; sum != f.Enumerated {
+			f.TriageConfirmed + f.TriageWCPConfirmed + f.TriageSyncPConfirmed +
+			f.TriageCPConfirmed + f.Dispatched; sum != f.Enumerated {
 			t.Errorf("funnel identity broken in SSE event: %+v", f)
 		}
 		events++

@@ -222,11 +222,13 @@ type Collector struct {
 	backpressureNS   atomic.Int64
 	degradedWindows  atomic.Int64
 
-	// Triage-tier tallies (sound vector-clock fast paths before SMT).
-	triConfirmed   atomic.Int64
-	triCPConfirmed atomic.Int64
-	triDispatched  atomic.Int64
-	triFastPath    atomic.Int64
+	// Triage-tier tallies (sound fast paths before SMT, per ladder rung).
+	triConfirmed    atomic.Int64
+	triWCPConfirmed atomic.Int64
+	triSPConfirmed  atomic.Int64
+	triCPConfirmed  atomic.Int64
+	triDispatched   atomic.Int64
+	triFastPath     atomic.Int64
 
 	// Durable-journal tallies (internal/journal).
 	journalRecords  atomic.Int64
@@ -622,15 +624,23 @@ func (c *Collector) AddQueueWait(d time.Duration) {
 }
 
 // CountTriageConfirmed tallies one COP soundly confirmed as a race by the
-// vector-clock triage tier without a solver query; cp marks confirmations
-// by the optional causally-precedes second tier.
-func (c *Collector) CountTriageConfirmed(cp bool) {
+// triage ladder without a solver query, attributed to the cheapest rung
+// that proves it: "shb" (epoch/clock fast path), "wcp"
+// (weak-causally-precedes gate plus sync-preserving witness), "syncp"
+// (sync-preserving witness alone) or "cp" (the opt-in causally-precedes
+// tier). Unknown tiers count as "shb" defensively.
+func (c *Collector) CountTriageConfirmed(tier string) {
 	if c == nil {
 		return
 	}
-	if cp {
+	switch tier {
+	case "wcp":
+		c.triWCPConfirmed.Add(1)
+	case "syncp":
+		c.triSPConfirmed.Add(1)
+	case "cp":
 		c.triCPConfirmed.Add(1)
-	} else {
+	default:
 		c.triConfirmed.Add(1)
 	}
 }
@@ -763,10 +773,12 @@ func (c *Collector) Snapshot() *Metrics {
 			QueueWaitNS: c.queueWait.Load(),
 		},
 		Triage: TriageCounters{
-			Confirmed:   c.triConfirmed.Load(),
-			CPConfirmed: c.triCPConfirmed.Load(),
-			Dispatched:  c.triDispatched.Load(),
-			FastPathNS:  c.triFastPath.Load(),
+			Confirmed:      c.triConfirmed.Load(),
+			WCPConfirmed:   c.triWCPConfirmed.Load(),
+			SyncPConfirmed: c.triSPConfirmed.Load(),
+			CPConfirmed:    c.triCPConfirmed.Load(),
+			Dispatched:     c.triDispatched.Load(),
+			FastPathNS:     c.triFastPath.Load(),
 		},
 		Journal: JournalCounters{
 			RecordsWritten:    c.journalRecords.Load(),
@@ -871,19 +883,24 @@ type PairSchedCounters struct {
 	QueueWaitNS int64 `json:"queue_wait_ns"`
 }
 
-// TriageCounters describes the sound vector-clock triage tier that runs
-// before the pair scheduler: Confirmed COPs were proven races by the
-// epoch/clock fast path alone (no solver query unless a witness was
-// requested), CPConfirmed by the optional causally-precedes second tier,
-// and Dispatched COPs went to the SMT scheduler unchanged. The counts are
+// TriageCounters describes the sound triage ladder that runs before the
+// pair scheduler, one counter per rung: Confirmed COPs were proven races
+// by the SHB epoch/clock fast path alone (no solver query unless a
+// witness was requested), WCPConfirmed by the weak-causally-precedes gate
+// plus the sync-preserving witness check, SyncPConfirmed by the witness
+// check alone, CPConfirmed by the opt-in causally-precedes tier, and
+// Dispatched COPs went to the SMT scheduler unchanged. The counts are
 // deterministic (classification happens in canonical order before
-// dispatch); FastPathNS is the tier's wall-clock cost and is excluded from
+// dispatch, attributed to the cheapest rung that proves the pair);
+// FastPathNS is the ladder's wall-clock cost and is excluded from
 // NonTiming.
 type TriageCounters struct {
-	Confirmed   int64 `json:"confirmed"`
-	CPConfirmed int64 `json:"cp_confirmed"`
-	Dispatched  int64 `json:"dispatched"`
-	FastPathNS  int64 `json:"fast_path_ns"`
+	Confirmed      int64 `json:"confirmed"`
+	WCPConfirmed   int64 `json:"wcp_confirmed"`
+	SyncPConfirmed int64 `json:"syncp_confirmed"`
+	CPConfirmed    int64 `json:"cp_confirmed"`
+	Dispatched     int64 `json:"dispatched"`
+	FastPathNS     int64 `json:"fast_path_ns"`
 }
 
 // JournalCounters describes the durable window journal's activity:

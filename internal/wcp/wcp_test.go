@@ -1,0 +1,112 @@
+package wcp
+
+import (
+	"testing"
+
+	"repro/trace"
+)
+
+// buildSaidShape: conflicting critical sections (write/write on y) with a
+// racing pair across them — WCP's rule (a) must order the pair.
+//
+//	t1: acq(l) w(x,1)@1 w(y,1) rel(l)   t2: acq(l) w(y,2) rel(l); r(x,1)@7
+func buildSaidShape(t *testing.T) *trace.Trace {
+	t.Helper()
+	const l, x, y = trace.Addr(200), trace.Addr(5), trace.Addr(6)
+	b := trace.NewBuilder()
+	b.Acquire(1, l)        // 0
+	b.At(1).Write(1, x, 1) // 1
+	b.At(2).Write(1, y, 1) // 2
+	b.Release(1, l)        // 3
+	b.Acquire(2, l)        // 4
+	b.At(3).Write(2, y, 2) // 5
+	b.Release(2, l)        // 6
+	b.At(4).Read(2, x)     // 7
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// buildCPShape: NON-conflicting sections of the same lock — WCP draws no
+// edge, and the pair stays unordered by the gate.
+//
+//	t1: acq(l) w(x,1)@1 rel(l)   t2: acq(l) w(u,1) rel(l); r(x,1)@6
+func buildCPShape(t *testing.T) *trace.Trace {
+	t.Helper()
+	const l, x, u = trace.Addr(200), trace.Addr(5), trace.Addr(6)
+	b := trace.NewBuilder()
+	b.Acquire(1, l)         // 0
+	b.At(1).Write(1, x, 1)  // 1
+	b.At(2).Write(1, u, 1)  // 2
+	b.Release(1, l)         // 3
+	b.Acquire(2, l)         // 4
+	b.At(3).Write(2, 99, 1) // 5  unrelated location
+	b.Release(2, l)         // 6
+	b.At(4).ReadV(2, x, 1)  // 7
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestRuleAOrdersConflictingSections: with a write/write conflict on y,
+// rel(S1) ≼ w(y,2), so the racing pair composes to WCP-ordered — this is
+// what demotes the saidRace motif from the wcp tier to the syncp tier.
+func TestRuleAOrdersConflictingSections(t *testing.T) {
+	rel := Compute(buildSaidShape(t))
+	defer rel.ReleaseOwned()
+	if !rel.WCP(1, 7) {
+		t.Error("w(x)@1 must be WCP-before r(x)@7 via the y-conflict edge")
+	}
+	if !rel.Ordered(1, 7) {
+		t.Error("Ordered must report the said-shape pair ordered")
+	}
+}
+
+// TestNonConflictingSectionsUnordered: without a section conflict there
+// is no rule (a) edge, and the Figure-1 pair keeps its wcp attribution.
+// The pair IS SR-ordered — by its own reads-from edge — which the gate
+// must exempt (adjacency satisfies an rf edge).
+func TestNonConflictingSectionsUnordered(t *testing.T) {
+	rel := Compute(buildCPShape(t))
+	defer rel.ReleaseOwned()
+	if rel.WCP(1, 7) {
+		t.Error("no section conflict, yet WCP orders the pair")
+	}
+	if rel.Ordered(1, 7) {
+		t.Error("Ordered must exempt the pair's own reads-from edge")
+	}
+}
+
+// TestEarliestConflictIsFirst: the rule (a) target must be the FIRST
+// conflicting access of the later section, not an arbitrary one.
+func TestEarliestConflictIsFirst(t *testing.T) {
+	const l, x, y = trace.Addr(200), trace.Addr(5), trace.Addr(6)
+	b := trace.NewBuilder()
+	b.Acquire(1, l)        // 0
+	b.At(1).Write(1, x, 1) // 1
+	b.At(2).Write(1, y, 1) // 2
+	b.Release(1, l)        // 3
+	b.Acquire(2, l)        // 4
+	b.At(3).Write(2, y, 2) // 5   ← earliest conflict
+	b.At(4).Write(2, x, 2) // 6   ← later conflict
+	b.Release(2, l)        // 7
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := Compute(tr)
+	defer rel.ReleaseOwned()
+	if len(rel.edges) != 1 {
+		t.Fatalf("edges = %d, want exactly 1", len(rel.edges))
+	}
+	if e := rel.edges[0]; e.rel != 3 || e.tgt != 5 {
+		t.Errorf("edge = rel %d → tgt %d, want 3 → 5 (the earliest conflict)", e.rel, e.tgt)
+	}
+}
+
+// TestDetectorSubsetOfSyncP is in the oracle test file (oracle_test.go,
+// package wcp_test) together with the full inclusion chain.

@@ -25,6 +25,9 @@ func TestValidateRejectsEachBadCombination(t *testing.T) {
 		{"negative global budget", rvpredict.Options{GlobalBudget: -1}, "GlobalBudget"},
 		{"negative conflict budget", rvpredict.Options{MaxConflicts: -1}, "MaxConflicts"},
 		{"cp triage with triage disabled", rvpredict.Options{NoTriage: true, TriageCP: true}, "TriageCP"},
+		{"unknown triage level", rvpredict.Options{TriageLevel: "hb"}, "TriageLevel"},
+		{"triage level with triage disabled", rvpredict.Options{NoTriage: true, TriageLevel: "syncp"}, "TriageLevel"},
+		{"cp flag against a lower level", rvpredict.Options{TriageCP: true, TriageLevel: "shb"}, "TriageLevel"},
 		{"resume without a journal", rvpredict.Options{Resume: true}, "Resume"},
 		{"journal on a non-RV algorithm", rvpredict.Options{Journal: "j", Algorithm: rvpredict.HappensBefore}, "Journal"},
 		{"negative group-commit interval", rvpredict.Options{Journal: "j", JournalGroupCommit: -1}, "JournalGroupCommit"},
@@ -65,6 +68,9 @@ func TestValidateAcceptsDefinedOptions(t *testing.T) {
 		{"journal with defaults", rvpredict.Options{Journal: "j"}},
 		{"resume with journal", rvpredict.Options{Journal: "j", Resume: true}},
 		{"full parallel matrix", rvpredict.Options{Parallelism: 8, PairParallelism: 8, TriageCP: true}},
+		{"explicit default rung", rvpredict.Options{TriageLevel: "syncp"}},
+		{"lowest rung", rvpredict.Options{TriageLevel: "shb"}},
+		{"cp by level and flag together", rvpredict.Options{TriageLevel: "cp", TriageCP: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -80,6 +80,7 @@ func TestResumeMatrixBitIdentical(t *testing.T) {
 		name         string
 		par, pairPar int
 		noTriage, cp bool
+		level        string
 		fullCompare  bool // parallel merges share verdicts, so PairsChecked may differ
 	}
 	var combos []combo
@@ -88,10 +89,15 @@ func TestResumeMatrixBitIdentical(t *testing.T) {
 			for _, tri := range []struct {
 				name         string
 				noTriage, cp bool
-			}{{"triage", false, false}, {"notriage", true, false}, {"cp", false, true}} {
+				level        string
+			}{
+				{name: "triage"}, {name: "notriage", noTriage: true},
+				{name: "shb", level: "shb"}, {name: "wcp", level: "wcp"},
+				{name: "syncp", level: "syncp"}, {name: "cp", cp: true},
+			} {
 				combos = append(combos, combo{
 					name: tri.name, par: par, pairPar: pairPar,
-					noTriage: tri.noTriage, cp: tri.cp,
+					noTriage: tri.noTriage, cp: tri.cp, level: tri.level,
 					fullCompare: par <= 1,
 				})
 			}
@@ -102,7 +108,7 @@ func TestResumeMatrixBitIdentical(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			base := runOpts()
 			base.Parallelism, base.PairParallelism = c.par, c.pairPar
-			base.NoTriage, base.TriageCP = c.noTriage, c.cp
+			base.NoTriage, base.TriageCP, base.TriageLevel = c.noTriage, c.cp, c.level
 			clean, err := rvpredict.Run(nil, tr, base)
 			if err != nil {
 				t.Fatalf("clean run failed: %v", err)

@@ -172,16 +172,25 @@ type Options struct {
 	// run (see core.Options.PairParallelism). The two knobs compose under
 	// one worker budget of max(Parallelism, PairParallelism).
 	PairParallelism int
-	// NoTriage disables the sound vector-clock triage tier of the
-	// MaximalCF detector, which confirms candidate pairs that are
-	// concurrent under schedulable happens-before without a solver query.
-	// The report is bit-identical with triage on or off (absent real
-	// wall-clock solver timeouts); the knob exists for measurement and as
-	// an escape hatch. See doc/performance.md.
+	// NoTriage disables the sound triage ladder of the MaximalCF
+	// detector, which confirms candidate pairs as races without a solver
+	// query. The report is bit-identical with triage on or off (absent
+	// real wall-clock solver timeouts); the knob exists for measurement
+	// and as an escape hatch. See doc/performance.md.
 	NoTriage bool
-	// TriageCP additionally enables the causally-precedes second triage
-	// tier for lock-heavy traces (MaximalCF only; off by default). See
-	// core.Options.TriageCP.
+	// TriageLevel caps the triage ladder at a named rung (MaximalCF
+	// only): "shb" (vector clocks only), "wcp" (adds the
+	// weak-causally-precedes gate over the sync-preserving witness
+	// check), "syncp" (adds the witness check alone — the default, also
+	// spelled ""), or "cp" (adds the opt-in causally-precedes tier).
+	// Every level produces a bit-identical report; the knob trades
+	// per-window analysis time against solver queries. Unknown values
+	// fail Validate. See core.Options.TriageLevel and
+	// doc/performance.md.
+	TriageLevel string
+	// TriageCP additionally enables the causally-precedes top tier for
+	// lock-heavy traces (MaximalCF only; off by default). Equivalent to
+	// TriageLevel "cp"; kept for compatibility. See core.Options.TriageCP.
 	TriageCP bool
 	// Telemetry attaches a Telemetry metrics snapshot to the report:
 	// phase timings, solver counters and outcome tallies. Collection is
@@ -292,6 +301,17 @@ func (o Options) Validate() error {
 	}
 	if o.NoTriage && o.TriageCP {
 		return &OptionsError{Field: "TriageCP", Reason: "requests a second triage tier while NoTriage disables triage entirely"}
+	}
+	switch o.TriageLevel {
+	case "", "shb", "wcp", "syncp", "cp":
+	default:
+		return &OptionsError{Field: "TriageLevel", Reason: fmt.Sprintf("%q; want shb, wcp, syncp or cp (empty for the default)", o.TriageLevel)}
+	}
+	if o.NoTriage && o.TriageLevel != "" {
+		return &OptionsError{Field: "TriageLevel", Reason: "selects a triage ladder rung while NoTriage disables triage entirely"}
+	}
+	if o.TriageCP && o.TriageLevel != "" && o.TriageLevel != "cp" {
+		return &OptionsError{Field: "TriageLevel", Reason: fmt.Sprintf("%q conflicts with TriageCP, which demands the full ladder", o.TriageLevel)}
 	}
 	if o.Resume && o.Journal == "" {
 		return &OptionsError{Field: "Resume", Reason: "requires Journal: there is nothing to resume from"}
@@ -613,6 +633,7 @@ func DetectContext(ctx context.Context, tr *trace.Trace, opt Options) Report {
 			Parallelism:      opt.Parallelism,
 			PairParallelism:  opt.PairParallelism,
 			NoTriage:         opt.NoTriage,
+			TriageLevel:      opt.TriageLevel,
 			TriageCP:         opt.TriageCP,
 			Telemetry:        col,
 			Tracer:           opt.Tracer,

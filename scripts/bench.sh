@@ -5,7 +5,7 @@
 # ordinary review diffs. See doc/performance.md.
 #
 # Usage:
-#   scripts/bench.sh [out.json]              # default out: BENCH_6.json
+#   scripts/bench.sh [out.json]              # default out: BENCH_8.json
 #   scripts/bench.sh compare old.json new.json   # diff two snapshots only
 #   COMPARE=BENCH_3.json scripts/bench.sh    # bench, then diff vs a snapshot
 #   BENCHTIME=10x scripts/bench.sh           # more iterations, steadier numbers
@@ -13,7 +13,10 @@
 #
 # Compare mode prints per-benchmark ns/op and allocs/op deltas and flags
 # changes beyond 10% (informational by default; bench_compare.py --strict
-# turns regressions into a non-zero exit).
+# turns regressions into a non-zero exit). Solver-query counts are
+# deterministic per row, so `compare --queries-gate old new` fails hard
+# when any row issues more queries than the baseline — the CI guard for
+# the triage ladder.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +25,7 @@ if [[ "${1:-}" == "compare" ]]; then
   exec python3 scripts/bench_compare.py "$@"
 fi
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-3x}"
 bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead|BenchmarkStreamIngest)$}"
 

@@ -20,6 +20,15 @@ REGRESSION, less as improvement. With --strict the exit status is 1 when
 any regression was flagged, so CI can choose to gate on it; the default
 is informational (exit 0) because single-shot bench runs on shared
 runners are noisy.
+
+The `queries` metric (solver queries issued per /RV row) is different:
+it is deterministic per row, so unlike timing it CAN be gated on a
+shared runner. Any increase — not just beyond the threshold — is
+flagged QUERIES-REGRESSION, and with --queries-gate the exit status is
+1 when any row issued more queries than the baseline, independent of
+--strict. This is the triage-ladder regression gate: a query-count
+increase means candidate pairs that a sound tier used to confirm are
+reaching the solver again.
 """
 
 import argparse
@@ -37,7 +46,8 @@ def load_table1(text):
         row = json.loads(line)
         metrics = {"rv_races": row["rv"]["races"]}
         for block, keys in (
-            ("triage", ("confirmed", "cp_confirmed", "dispatched")),
+            ("triage", ("confirmed", "wcp_confirmed", "syncp_confirmed",
+                        "cp_confirmed", "dispatched")),
             ("journal", ("records_written", "windows_replayed")),
         ):
             for key, val in (row.get(block) or {}).items():
@@ -80,6 +90,10 @@ def main() -> int:
                     help="flag deltas beyond this percentage (default 10)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any regression is flagged")
+    ap.add_argument("--queries-gate", action="store_true",
+                    help="exit 1 when any benchmark issued more solver "
+                         "queries than the baseline (deterministic, so "
+                         "safe to gate even on noisy runners)")
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
@@ -91,6 +105,7 @@ def main() -> int:
 
     width = max(len(n) for n in names)
     regressions = 0
+    queries_regressions = 0
 
     def describe(delta_pct):
         nonlocal regressions
@@ -113,6 +128,13 @@ def main() -> int:
         for key in sorted(common):
             ov, nv = metric(o, key), metric(e, key)
             if not isinstance(ov, (int, float)) or not isinstance(nv, (int, float)):
+                continue
+            if key == "queries" and nv > ov:
+                # Query counts are deterministic: any increase is a triage
+                # regression regardless of the noise threshold.
+                queries_regressions += 1
+                extras.append(f"queries {ov:g}→{nv:g}")
+                flags.append("QUERIES-REGRESSION")
                 continue
             if ov == 0:
                 if nv != 0:
@@ -138,10 +160,15 @@ def main() -> int:
         print(f"only in {args.old}: {', '.join(sorted(dropped))}")
     if added:
         print(f"only in {args.new}: {', '.join(sorted(added))}")
+    if queries_regressions:
+        print(f"{queries_regressions} solver-query regression(s) — "
+              "pairs a sound triage tier used to confirm are reaching the solver")
     if regressions:
         print(f"{regressions} regression(s) beyond {args.threshold:.0f}%")
-        if args.strict:
-            return 1
+    if args.queries_gate and queries_regressions:
+        return 1
+    if args.strict and regressions:
+        return 1
     return 0
 
 
