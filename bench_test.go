@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/tracefile"
+	"repro/internal/tracev2"
 	"repro/internal/workloads"
 	"repro/minilang"
 	"repro/rvpredict"
@@ -746,6 +748,98 @@ func BenchmarkStreamIngest(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(events), "events")
 			b.ReportMetric(sessionMB, "session_live_MB")
+		})
+	}
+}
+
+// BenchmarkChunkedDetect measures out-of-core detection through the
+// chunked columnar reader (internal/tracev2) at two trace sizes 10×
+// apart. Each iteration opens the mmapped file fresh and analyses it
+// via Options.TraceReader, so the heap never holds the materialised
+// trace. The live_heap_mb metric is the peak quiescent live heap
+// observed during the run (a concurrent sampler forces collections, so
+// mid-window state counts); bench_compare.py --heap-gate fails when it
+// grows superlinearly in trace_events across the size pair — the
+// regression signature of the reader path re-materialising the trace.
+func BenchmarkChunkedDetect(b *testing.B) {
+	liveHeap := liveHeapMB
+	// A fixed chunk size (not DefaultChunkSize) keeps the O(chunk) term
+	// small against both trace sizes, so the metric isolates whatever
+	// scales with the trace — which should be nothing.
+	const chunkSize = 8192
+	for _, events := range []int{128_000, 1_280_000} {
+		path := filepath.Join(b.TempDir(), "bench.rvc2")
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tracev2.WriteTrace(f, streamBenchTrace(events), chunkSize); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			// Peak is reported net of the pre-run quiescent heap, so
+			// state pinned by earlier benchmark families (the cached
+			// Table 1 rows) does not drown the signal.
+			base := liveHeap()
+			var peakMB float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rd, err := tracev2.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				var peak float64
+				go func() {
+					defer close(done)
+					tick := time.NewTicker(20 * time.Millisecond)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+							if m := liveHeap(); m > peak {
+								peak = m
+							}
+						}
+					}
+				}()
+				rep, err := rvpredict.Run(nil, nil, rvpredict.Options{
+					WindowSize:   4096,
+					SolveTimeout: time.Minute,
+					TraceReader:  rd,
+				})
+				close(stop)
+				<-done
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Stats.Events != events {
+					b.Fatalf("analysed %d events, want %d", rep.Stats.Events, events)
+				}
+				b.StopTimer()
+				if m := liveHeap(); m > peak {
+					peak = m
+				}
+				if err := rd.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if peak > peakMB {
+					peakMB = peak
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if peakMB -= base; peakMB < 0.01 {
+				peakMB = 0.01
+			}
+			b.ReportMetric(float64(events), "trace_events")
+			b.ReportMetric(peakMB, "live_heap_mb")
 		})
 	}
 }

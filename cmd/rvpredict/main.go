@@ -21,6 +21,21 @@
 // -out writes the report to a file atomically (temp file + fsync +
 // rename) instead of stdout, so a killed run never leaves a half-written
 // report behind.
+//
+// Two trace formats are accepted, distinguished by their magic: the
+// legacy in-memory format (.rvpt) and the chunked columnar format
+// (.rvc2, produced by -convert or tracegen -format chunked). Chunked
+// traces are mmapped and analysed out of core — windows are decoded one
+// chunk at a time, so a multi-GB trace analyses in flat memory.
+//
+// Chunked traces also enable multi-process sharding: N processes each
+// run with -shards N -shard-id I -journal shard-I.journal (every
+// process analyses the windows whose index ≡ I mod N), and a final
+//
+//	rvpredict -merge shard-0.journal,...,shard-N-1.journal trace.rvc2
+//
+// combines the shard journals into one report identical to a
+// single-process run.
 package main
 
 import (
@@ -44,6 +59,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/race"
 	"repro/internal/tracefile"
+	"repro/internal/tracev2"
 	"repro/rvpredict"
 	"repro/trace"
 )
@@ -99,6 +115,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		traceOut   = fs.String("trace-out", "", "write the run's span timeline to `file` as Chrome trace-event JSON (load in chrome://tracing or Perfetto)")
 		daemonAddr = fs.String("daemon", "", "stream the trace to the rvpredictd daemon at `addr` instead of analysing locally (requires -token; the daemon's flags govern analysis)")
 		token      = fs.String("token", "", "session `name` for -daemon: reusing a token resumes its durable session after a disconnect or daemon restart")
+		convertTo  = fs.String("convert", "", "convert the legacy trace to the chunked columnar format at `file`, then exit")
+		chunkSize  = fs.Int("chunk-size", tracev2.DefaultChunkSize, "events per chunk for -convert")
+		shards     = fs.Int("shards", 0, "shard the analysis across this many cooperating processes: this process analyses windows whose index ≡ -shard-id mod N (rv only; >1 requires -journal)")
+		shardID    = fs.Int("shard-id", 0, "this process's shard index in [0, -shards)")
+		mergeList  = fs.String("merge", "", "merge the comma-separated shard journal `files` into one report over the given trace, instead of analysing")
 		version    = fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	)
 	fs.Usage = func() {
@@ -124,10 +145,95 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer f.Close()
-	tr, err := tracefile.Decode(f)
+	format, err := tracefile.Sniff(f)
 	if err != nil {
 		fmt.Fprintln(stderr, "rvpredict:", err)
 		return 2
+	}
+
+	// -convert and -dump stream the file record by record — neither mode
+	// materialises the trace, so both work on traces larger than memory.
+	if *convertTo != "" {
+		if format != tracefile.FormatLegacy {
+			fmt.Fprintln(stderr, "rvpredict: -convert takes a legacy trace; the input is already chunked")
+			return 2
+		}
+		if err := convertTrace(f, *convertTo, *chunkSize); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rvpredict: wrote chunked trace %s\n", *convertTo)
+		return 0
+	}
+	if *dump {
+		if format == tracefile.FormatChunked {
+			rd, err := tracev2.Open(fs.Arg(0))
+			if err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+				return 2
+			}
+			defer rd.Close()
+			err = tracev2.Dump(stdout, rd)
+			if err != nil {
+				fmt.Fprintln(stderr, "rvpredict:", err)
+				return 2
+			}
+			return 0
+		}
+		if err := tracefile.DumpStream(stdout, f); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		return 0
+	}
+
+	// A chunked trace is mmapped and analysed out of core; a legacy trace
+	// is decoded whole, as before. Modes that need the materialised trace
+	// (baselines handle this internally; deadlock/atomicity/daemon below)
+	// read the chunked trace fully.
+	var tr *trace.Trace
+	var rd *tracev2.Reader
+	if format == tracefile.FormatChunked {
+		rd, err = tracev2.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		defer rd.Close()
+	} else {
+		tr, err = tracefile.Decode(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+	}
+	// materialise returns the whole trace, reading a chunked file once on
+	// first use — only the modes that genuinely need every event in
+	// memory call it.
+	materialise := func() (*trace.Trace, error) {
+		if tr == nil {
+			var err error
+			tr, err = rd.ReadAll()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return tr, nil
+	}
+	// eventAt/locName render witnesses and reports without assuming a
+	// materialised trace.
+	eventAt := func(i int) trace.Event {
+		if tr != nil {
+			return tr.Event(i)
+		}
+		e, _ := rd.Event(i)
+		return e
+	}
+	locName := func(l trace.Loc) string {
+		if tr != nil {
+			return tr.LocName(l)
+		}
+		return rd.LocName(l)
 	}
 
 	if *cpuprofile != "" {
@@ -156,14 +262,6 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "rvpredict:", err)
 			}
 		}()
-	}
-
-	if *dump {
-		if err := tracefile.Dump(stdout, tr); err != nil {
-			fmt.Fprintln(stderr, "rvpredict:", err)
-			return 2
-		}
-		return 0
 	}
 
 	ws := *window
@@ -248,6 +346,24 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rvpredict: -http/-trace-out apply to race detection only")
 			return 2
 		}
+		if *shards != 0 || *mergeList != "" {
+			fmt.Fprintln(stderr, "rvpredict: -shards/-merge apply to race detection only")
+			return 2
+		}
+	}
+	if *mergeList != "" {
+		if *shards != 0 || *journalTo != "" || *resume || *daemonAddr != "" {
+			fmt.Fprintln(stderr, "rvpredict: -merge combines finished shard journals; it conflicts with -shards/-journal/-resume/-daemon")
+			return 2
+		}
+		if strings.ToLower(*algoName) != "rv" {
+			fmt.Fprintln(stderr, "rvpredict: -merge merges rv shard journals; -algo applies to direct analysis")
+			return 2
+		}
+	}
+	if *shards != 0 && *daemonAddr != "" {
+		fmt.Fprintln(stderr, "rvpredict: -shards applies to local analysis only")
+		return 2
 	}
 
 	if *daemonAddr != "" {
@@ -265,7 +381,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rvpredict: the daemon runs the rv algorithm; -algo applies to local analysis")
 			return 2
 		}
-		rep, err := capture.StreamTrace(ctx, tr, capture.StreamOptions{
+		mtr, err := materialise()
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		rep, err := capture.StreamTrace(ctx, mtr, capture.StreamOptions{
 			Addr:  *daemonAddr,
 			Token: *token,
 			OnRetry: func(attempt int, err error) {
@@ -284,7 +405,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if *jsonOut {
 				return emitJSON(w, rep)
 			}
-			renderRaceReport(w, rep, tr, *witness)
+			renderRaceReport(w, rep, eventAt, locName, *witness)
 			return nil
 		}); err != nil {
 			fmt.Fprintln(stderr, "rvpredict:", err)
@@ -294,8 +415,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *deadlocks {
-		rep := rvpredict.DetectDeadlocksContext(ctx, tr, opt)
-		err := deliver(func(w io.Writer) error {
+		mtr, err := materialise()
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		rep := rvpredict.DetectDeadlocksContext(ctx, mtr, opt)
+		err = deliver(func(w io.Writer) error {
 			if *jsonOut {
 				return emitJSON(w, rep)
 			}
@@ -328,8 +454,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *atomicity {
-		rep := rvpredict.DetectAtomicityViolationsContext(ctx, tr, opt)
-		err := deliver(func(w io.Writer) error {
+		mtr, err := materialise()
+		if err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		rep := rvpredict.DetectAtomicityViolationsContext(ctx, mtr, opt)
+		err = deliver(func(w io.Writer) error {
 			if *jsonOut {
 				return emitJSON(w, rep)
 			}
@@ -370,7 +501,26 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep, err := rvpredict.Run(ctx, tr, opt)
+	var rep rvpredict.Report
+	if *mergeList != "" {
+		if rd != nil {
+			opt.TraceReader = rd
+		} else if opt.TraceReader, err = tracev2.FromTrace(tr); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		rep, err = rvpredict.MergeShards(ctx, opt, strings.Split(*mergeList, ","))
+	} else {
+		opt.Shards, opt.ShardID = *shards, *shardID
+		if rd != nil {
+			// Chunked input: analyse out of core. Baselines materialise
+			// internally via the reader.
+			opt.TraceReader = rd
+			rep, err = rvpredict.Run(ctx, nil, opt)
+		} else {
+			rep, err = rvpredict.Run(ctx, tr, opt)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "rvpredict:", err)
 		return 2
@@ -379,7 +529,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *jsonOut {
 			return emitJSON(w, rep)
 		}
-		renderRaceReport(w, &rep, tr, *witness)
+		renderRaceReport(w, &rep, eventAt, locName, *witness)
 		if *stats {
 			printTelemetry(w, rep.Telemetry)
 		}
@@ -403,6 +553,27 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitInterrupted
 	}
 	return foundExit(len(rep.Races))
+}
+
+// convertTrace streams a legacy trace file into the chunked columnar
+// format — record by record, so traces larger than memory convert in
+// bounded space. The output is fsynced before the function reports
+// success.
+func convertTrace(src io.Reader, dst string, chunkSize int) error {
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := tracev2.Convert(out, src, chunkSize); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeTraceEvents renders the recorded span timeline as Chrome
@@ -431,8 +602,11 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 }
 
 // renderRaceReport prints the human-readable race report — shared by
-// local analysis and -daemon streaming, so both modes are diffable.
-func renderRaceReport(w io.Writer, rep *rvpredict.Report, tr *trace.Trace, witness bool) {
+// local analysis, out-of-core chunked analysis and -daemon streaming,
+// so every mode is diffable. Events and location names come through
+// accessors so a chunked trace never needs materialising just to
+// render.
+func renderRaceReport(w io.Writer, rep *rvpredict.Report, eventAt func(int) trace.Event, locName func(trace.Loc) string, witness bool) {
 	s := rep.Stats
 	fmt.Fprintf(w, "trace: %d events, %d threads, %d r/w, %d sync, %d branch\n",
 		s.Events, s.Threads, s.Accesses, s.Syncs, s.Branches)
@@ -442,7 +616,7 @@ func renderRaceReport(w io.Writer, rep *rvpredict.Report, tr *trace.Trace, witne
 	for i, r := range rep.Races {
 		fmt.Fprintf(w, "  #%d %s\n", i+1, r.Description)
 		if witness && r.Witness != nil {
-			fmt.Fprint(w, race.RenderWitness(tr, r.Witness))
+			fmt.Fprint(w, race.RenderWitnessFunc(eventAt, locName, r.Witness))
 		}
 	}
 	if rep.BudgetExhausted {

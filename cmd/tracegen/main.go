@@ -7,26 +7,50 @@
 //	tracegen -list
 //	tracegen -row derby -out derby.rvpt
 //	tracegen -row ftpserver -events 20000 -out ftp.rvpt
+//	tracegen -row ftpserver -events 10000000 -threads 32 -format chunked -out ftp.rvc2
+//
+// -events and -threads scale a row's workload up or down (the planted
+// races stay planted; only the filler volume and worker count change),
+// which is how the out-of-core evaluation produces its 10M+ event
+// traces. -format chunked writes the columnar chunked format
+// (internal/tracev2) directly — the trace is built in memory and
+// streamed out, so the chunked file never exists twice.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/tracefile"
+	"repro/internal/tracev2"
 	"repro/internal/workloads"
+	"repro/trace"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available benchmark rows")
-		row    = flag.String("row", "", "benchmark row to generate")
-		out    = flag.String("out", "", "output file (default <row>.rvpt)")
-		events = flag.Int("events", 0, "override the row's event count")
-		seed   = flag.Int64("seed", 0, "override the row's random seed")
+		list      = flag.Bool("list", false, "list available benchmark rows")
+		row       = flag.String("row", "", "benchmark row to generate")
+		out       = flag.String("out", "", "output file (default <row>.rvpt, or <row>.rvc2 for -format chunked)")
+		events    = flag.Int("events", 0, "override the row's event count")
+		threads   = flag.Int("threads", 0, "override the row's worker thread count")
+		seed      = flag.Int64("seed", 0, "override the row's random seed")
+		format    = flag.String("format", "legacy", "output format: legacy (.rvpt) or chunked (.rvc2)")
+		chunkSize = flag.Int("chunk-size", tracev2.DefaultChunkSize, "events per chunk for -format chunked")
 	)
 	flag.Parse()
+
+	var chunked bool
+	switch strings.ToLower(*format) {
+	case "legacy":
+	case "chunked":
+		chunked = true
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown -format %q (want legacy or chunked)\n", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Printf("%-12s %8s %7s  planted races (QC/HB/CP/Said/RV)\n", "row", "events", "threads")
@@ -34,7 +58,7 @@ func main() {
 		fmt.Printf("%-12s %8d %7d  %d/%d/%d/%d/%d\n", "example",
 			tr.Len(), tr.ComputeStats().Threads, exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
 		for _, spec := range workloads.Rows() {
-			_, exp := workloads.Build(specScaled(spec, 0, 0))
+			_, exp := workloads.Build(specScaled(spec, 0, 0, 0))
 			fmt.Printf("%-12s %8d %7d  %d/%d/%d/%d/%d\n", spec.Name,
 				spec.Events, spec.Workers+1, exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
 		}
@@ -42,26 +66,20 @@ func main() {
 	}
 
 	if *row == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracegen -row <name> [-out file] (or -list)")
+		fmt.Fprintln(os.Stderr, "usage: tracegen -row <name> [-events N] [-threads K] [-format legacy|chunked] [-out file] (or -list)")
 		os.Exit(2)
 	}
-	var (
-		trc any
-		err error
-	)
-	_ = trc
-	_ = err
 	if *row == "example" {
 		tr, _ := workloads.Example()
-		write(outName(*out, *row), func(f *os.File) error { return tracefile.Encode(f, tr) })
+		writeTrace(outName(*out, *row, chunked), tr, chunked, *chunkSize)
 		return
 	}
 	for _, spec := range workloads.Rows() {
 		if spec.Name == *row {
-			tr, exp := workloads.Build(specScaled(spec, *events, *seed))
+			tr, exp := workloads.Build(specScaled(spec, *events, *threads, *seed))
 			fmt.Printf("%s: %d events, planted QC=%d HB=%d CP=%d Said=%d RV=%d\n",
 				spec.Name, tr.Len(), exp.QC, exp.HB, exp.CP, exp.Said, exp.RV)
-			write(outName(*out, *row), func(f *os.File) error { return tracefile.Encode(f, tr) })
+			writeTrace(outName(*out, *row, chunked), tr, chunked, *chunkSize)
 			return
 		}
 	}
@@ -69,9 +87,12 @@ func main() {
 	os.Exit(1)
 }
 
-func specScaled(spec workloads.Spec, events int, seed int64) workloads.Spec {
+func specScaled(spec workloads.Spec, events, threads int, seed int64) workloads.Spec {
 	if events > 0 {
 		spec.Events = events
+	}
+	if threads > 0 {
+		spec.Workers = threads
 	}
 	if seed != 0 {
 		spec.Seed = seed
@@ -79,19 +100,27 @@ func specScaled(spec workloads.Spec, events int, seed int64) workloads.Spec {
 	return spec
 }
 
-func outName(out, row string) string {
+func outName(out, row string, chunked bool) string {
 	if out != "" {
 		return out
+	}
+	if chunked {
+		return row + ".rvc2"
 	}
 	return row + ".rvpt"
 }
 
-func write(path string, enc func(*os.File) error) {
+func writeTrace(path string, tr *trace.Trace, chunked bool, chunkSize int) {
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	if err := enc(f); err != nil {
+	if chunked {
+		err = tracev2.WriteTrace(f, tr, chunkSize)
+	} else {
+		err = tracefile.Encode(f, tr)
+	}
+	if err != nil {
 		f.Close()
 		fatal(err)
 	}

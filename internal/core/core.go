@@ -710,6 +710,47 @@ func (r *WindowRunner) Result() race.Result {
 	return res
 }
 
+// NewWindowDetector returns a detector prepared for DetectWindow calls:
+// the out-of-core driver's entry point (rvpredict's sharded reader
+// path). Parallelism is ignored — windows arrive one at a time from the
+// sequential chunk reader; PairParallelism applies within each window
+// as in batch mode.
+func NewWindowDetector(opt Options) *Detector {
+	d := New(opt)
+	workers := opt.PairParallelism
+	if workers < 1 {
+		workers = 1
+	}
+	d.budget = make(chan struct{}, workers)
+	return d
+}
+
+// DetectWindow analyses one window in isolation: unlike WindowRunner,
+// every call gets fresh per-window signature state, so the verdict
+// depends only on the window's own content — never on which other
+// windows this process happened to analyse. That independence is what
+// makes the deterministic widx-mod-N shard partition mergeable: any
+// assignment of windows to processes yields the same per-window
+// outcomes, and a signature-deduplicating merge in window order
+// reconstructs one canonical report. Races, witnesses and failures in
+// both the outcome and the result are in whole-trace coordinates
+// (window-local indices plus offset).
+//
+// ResumeWindows replay, OnWindowDone delivery, telemetry and panic
+// isolation all behave as in the sequential driver; globalDeadline (the
+// zero time means unbounded) and ctx can cut the window short, in which
+// case the partial result is flagged and the outcome must not be
+// persisted (WindowCut).
+func (d *Detector) DetectWindow(ctx context.Context, globalDeadline time.Time, w *trace.Trace, widx, offset int) (race.WindowOutcome, WindowStatus, race.Result) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := d.newWindowRun()
+	run.timed = true
+	out, status := run.analyze(ctx, globalDeadline, w, widx, offset, false)
+	return out, status, run.res
+}
+
 // replayWindow merges one journaled outcome as if the window had just
 // completed its analysis: races enter the result in their original
 // detection order with their signatures marked seen (and shared with

@@ -449,6 +449,26 @@ var metricDefs = []metricDef{
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(secs(m.Journal.FsyncNS)) }},
 	{"rvpredict_journal_torn_tails_total", "counter", "Torn journal tails truncated during recovery.",
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(float64(m.Journal.TornTailTruncated)) }},
+	{"rvpredict_chunk_cache_hits_total", "counter", "Chunked-trace random accesses served from the decoded-chunk cache.",
+		func(s *Server, _ *telemetry.Metrics) []sample { return one(float64(s.opt.Collector.ChunkCacheHits())) }},
+	{"rvpredict_chunk_cache_misses_total", "counter", "Chunked-trace random accesses that decoded a chunk.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.ChunkCacheMisses()))
+		}},
+	{"rvpredict_mmap_bytes", "gauge", "Bytes of chunked trace currently memory-mapped (0 when the reader fell back to a heap copy).",
+		func(s *Server, _ *telemetry.Metrics) []sample { return one(float64(s.opt.Collector.MmapBytes())) }},
+	{"rvpredict_shard_windows_total", "counter",
+		"Windows seen by this shard, by disposition (owned = analysed here, skipped = another shard's).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return []sample{
+				{labels: `{disposition="owned"}`, value: float64(s.opt.Collector.ShardWindowsOwned())},
+				{labels: `{disposition="skipped"}`, value: float64(s.opt.Collector.ShardWindowsSkipped())},
+			}
+		}},
+	{"rvpredict_shard_outcomes_merged_total", "counter", "Window outcomes adopted from shard journals during a merge.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.ShardOutcomesMerged()))
+		}},
 	{"rvpredict_windows_total", "counter", "Analysis windows recorded.",
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(float64(m.WindowCount)) }},
 	{"rvpredict_sessions_active", "gauge", "Streaming sessions currently open on the daemon.",

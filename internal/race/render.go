@@ -19,6 +19,14 @@ import (
 //	10  write(t1, x1, 1)                      ← race
 //	11                        read(t2, x1, 1) ← race
 func RenderWitness(tr *trace.Trace, witness []int) string {
+	return RenderWitnessFunc(tr.Event, tr.LocName, witness)
+}
+
+// RenderWitnessFunc is RenderWitness over accessor functions instead of
+// a materialised trace — the renderer for out-of-core readers
+// (internal/tracev2), whose traces never exist as one *trace.Trace. The
+// output is byte-identical to RenderWitness over the same events.
+func RenderWitnessFunc(event func(int) trace.Event, locName func(trace.Loc) string, witness []int) string {
 	if len(witness) == 0 {
 		return ""
 	}
@@ -26,7 +34,7 @@ func RenderWitness(tr *trace.Trace, witness []int) string {
 	colOf := make(map[trace.TID]int)
 	var tids []trace.TID
 	for _, idx := range witness {
-		t := tr.Event(idx).Tid
+		t := event(idx).Tid
 		if _, ok := colOf[t]; !ok {
 			colOf[t] = len(tids)
 			tids = append(tids, t)
@@ -43,14 +51,14 @@ func RenderWitness(tr *trace.Trace, witness []int) string {
 	b.WriteString("\n")
 
 	for row, idx := range witness {
-		e := tr.Event(idx)
+		e := event(idx)
 		fmt.Fprintf(&b, "%4d  ", row+1)
 		col := colOf[e.Tid]
 		for c := 0; c < col; c++ {
 			b.WriteString(strings.Repeat(" ", colWidth))
 		}
 		cell := e.String()
-		if loc := tr.LocName(e.Loc); e.Loc != trace.NoLoc {
+		if loc := locName(e.Loc); e.Loc != trace.NoLoc {
 			cell += " @" + loc
 		}
 		b.WriteString(cell)

@@ -237,6 +237,15 @@ type Collector struct {
 	journalReplayed atomic.Int64
 	journalTorn     atomic.Int64
 
+	// Out-of-core reader tallies (internal/tracev2) and shard-run
+	// accounting (rvpredict sharded window analysis).
+	chunkCacheHits      atomic.Int64
+	chunkCacheMisses    atomic.Int64
+	mmapBytes           atomic.Int64
+	shardWindowsOwned   atomic.Int64
+	shardWindowsSkipped atomic.Int64
+	shardOutcomesMerged atomic.Int64
+
 	// spans is the optionally attached span recorder (spans.go).
 	spans atomic.Pointer[SpanRecorder]
 
@@ -691,6 +700,104 @@ func (c *Collector) CountWindowReplayed() {
 		return
 	}
 	c.journalReplayed.Add(1)
+}
+
+// CountChunkCacheHit tallies one random-access event lookup served from
+// an already-decoded chunk (internal/tracev2's report-rendering path).
+func (c *Collector) CountChunkCacheHit() {
+	if c == nil {
+		return
+	}
+	c.chunkCacheHits.Add(1)
+}
+
+// CountChunkCacheMiss tallies one random-access lookup that had to
+// decode its chunk from the mapped file.
+func (c *Collector) CountChunkCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.chunkCacheMisses.Add(1)
+}
+
+// ChunkCacheHits returns the chunk-cache hit tally.
+func (c *Collector) ChunkCacheHits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.chunkCacheHits.Load()
+}
+
+// ChunkCacheMisses returns the chunk-cache miss tally.
+func (c *Collector) ChunkCacheMisses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.chunkCacheMisses.Load()
+}
+
+// SetMmapBytes records the bytes of trace file currently mapped into
+// the address space (0 when the reader fell back to an in-memory read).
+func (c *Collector) SetMmapBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.mmapBytes.Store(n)
+}
+
+// MmapBytes returns the mapped trace bytes gauge.
+func (c *Collector) MmapBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.mmapBytes.Load()
+}
+
+// CountShardWindow tallies one window considered by a sharded run:
+// owned windows are analysed by this shard, skipped ones belong to
+// other shards under the deterministic widx-mod-N partition.
+func (c *Collector) CountShardWindow(owned bool) {
+	if c == nil {
+		return
+	}
+	if owned {
+		c.shardWindowsOwned.Add(1)
+	} else {
+		c.shardWindowsSkipped.Add(1)
+	}
+}
+
+// ShardWindowsOwned returns the owned-window tally of a sharded run.
+func (c *Collector) ShardWindowsOwned() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardWindowsOwned.Load()
+}
+
+// ShardWindowsSkipped returns the skipped-window tally of a sharded run.
+func (c *Collector) ShardWindowsSkipped() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardWindowsSkipped.Load()
+}
+
+// CountShardOutcomeMerged tallies one journaled window outcome adopted
+// from a shard journal during a merge run.
+func (c *Collector) CountShardOutcomeMerged() {
+	if c == nil {
+		return
+	}
+	c.shardOutcomesMerged.Add(1)
+}
+
+// ShardOutcomesMerged returns the merged-outcome tally.
+func (c *Collector) ShardOutcomesMerged() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardOutcomesMerged.Load()
 }
 
 // CountTornTailTruncated tallies one torn journal tail (truncated or

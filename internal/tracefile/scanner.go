@@ -1,0 +1,224 @@
+package tracefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/trace"
+)
+
+// Scanner decodes a binary trace incrementally: header first, then one
+// event per Next call, then the trailing metadata sections via Meta. It
+// holds O(1) state per event — the out-of-core conversion path
+// (internal/tracev2.Convert) and the streaming dump both ride on it, so
+// multi-GB legacy traces never need a whole-trace *trace.Trace. Decode
+// is itself a Scanner loop; the two cannot drift.
+type Scanner struct {
+	r   *reader
+	n   uint64 // declared event count
+	i   uint64 // events consumed so far
+	err error
+}
+
+// NewScanner reads the header (magic, version, event count) from r and
+// returns a scanner positioned at the first event. Header validation
+// matches Decode: hostile counts fail with ErrFormat before any
+// per-event work.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br := &reader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br.r, magic); err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	ver, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
+	}
+	n, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxEvents {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, n)
+	}
+	return &Scanner{r: br, n: n}, nil
+}
+
+// NumEvents returns the header's declared event count. The stream may
+// still turn out truncated; Next/Err report that.
+func (s *Scanner) NumEvents() int { return int(s.n) }
+
+// Next returns the next event. ok is false once all declared events are
+// consumed or on a decode error (check Err to distinguish).
+func (s *Scanner) Next() (e trace.Event, ok bool) {
+	if s.err != nil || s.i >= s.n {
+		return trace.Event{}, false
+	}
+	tid, err := s.r.varint()
+	if err != nil {
+		s.err = err
+		return trace.Event{}, false
+	}
+	op, err := s.r.r.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("%w: %v", ErrFormat, err)
+		return trace.Event{}, false
+	}
+	addr, err := s.r.uvarint()
+	if err != nil {
+		s.err = err
+		return trace.Event{}, false
+	}
+	val, err := s.r.varint()
+	if err != nil {
+		s.err = err
+		return trace.Event{}, false
+	}
+	loc, err := s.r.uvarint()
+	if err != nil {
+		s.err = err
+		return trace.Event{}, false
+	}
+	s.i++
+	return trace.Event{
+		Tid:   trace.TID(tid),
+		Op:    trace.Op(op),
+		Addr:  trace.Addr(addr),
+		Value: val,
+		Loc:   trace.Loc(loc),
+	}, true
+}
+
+// Err returns the first decode error encountered by Next, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Meta holds the trailing metadata sections of a trace file in wire
+// order.
+type Meta struct {
+	Links     []trace.NotifyLink
+	Volatiles []trace.Addr
+	Initials  []AddrValue
+	Names     []LocNameEntry
+}
+
+// Meta reads the metadata sections that follow the event stream. It may
+// only be called after Next has returned false with a nil Err — the
+// sections sit directly after the last event on the wire. Link indices
+// are validated against the declared event count, exactly as Decode
+// does.
+func (s *Scanner) Meta() (*Meta, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.i < s.n {
+		return nil, fmt.Errorf("%w: metadata read before event stream drained", ErrFormat)
+	}
+	var m Meta
+	nLinks, err := s.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nLinks > maxMeta {
+		return nil, fmt.Errorf("%w: implausible notify-link count %d", ErrFormat, nLinks)
+	}
+	for i := uint64(0); i < nLinks; i++ {
+		ntf, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		acq, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Out-of-range values double as a guard against uint64→int
+		// truncation wrapping hostile indices negative.
+		if ntf >= s.n || rel >= s.n || acq >= s.n {
+			return nil, fmt.Errorf("%w: notify link index out of range", ErrFormat)
+		}
+		m.Links = append(m.Links, trace.NotifyLink{
+			Notify: int(ntf), Release: int(rel), Acquire: int(acq),
+		})
+	}
+	nVols, err := s.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nVols > maxMeta {
+		return nil, fmt.Errorf("%w: implausible volatile count %d", ErrFormat, nVols)
+	}
+	for i := uint64(0); i < nVols; i++ {
+		a, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.Volatiles = append(m.Volatiles, trace.Addr(a))
+	}
+	nInits, err := s.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nInits > maxMeta {
+		return nil, fmt.Errorf("%w: implausible initial-value count %d", ErrFormat, nInits)
+	}
+	for i := uint64(0); i < nInits; i++ {
+		a, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.r.varint()
+		if err != nil {
+			return nil, err
+		}
+		m.Initials = append(m.Initials, AddrValue{Addr: trace.Addr(a), Value: v})
+	}
+	nNames, err := s.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nNames > maxMeta {
+		return nil, fmt.Errorf("%w: implausible name count %d", ErrFormat, nNames)
+	}
+	for i := uint64(0); i < nNames; i++ {
+		l, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := s.r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if sz > maxNameLen {
+			return nil, fmt.Errorf("%w: implausible name length %d", ErrFormat, sz)
+		}
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(s.r.r, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		m.Names = append(m.Names, LocNameEntry{Loc: trace.Loc(l), Name: string(buf)})
+	}
+	return &m, nil
+}
+
+// Apply installs the metadata into tr.
+func (m *Meta) Apply(tr *trace.Trace) {
+	for _, ln := range m.Links {
+		tr.AddNotifyLink(ln.Notify, ln.Release, ln.Acquire)
+	}
+	for _, a := range m.Volatiles {
+		tr.SetVolatile(a)
+	}
+	for _, kv := range m.Initials {
+		tr.SetInitial(kv.Addr, kv.Value)
+	}
+	for _, nm := range m.Names {
+		tr.NameLoc(nm.Loc, nm.Name)
+	}
+}

@@ -1,0 +1,70 @@
+package tracefile
+
+import (
+	"fmt"
+	"io"
+)
+
+// ChunkedMagic identifies the chunked columnar format implemented by
+// internal/tracev2. The constant lives here, next to the legacy Magic,
+// so format sniffing needs only this package; tracev2 imports tracefile
+// (for the canonical byte stream its content hash covers), never the
+// reverse.
+const ChunkedMagic = "RVC2"
+
+// Format names an on-disk trace encoding.
+type Format int
+
+const (
+	// FormatUnknown is returned for files matching no known magic.
+	FormatUnknown Format = iota
+	// FormatLegacy is the row-oriented varint format of this package.
+	FormatLegacy
+	// FormatChunked is the columnar chunked format of internal/tracev2.
+	FormatChunked
+)
+
+// String names the format for diagnostics.
+func (f Format) String() string {
+	switch f {
+	case FormatLegacy:
+		return "legacy"
+	case FormatChunked:
+		return "chunked"
+	default:
+		return "unknown"
+	}
+}
+
+// SniffHeader classifies the first bytes of a trace file.
+func SniffHeader(p []byte) Format {
+	if len(p) >= len(Magic) && string(p[:len(Magic)]) == Magic {
+		return FormatLegacy
+	}
+	if len(p) >= len(ChunkedMagic) && string(p[:len(ChunkedMagic)]) == ChunkedMagic {
+		return FormatChunked
+	}
+	return FormatUnknown
+}
+
+// Sniff reads just enough of r to classify its format, then seeks back
+// to where it started so the matching decoder sees the full stream.
+func Sniff(r io.ReadSeeker) (Format, error) {
+	start, err := r.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return FormatUnknown, err
+	}
+	hdr := make([]byte, len(Magic))
+	n, err := io.ReadFull(r, hdr)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return FormatUnknown, err
+	}
+	if _, serr := r.Seek(start, io.SeekStart); serr != nil {
+		return FormatUnknown, serr
+	}
+	f := SniffHeader(hdr[:n])
+	if f == FormatUnknown {
+		return f, fmt.Errorf("%w: unrecognised magic", ErrFormat)
+	}
+	return f, nil
+}

@@ -279,150 +279,35 @@ const (
 // counts and lengths are validated before allocation, and a corrupt
 // length prefix yields an ErrFormat error within bounded memory.
 func Decode(r io.Reader) (*trace.Trace, error) {
-	br := &reader{r: bufio.NewReader(r)}
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br.r, magic); err != nil || string(magic) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
-	}
-	ver, err := br.uvarint()
+	s, err := NewScanner(r)
 	if err != nil {
 		return nil, err
-	}
-	if ver != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
-	}
-	n, err := br.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if n > maxEvents {
-		return nil, fmt.Errorf("%w: implausible event count %d", ErrFormat, n)
 	}
 	// Pre-size from the header but never trust it for a large allocation:
 	// a corrupt count must fail on the (missing) event data, not by
 	// exhausting memory up front. Each event is at least 5 bytes on the
 	// wire, so growing organically past the hint costs little; the hint
 	// only avoids re-allocation for honest small traces.
-	capHint := int(n)
+	capHint := s.NumEvents()
 	if capHint > maxCapHint {
 		capHint = maxCapHint
 	}
 	tr := trace.New(capHint)
-	for i := uint64(0); i < n; i++ {
-		tid, err := br.varint()
-		if err != nil {
-			return nil, err
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
 		}
-		op, err := br.r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-		}
-		addr, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		val, err := br.varint()
-		if err != nil {
-			return nil, err
-		}
-		loc, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		tr.Append(trace.Event{
-			Tid:   trace.TID(tid),
-			Op:    trace.Op(op),
-			Addr:  trace.Addr(addr),
-			Value: val,
-			Loc:   trace.Loc(loc),
-		})
+		tr.Append(e)
 	}
-	nLinks, err := br.uvarint()
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	m, err := s.Meta()
 	if err != nil {
 		return nil, err
 	}
-	if nLinks > maxMeta {
-		return nil, fmt.Errorf("%w: implausible notify-link count %d", ErrFormat, nLinks)
-	}
-	for i := uint64(0); i < nLinks; i++ {
-		ntf, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		rel, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		acq, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		// Link indices must reference decoded events: rejecting
-		// out-of-range values here also rejects uint64→int truncation on
-		// hostile inputs (a huge varint must not wrap to a negative
-		// index).
-		if ntf >= n || rel >= n || acq >= n {
-			return nil, fmt.Errorf("%w: notify link index out of range", ErrFormat)
-		}
-		tr.AddNotifyLink(int(ntf), int(rel), int(acq))
-	}
-	nVols, err := br.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nVols > maxMeta {
-		return nil, fmt.Errorf("%w: implausible volatile count %d", ErrFormat, nVols)
-	}
-	for i := uint64(0); i < nVols; i++ {
-		a, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		tr.SetVolatile(trace.Addr(a))
-	}
-	nInits, err := br.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nInits > maxMeta {
-		return nil, fmt.Errorf("%w: implausible initial-value count %d", ErrFormat, nInits)
-	}
-	for i := uint64(0); i < nInits; i++ {
-		a, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		v, err := br.varint()
-		if err != nil {
-			return nil, err
-		}
-		tr.SetInitial(trace.Addr(a), v)
-	}
-	nNames, err := br.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nNames > maxMeta {
-		return nil, fmt.Errorf("%w: implausible name count %d", ErrFormat, nNames)
-	}
-	for i := uint64(0); i < nNames; i++ {
-		l, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		sz, err := br.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if sz > maxNameLen {
-			return nil, fmt.Errorf("%w: implausible name length %d", ErrFormat, sz)
-		}
-		buf := make([]byte, sz)
-		if _, err := io.ReadFull(br.r, buf); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-		}
-		tr.NameLoc(trace.Loc(l), string(buf))
-	}
+	m.Apply(tr)
 	return tr, nil
 }
 
@@ -434,6 +319,65 @@ func Dump(w io.Writer, tr *trace.Trace) error {
 		if _, err := fmt.Fprintf(bw, "%6d  %-30s %s\n", i, e, tr.LocName(e.Loc)); err != nil {
 			return err
 		}
+	}
+	return bw.Flush()
+}
+
+// DumpStream writes the same listing as Dump straight from an encoded
+// trace file, holding only the location-name table live — never the
+// event slice. The name table sits after the events on the wire, so it
+// makes two passes over r: one to skim past the events and load the
+// names, one to stream events to w.
+func DumpStream(w io.Writer, r io.ReadSeeker) error {
+	start, err := r.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	s, err := NewScanner(r)
+	if err != nil {
+		return err
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	m, err := s.Meta()
+	if err != nil {
+		return err
+	}
+	names := make(map[trace.Loc]string, len(m.Names))
+	for _, nm := range m.Names {
+		names[nm.Loc] = nm.Name
+	}
+	if _, err := r.Seek(start, io.SeekStart); err != nil {
+		return err
+	}
+	s, err = NewScanner(r)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	i := 0
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		name, found := names[e.Loc]
+		if !found {
+			name = fmt.Sprintf("L%d", e.Loc)
+		}
+		if _, err := fmt.Fprintf(bw, "%6d  %-30s %s\n", i, e, name); err != nil {
+			return err
+		}
+		i++
+	}
+	if err := s.Err(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -122,3 +122,89 @@ func TestDump(t *testing.T) {
 		t.Errorf("dump lines = %d, want %d", got, tr.Len())
 	}
 }
+
+// TestDumpStreamMatchesDump: the streaming dump (two passes over the
+// file, bounded memory) must render byte-identical output to the
+// in-memory Dump over the decoded trace.
+func TestDumpStreamMatchesDump(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"figure1": fixtures.Figure1(),
+		"empty":   trace.NewBuilder().Trace(),
+	}
+	spec := workloads.Rows()[4]
+	traces["workload"], _ = workloads.Build(spec)
+	for name, tr := range traces {
+		var enc bytes.Buffer
+		if err := Encode(&enc, tr); err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := Dump(&want, tr); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := DumpStream(&got, bytes.NewReader(enc.Bytes())); err != nil {
+			t.Fatalf("%s: DumpStream: %v", name, err)
+		}
+		if want.String() != got.String() {
+			t.Errorf("%s: DumpStream differs from Dump", name)
+		}
+	}
+}
+
+// TestScannerMeta: the streaming scanner must surface the same events
+// and metadata Decode does.
+func TestScannerMeta(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Volatile(7)
+	b.Initial(5, 42)
+	b.AtNamed(3, "Server.java:120").Write(1, 5, 42)
+	b.At(4).ReadV(2, 7, 0)
+	b.Acquire(1, 9)
+	b.Wait(1, 9, func(b *trace.Builder) int {
+		n := b.Mark()
+		b.Write(2, 5, 1)
+		return n
+	})
+	b.Release(1, 9)
+	tr := b.Trace()
+	var enc bytes.Buffer
+	if err := Encode(&enc, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScanner(bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(s.NumEvents()) != tr.Len() {
+		t.Fatalf("NumEvents = %d, want %d", s.NumEvents(), tr.Len())
+	}
+	i := 0
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ev != tr.Event(i) {
+			t.Fatalf("event %d = %v, want %v", i, ev, tr.Event(i))
+		}
+		i++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != tr.Len() {
+		t.Fatalf("scanned %d events, want %d", i, tr.Len())
+	}
+	m, err := s.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Links) != 1 || len(m.Volatiles) != 1 || len(m.Initials) != 1 || len(m.Names) != 1 {
+		t.Fatalf("meta = %d links, %d volatiles, %d initials, %d names",
+			len(m.Links), len(m.Volatiles), len(m.Initials), len(m.Names))
+	}
+	if m.Links[0] != tr.NotifyLinks()[0] {
+		t.Errorf("link = %+v, want %+v", m.Links[0], tr.NotifyLinks()[0])
+	}
+}

@@ -1,0 +1,30 @@
+package tracev2
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Dump streams the same human-readable listing tracefile.Dump produces,
+// one decoded chunk at a time — a multi-GB chunked trace dumps with one
+// chunk of events live.
+func Dump(w io.Writer, r *Reader) error {
+	bw := bufio.NewWriter(w)
+	cu := &chunkCursor{r: r, idx: -1}
+	i := 0
+	for c := range r.dir {
+		ev, err := r.decodeChunk(c, cu.events[:0])
+		if err != nil {
+			return err
+		}
+		cu.idx, cu.events = c, ev
+		for _, e := range ev {
+			if _, err := fmt.Fprintf(bw, "%6d  %-30s %s\n", i, e, r.LocName(e.Loc)); err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	return bw.Flush()
+}

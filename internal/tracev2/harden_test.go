@@ -1,0 +1,156 @@
+package tracev2_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/tracev2"
+	"repro/trace"
+)
+
+// hostileBase returns a small valid chunked file to mutate: multiple
+// chunks, metadata, names — every decoder path exercised.
+func hostileBase(t testing.TB) []byte {
+	tr := fixtures.Figure1()
+	var buf bytes.Buffer
+	if err := tracev2.WriteTrace(&buf, tr, 4); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// refitTail recomputes the footer CRC after a footer mutation, so the
+// mutated bytes reach the structural validators instead of being
+// rejected at the checksum — a "lying directory" rather than a torn
+// one.
+func refitTail(t testing.TB, data []byte) []byte {
+	if len(data) < 12 {
+		t.Fatal("file too short for a tail")
+	}
+	footerLen := int(binary.LittleEndian.Uint32(data[len(data)-12:]))
+	footerOff := len(data) - 12 - footerLen
+	if footerOff < 0 {
+		t.Fatal("tail declares an impossible footer")
+	}
+	crc := crc32.Checksum(data[footerOff:len(data)-12], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-8:], crc)
+	return data
+}
+
+func TestTruncationEveryPrefix(t *testing.T) {
+	data := hostileBase(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := tracev2.NewReader(data[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+		} else if !errors.Is(err, tracev2.ErrFormat) {
+			t.Fatalf("prefix %d: err = %v, want ErrFormat", n, err)
+		}
+	}
+	if _, err := tracev2.NewReader(data); err != nil {
+		t.Fatalf("intact file rejected: %v", err)
+	}
+}
+
+// TestFlipEveryByte flips each byte in turn (fixing the footer CRC when
+// the flip lands in the footer, so directory lies are validated rather
+// than checksummed away) and requires the reader to survive: decode
+// errors are fine, panics and out-of-range access are not.
+func TestFlipEveryByte(t *testing.T) {
+	base := hostileBase(t)
+	footerLen := int(binary.LittleEndian.Uint32(base[len(base)-12:]))
+	footerOff := len(base) - 12 - footerLen
+	for i := 0; i < len(base); i++ {
+		data := bytes.Clone(base)
+		data[i] ^= 0xFF
+		if i >= footerOff && i < len(base)-12 {
+			refitTail(t, data)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("byte %d flipped: panic: %v", i, p)
+				}
+			}()
+			r, err := tracev2.NewReader(data)
+			if err != nil {
+				return
+			}
+			_, _ = r.ReadAll()
+			_ = r.Windows(3, func(_ *trace.Trace, _, _ int) error { return nil })
+		}()
+	}
+}
+
+func TestHostileHeaders(t *testing.T) {
+	base := hostileBase(t)
+	cases := map[string][]byte{
+		"empty":      nil,
+		"magic only": []byte("RVC2"),
+		"bad magic":  append([]byte("JUNK"), base[4:]...),
+		"bad version": func() []byte {
+			d := bytes.Clone(base)
+			d[4] = 0x7F
+			return d
+		}(),
+		"bad tail magic": func() []byte {
+			d := bytes.Clone(base)
+			copy(d[len(d)-4:], "XXXX")
+			return d
+		}(),
+		"footer length over file": func() []byte {
+			d := bytes.Clone(base)
+			binary.LittleEndian.PutUint32(d[len(d)-12:], uint32(len(d)))
+			return d
+		}(),
+		"tail only": append([]byte("RVC2\x01"), base[len(base)-12:]...),
+	}
+	for name, data := range cases {
+		if _, err := tracev2.NewReader(data); !errors.Is(err, tracev2.ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+// FuzzChunkDecode fuzzes the whole reader stack. Seeds cover the
+// hostile shapes the format must survive: an intact file, a truncated
+// footer, a lying chunk directory (CRC refitted after the lie), and a
+// corrupted in-chunk dictionary index (chunk bytes are outside the
+// footer checksum, so this reaches the column decoders).
+func FuzzChunkDecode(f *testing.F) {
+	base := hostileBase(f)
+	f.Add(base)
+	f.Add(base[:len(base)-13]) // truncated footer + tail
+	lie := bytes.Clone(base)
+	footerLen := int(binary.LittleEndian.Uint32(lie[len(lie)-12:]))
+	footerOff := len(lie) - 12 - footerLen
+	lie[footerOff] ^= 0x55 // first footer byte: total-event count lies
+	f.Add(refitTail(f, lie))
+	dict := bytes.Clone(base)
+	dict[6] ^= 0xFF // inside the first chunk: dictionary/op bytes corrupt
+	f.Add(dict)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := tracev2.NewReader(data)
+		if err != nil {
+			return
+		}
+		n := r.NumEvents()
+		if n < 0 {
+			t.Fatalf("NumEvents = %d", n)
+		}
+		for _, i := range []int{0, 1, n / 2, n - 1} {
+			if i >= 0 && i < n {
+				if _, err := r.Event(i); err != nil {
+					break
+				}
+			}
+		}
+		if tr, err := r.ReadAll(); err == nil && tr.Len() != n {
+			t.Fatalf("ReadAll len %d, want %d", tr.Len(), n)
+		}
+		_ = r.Windows(5, func(_ *trace.Trace, _, _ int) error { return nil })
+	})
+}

@@ -1,0 +1,38 @@
+//go:build linux
+
+package tracev2
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The second return releases the mapping;
+// the third is the mapped byte count (0 when the file was read into
+// memory instead — the empty-file case, which mmap rejects).
+func mapFile(path string) ([]byte, func() error, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, 0, nil
+	}
+	if size != int64(int(size)) {
+		return readFileFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts) fall
+		// back to an in-memory read.
+		return readFileFallback(path)
+	}
+	unmap := func() error { return syscall.Munmap(data) }
+	return data, unmap, size, nil
+}

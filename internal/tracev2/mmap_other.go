@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tracev2
+
+// mapFile reads path into memory on platforms without the mmap path.
+// The mapped byte count is 0: nothing is resident-on-demand.
+func mapFile(path string) ([]byte, func() error, int64, error) {
+	return readFileFallback(path)
+}

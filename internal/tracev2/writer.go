@@ -1,0 +1,380 @@
+package tracev2
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/tracefile"
+	"repro/trace"
+)
+
+// crcTable is the Castagnoli polynomial used for the footer checksum —
+// the same choice the journal's frame CRCs use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// chunkDir is one chunk directory entry: where the chunk's bytes live
+// and what index ranges it covers.
+type chunkDir struct {
+	off    uint64
+	length uint64
+	events int
+
+	minTid, maxTid   trace.TID
+	minVar, maxVar   trace.Addr
+	minLock, maxLock trace.Addr
+}
+
+// Writer streams events into a chunked file: events arrive one at a
+// time, full chunks are encoded and flushed immediately, and Finish
+// writes the metadata block, footer and tail. Peak writer memory is one
+// chunk of events plus its encoding — independent of trace length.
+type Writer struct {
+	w         *bufio.Writer
+	off       uint64 // bytes written so far (logical offset)
+	chunkSize int
+	buf       []trace.Event
+	scratch   []byte
+	dir       []chunkDir
+	total     int
+	err       error
+}
+
+// NewWriter writes the file header to w and returns a Writer with the
+// given chunk capacity (DefaultChunkSize when size <= 0).
+func NewWriter(w io.Writer, chunkSize int) (*Writer, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if chunkSize > maxChunkSize {
+		return nil, fmt.Errorf("tracev2: chunk size %d exceeds cap %d", chunkSize, maxChunkSize)
+	}
+	bw := bufio.NewWriter(w)
+	hdr := append([]byte(Magic), byte(Version)) // Version < 0x80: one uvarint byte
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:         bw,
+		off:       uint64(len(hdr)),
+		chunkSize: chunkSize,
+		buf:       make([]trace.Event, 0, chunkSize),
+	}, nil
+}
+
+// WriteEvent appends one event, flushing a chunk when it fills.
+func (w *Writer) WriteEvent(e trace.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = append(w.buf, e)
+	if len(w.buf) == w.chunkSize {
+		w.flushChunk()
+	}
+	return w.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.off += uint64(len(p))
+}
+
+func (w *Writer) flushChunk() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	var d chunkDir
+	w.scratch, d = appendChunk(w.scratch[:0], w.buf)
+	d.off = w.off
+	d.length = uint64(len(w.scratch))
+	d.events = len(w.buf)
+	w.write(w.scratch)
+	if w.err == nil {
+		w.dir = append(w.dir, d)
+		w.total += len(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+// Finish flushes the final partial chunk and writes the metadata block,
+// footer (with the precomputed stats and canonical content hash) and
+// tail. The Writer must not be used afterwards.
+func (w *Writer) Finish(m *tracefile.Meta, stats trace.Stats, contentHash [sha256.Size]byte) error {
+	w.flushChunk()
+	metaOff := w.off
+	w.write(appendMeta(nil, m))
+	metaLen := w.off - metaOff
+
+	footer := binary.AppendUvarint(nil, uint64(w.total))
+	footer = binary.AppendUvarint(footer, uint64(w.chunkSize))
+	footer = binary.AppendUvarint(footer, uint64(len(w.dir)))
+	for _, d := range w.dir {
+		footer = binary.AppendUvarint(footer, d.off)
+		footer = binary.AppendUvarint(footer, d.length)
+		footer = binary.AppendUvarint(footer, uint64(d.events))
+		footer = binary.AppendVarint(footer, int64(d.minTid))
+		footer = binary.AppendVarint(footer, int64(d.maxTid))
+		footer = binary.AppendUvarint(footer, uint64(d.minVar))
+		footer = binary.AppendUvarint(footer, uint64(d.maxVar))
+		footer = binary.AppendUvarint(footer, uint64(d.minLock))
+		footer = binary.AppendUvarint(footer, uint64(d.maxLock))
+	}
+	footer = binary.AppendUvarint(footer, metaOff)
+	footer = binary.AppendUvarint(footer, metaLen)
+	for _, v := range []int{
+		stats.Threads, stats.Events, stats.Accesses, stats.Syncs,
+		stats.Branches, stats.Locks, stats.Shared,
+	} {
+		footer = binary.AppendUvarint(footer, uint64(v))
+	}
+	footer = append(footer, contentHash[:]...)
+	w.write(footer)
+
+	var tail [tailLen]byte
+	binary.LittleEndian.PutUint32(tail[0:4], uint32(len(footer)))
+	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(footer, crcTable))
+	copy(tail[8:], Magic)
+	w.write(tail[:])
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// appendChunk encodes events as one columnar chunk and returns the
+// extended buffer plus the chunk's min/max directory ranges.
+func appendChunk(dst []byte, events []trace.Event) ([]byte, chunkDir) {
+	tidIdx := make(map[trace.TID]int)
+	varIdx := make(map[trace.Addr]int)
+	lockIdx := make(map[trace.Addr]int)
+	locIdx := make(map[trace.Loc]int)
+	var tids []trace.TID
+	var vars, locks []trace.Addr
+	var locs []trace.Loc
+	for _, e := range events {
+		if _, ok := tidIdx[e.Tid]; !ok {
+			tidIdx[e.Tid] = len(tids)
+			tids = append(tids, e.Tid)
+		}
+		switch {
+		case e.Op.IsAccess():
+			if _, ok := varIdx[e.Addr]; !ok {
+				varIdx[e.Addr] = len(vars)
+				vars = append(vars, e.Addr)
+			}
+		case e.Op == trace.OpAcquire || e.Op == trace.OpRelease:
+			if _, ok := lockIdx[e.Addr]; !ok {
+				lockIdx[e.Addr] = len(locks)
+				locks = append(locks, e.Addr)
+			}
+		}
+		if _, ok := locIdx[e.Loc]; !ok {
+			locIdx[e.Loc] = len(locs)
+			locs = append(locs, e.Loc)
+		}
+	}
+	var d chunkDir
+	for i, t := range tids {
+		if i == 0 || t < d.minTid {
+			d.minTid = t
+		}
+		if i == 0 || t > d.maxTid {
+			d.maxTid = t
+		}
+	}
+	for i, a := range vars {
+		if i == 0 || a < d.minVar {
+			d.minVar = a
+		}
+		if i == 0 || a > d.maxVar {
+			d.maxVar = a
+		}
+	}
+	for i, a := range locks {
+		if i == 0 || a < d.minLock {
+			d.minLock = a
+		}
+		if i == 0 || a > d.maxLock {
+			d.maxLock = a
+		}
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(events)))
+	dst = binary.AppendUvarint(dst, uint64(len(tids)))
+	for _, t := range tids {
+		dst = binary.AppendVarint(dst, int64(t))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(vars)))
+	for _, a := range vars {
+		dst = binary.AppendUvarint(dst, uint64(a))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(locks)))
+	for _, a := range locks {
+		dst = binary.AppendUvarint(dst, uint64(a))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(locs)))
+	for _, l := range locs {
+		dst = binary.AppendUvarint(dst, uint64(l))
+	}
+	// Columns: ops first (raw bytes) — decoding them first tells the
+	// reader how to interpret each addr-column entry.
+	for _, e := range events {
+		dst = append(dst, byte(e.Op))
+	}
+	for _, e := range events {
+		dst = binary.AppendUvarint(dst, uint64(tidIdx[e.Tid]))
+	}
+	for _, e := range events {
+		switch {
+		case e.Op.IsAccess():
+			dst = binary.AppendUvarint(dst, uint64(varIdx[e.Addr]))
+		case e.Op == trace.OpAcquire || e.Op == trace.OpRelease:
+			dst = binary.AppendUvarint(dst, uint64(lockIdx[e.Addr]))
+		default:
+			dst = binary.AppendUvarint(dst, uint64(e.Addr))
+		}
+	}
+	for _, e := range events {
+		dst = binary.AppendVarint(dst, e.Value)
+	}
+	for _, e := range events {
+		dst = binary.AppendUvarint(dst, uint64(locIdx[e.Loc]))
+	}
+	return dst, d
+}
+
+// appendMeta encodes the metadata block: the legacy per-section element
+// encodings, in wire order.
+func appendMeta(dst []byte, m *tracefile.Meta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Links)))
+	for _, ln := range m.Links {
+		dst = binary.AppendUvarint(dst, uint64(ln.Notify))
+		dst = binary.AppendUvarint(dst, uint64(ln.Release))
+		dst = binary.AppendUvarint(dst, uint64(ln.Acquire))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Volatiles)))
+	for _, a := range m.Volatiles {
+		dst = binary.AppendUvarint(dst, uint64(a))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Initials)))
+	for _, kv := range m.Initials {
+		dst = binary.AppendUvarint(dst, uint64(kv.Addr))
+		dst = binary.AppendVarint(dst, kv.Value)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Names)))
+	for _, nm := range m.Names {
+		dst = binary.AppendUvarint(dst, uint64(nm.Loc))
+		dst = binary.AppendUvarint(dst, uint64(len(nm.Name)))
+		dst = append(dst, nm.Name...)
+	}
+	return dst
+}
+
+// Convert streams a legacy trace file into the chunked format, holding
+// one chunk of events plus alphabet-sized state (thread/lock/address
+// sets for the stats) live — never the whole trace. The content hash is
+// taken over src's bytes as read, so src must be a canonical legacy
+// encoding (the only kind tracefile.Encode produces); the hash then
+// equals journal.TraceFingerprint of the decoded trace. Returns the
+// trace's stats, identical to what ComputeStats would report.
+func Convert(dst io.Writer, src io.Reader, chunkSize int) (trace.Stats, error) {
+	h := sha256.New()
+	sc, err := tracefile.NewScanner(io.TeeReader(src, h))
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	w, err := NewWriter(dst, chunkSize)
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	threads := make(map[trace.TID]bool)
+	lockSet := make(map[trace.Addr]bool)
+	accessed := make(map[trace.Addr]bool)
+	var st trace.Stats
+	for {
+		e, ok := sc.Next()
+		if !ok {
+			break
+		}
+		threads[e.Tid] = true
+		st.Events++
+		switch {
+		case e.Op.IsAccess():
+			st.Accesses++
+			accessed[e.Addr] = true
+		case e.Op == trace.OpBranch:
+			st.Branches++
+		default:
+			st.Syncs++
+			if e.Op == trace.OpAcquire || e.Op == trace.OpRelease {
+				lockSet[e.Addr] = true
+			}
+		}
+		if err := w.WriteEvent(e); err != nil {
+			return trace.Stats{}, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return trace.Stats{}, err
+	}
+	m, err := sc.Meta()
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	// Volatile declarations trail the events on the legacy wire, so the
+	// shared count is settled here: distinct accessed, non-volatile
+	// addresses — exactly ComputeStats' definition.
+	vol := make(map[trace.Addr]bool, len(m.Volatiles))
+	for _, a := range m.Volatiles {
+		vol[a] = true
+	}
+	for a := range accessed {
+		if !vol[a] {
+			st.Shared++
+		}
+	}
+	st.Threads = len(threads)
+	st.Locks = len(lockSet)
+	var hash [sha256.Size]byte
+	h.Sum(hash[:0])
+	return st, w.Finish(m, st, hash)
+}
+
+// WriteTrace writes an in-memory trace in the chunked format. The
+// content hash is computed by streaming the canonical legacy encoding
+// through SHA-256 (never materialising it), matching
+// journal.TraceFingerprint.
+func WriteTrace(dst io.Writer, tr *trace.Trace, chunkSize int) error {
+	h := sha256.New()
+	if err := tracefile.Encode(h, tr); err != nil {
+		return err
+	}
+	var hash [sha256.Size]byte
+	h.Sum(hash[:0])
+	w, err := NewWriter(dst, chunkSize)
+	if err != nil {
+		return err
+	}
+	for _, e := range tr.Events() {
+		if err := w.WriteEvent(e); err != nil {
+			return err
+		}
+	}
+	vols, inits, names := tracefile.CollectMeta(tr)
+	m := &tracefile.Meta{
+		Links:     tr.NotifyLinks(),
+		Volatiles: vols,
+		Initials:  inits,
+		Names:     names,
+	}
+	return w.Finish(m, tr.ComputeStats(), hash)
+}

@@ -1,0 +1,166 @@
+package rvpredict_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/tracev2"
+	"repro/rvpredict"
+	"repro/trace"
+)
+
+// flatHeapTrace builds a lock-disciplined workload of the given length
+// over a fixed set of addresses, locks and locations, so metadata does
+// not scale with event count — only the event stream grows, which is
+// exactly what the out-of-core reader must keep off the heap.
+func flatHeapTrace(events int) *trace.Trace {
+	b := trace.NewBuilder()
+	const threads = 4
+	for blk := 0; blk*5 < events; blk++ {
+		t := trace.TID(1 + blk%threads)
+		l := trace.Addr(200 + blk%threads)
+		x := trace.Addr(10 + blk%64)
+		loc := trace.Loc(1000 + blk%128)
+		b.At(loc).Acquire(t, l)
+		b.At(loc+1).Write(t, x, int64(blk))
+		b.At(loc+2).Read(t, x)
+		b.Release(t, l)
+		b.At(loc + 3).Branch(t)
+	}
+	return b.Trace()
+}
+
+// writeChunked writes tr as a chunked file under dir and returns the
+// path. The caller drops its reference to tr so the only copy of the
+// events left is the file on disk.
+func writeChunked(t testing.TB, dir string, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("flat-%d.rvc2", tr.Len()))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracev2.WriteTrace(f, tr, tracev2.DefaultChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// liveHeapMB samples the quiescent live heap in MiB; two collections so
+// pool-retained memory does not mask growth.
+func liveHeapMB() float64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// detectChunkedPeakHeap analyses the chunked file at path through the
+// reader and returns (events analysed, peak live heap in MiB observed
+// during the run). The sampler forces collections concurrently with the
+// analysis, so mid-window state is counted, not just the quiescent tail.
+func detectChunkedPeakHeap(t testing.TB, path string, windowSize int) (int, float64) {
+	t.Helper()
+	rd, err := tracev2.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	peak := liveHeapMB()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if m := liveHeapMB(); m > peak {
+					peak = m
+				}
+			}
+		}
+	}()
+	rep, err := rvpredict.Run(nil, nil, rvpredict.Options{
+		WindowSize:   windowSize,
+		SolveTimeout: time.Minute,
+		TraceReader:  rd,
+	})
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := liveHeapMB(); m > peak {
+		peak = m
+	}
+	return rep.Stats.Events, peak
+}
+
+// TestChunkedReaderFlatHeap is the out-of-core acceptance check: peak
+// live heap while analysing through the chunked reader must stay flat
+// as the trace grows 10×. The in-memory path would grow linearly (the
+// materialised trace alone dwarfs the window state); the reader path is
+// O(window + chunk), so the two peaks differ by at most a constant.
+func TestChunkedReaderFlatHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap-growth measurement is slow")
+	}
+	dir := t.TempDir()
+	sizes := []int{120_000, 1_200_000}
+	paths := make([]string, len(sizes))
+	for i, n := range sizes {
+		tr := flatHeapTrace(n)
+		paths[i] = writeChunked(t, dir, tr)
+	}
+	peaks := make([]float64, len(sizes))
+	for i, path := range paths {
+		events, peak := detectChunkedPeakHeap(t, path, 4096)
+		if events != sizes[i] {
+			t.Fatalf("size %d: analysed %d events", sizes[i], events)
+		}
+		peaks[i] = peak
+		t.Logf("events=%d peak live heap = %.1f MiB", sizes[i], peak)
+	}
+	// 10× the events must cost far less than 10× the heap. The bound is
+	// generous (2× plus a 16 MiB allowance for cache and GC slack)
+	// because the claim under test is the asymptote, not the constant.
+	if limit := 2*peaks[0] + 16; peaks[1] > limit {
+		t.Fatalf("peak heap grew with the trace: %.1f MiB at %d events vs %.1f MiB at %d events (limit %.1f MiB)",
+			peaks[1], sizes[1], peaks[0], sizes[0], limit)
+	}
+}
+
+// TestChunkedReaderBigTrace demonstrates the headline scenario: a
+// ≥10M-event trace analysed end to end through the chunked reader with
+// bounded live heap. Gated behind RVPREDICT_BIGTRACE=1 because building
+// and scanning the 10M-event file takes tens of seconds.
+func TestChunkedReaderBigTrace(t *testing.T) {
+	if os.Getenv("RVPREDICT_BIGTRACE") != "1" {
+		t.Skip("set RVPREDICT_BIGTRACE=1 to run the 10M-event demonstration")
+	}
+	const events = 10_000_000
+	path := writeChunked(t, t.TempDir(), flatHeapTrace(events))
+	got, peak := detectChunkedPeakHeap(t, path, 10_000)
+	if got != events {
+		t.Fatalf("analysed %d events, want %d", got, events)
+	}
+	t.Logf("events=%d peak live heap = %.1f MiB", events, peak)
+	// The 10M-event file is ~tens of MB on disk; the live heap must not
+	// be in that class. 256 MiB is an order of magnitude below the
+	// materialised trace's footprint.
+	if peak > 256 {
+		t.Fatalf("peak live heap %.1f MiB — not out-of-core", peak)
+	}
+}

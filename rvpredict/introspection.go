@@ -66,14 +66,22 @@ func BuildInfo() BuildID {
 	return buildID
 }
 
+// locOfTrace adapts a materialised trace to the event-index → location
+// accessor startIntrospection renders race views through.
+func locOfTrace(tr *trace.Trace) func(int) string {
+	return func(i int) string { return tr.LocName(tr.Event(i).Loc) }
+}
+
 // startIntrospection binds Options.DebugAddr, serves the debug surface
 // for the run's duration and installs the /races feed: every completed
 // window's races (already provenance-stamped, in whole-trace
-// coordinates) are pushed as they merge. The feed chains onto any hook
-// already installed and leaves room for the journal writer to chain
-// after it, so observation and durability compose. The caller owns the
-// returned server and must Close it when the run ends.
-func startIntrospection(tr *trace.Trace, opt *Options) (*introspect.Server, error) {
+// coordinates) are pushed as they merge, rendered through locOf (an
+// event-index → location-name accessor, so the feed works identically
+// over a materialised trace and an out-of-core reader). The feed chains
+// onto any hook already installed and leaves room for the journal
+// writer to chain after it, so observation and durability compose. The
+// caller owns the returned server and must Close it when the run ends.
+func startIntrospection(locOf func(int) string, opt *Options) (*introspect.Server, error) {
 	b := BuildInfo()
 	iopt := introspect.Options{
 		Collector: opt.col,
@@ -104,8 +112,8 @@ func startIntrospection(tr *trace.Trace, opt *Options) (*introspect.Server, erro
 			srv.AddRace(introspect.RaceView{
 				A:          r.A,
 				B:          r.B,
-				First:      tr.LocName(tr.Event(r.A).Loc),
-				Second:     tr.LocName(tr.Event(r.B).Loc),
+				First:      locOf(r.A),
+				Second:     locOf(r.B),
 				Provenance: r.Prov,
 			})
 		}

@@ -240,6 +240,32 @@ type Options struct {
 	// server's bound address ("host:port") before detection begins —
 	// the rendezvous for DebugAddr ":0". Requires DebugAddr.
 	OnDebugAddr func(addr string)
+	// TraceReader, when non-nil, supplies the trace out-of-core instead
+	// of the tr argument (which must then be nil): Run analyses windows
+	// streamed from the reader — O(window + chunk) events live, never
+	// the whole trace — and renders the report through the reader's
+	// random-access path. Implemented by internal/tracev2's chunked-file
+	// Reader and its in-memory adapter. MaximalCF analyses out-of-core;
+	// baseline algorithms materialise the trace via ReadAll first.
+	// Honoured by Run only. Every window is analysed with fresh
+	// per-window signature state (see core.DetectWindow), so the report
+	// carries the same races as the batch path but counts solver work
+	// per window; Parallelism is ignored.
+	TraceReader TraceReader
+	// Shards, when > 0, enables deterministic window sharding over the
+	// reader path (MaximalCF via Run only): this process analyses only
+	// the windows whose index ≡ ShardID (mod Shards) and journals their
+	// outcomes, so N cooperating processes — each with its own Journal —
+	// cover the trace. MergeShards combines the shard journals into one
+	// report identical to a single-process reader run. Shards > 1
+	// requires Journal (an unjournaled shard's work cannot be merged);
+	// Shards == 1 is the degenerate single-shard run. Excluded from the
+	// journal fingerprint, like Parallelism: any shard layout yields the
+	// same per-window outcomes.
+	Shards int
+	// ShardID is this process's shard index in [0, Shards). Requires
+	// Shards.
+	ShardID int
 	// Spans, when non-nil, records the run's span timeline — run,
 	// window, MHB/encode/triage/solve phases, pair-scheduler worker
 	// occupancy, journal fsync stalls — into the given bounded ring
@@ -324,6 +350,22 @@ func (o Options) Validate() error {
 	}
 	if o.OnDebugAddr != nil && o.DebugAddr == "" {
 		return &OptionsError{Field: "OnDebugAddr", Reason: "requires DebugAddr: there is no server whose address could be reported"}
+	}
+	if o.Shards < 0 {
+		return &OptionsError{Field: "Shards", Reason: fmt.Sprintf("%d; shard counts cannot be negative", o.Shards)}
+	}
+	if o.Shards > 0 {
+		if o.Algorithm != MaximalCF {
+			return &OptionsError{Field: "Shards", Reason: fmt.Sprintf("window sharding supports the %s algorithm only, not %s", MaximalCF, o.Algorithm)}
+		}
+		if o.ShardID < 0 || o.ShardID >= o.Shards {
+			return &OptionsError{Field: "ShardID", Reason: fmt.Sprintf("%d; want a shard index in [0, %d)", o.ShardID, o.Shards)}
+		}
+		if o.Shards > 1 && o.Journal == "" {
+			return &OptionsError{Field: "Shards", Reason: "a multi-shard run requires Journal: an unjournaled shard's outcomes cannot be merged"}
+		}
+	} else if o.ShardID != 0 {
+		return &OptionsError{Field: "ShardID", Reason: fmt.Sprintf("%d; requires Shards", o.ShardID)}
 	}
 	return nil
 }
@@ -492,11 +534,14 @@ func Run(ctx context.Context, tr *trace.Trace, opt Options) (Report, error) {
 	if err := opt.Validate(); err != nil {
 		return Report{}, err
 	}
+	if opt.TraceReader != nil || opt.Shards > 0 {
+		return runReader(ctx, tr, opt)
+	}
 	if opt.DebugAddr != "" {
 		if opt.col == nil {
 			opt.col = newCollector(opt)
 		}
-		srv, err := startIntrospection(tr, &opt)
+		srv, err := startIntrospection(locOfTrace(tr), &opt)
 		if err != nil {
 			return Report{}, err
 		}
@@ -524,6 +569,25 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 	if col == nil {
 		col = newCollector(opt)
 	}
+	opt.col = col
+	finish, err := attachJournalWriter(&opt, fp, col)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := DetectContext(ctx, tr, opt)
+	return rep, finish()
+}
+
+// attachJournalWriter opens (or resumes) the journal at opt.Journal,
+// loads any recovered outcomes into opt.resumeWindows, and composes the
+// writer into opt.onWindowDone ahead of any hook already installed (the
+// introspection feed): durability first, observation after. Appends run
+// concurrently under Parallelism > 1 (the writer locks internally); the
+// first append error is kept and surfaced by the returned finish
+// function — a race that could not be made durable must not be silently
+// undurable. Shared by the in-memory path (detectJournalled) and the
+// out-of-core reader path (runReader).
+func attachJournalWriter(opt *Options, fp journal.Fingerprint, col *telemetry.Collector) (finish func() error, err error) {
 	gc := opt.JournalGroupCommit
 	if gc == 0 {
 		gc = DefaultJournalGroupCommit
@@ -539,7 +603,7 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 		var info journal.RecoverInfo
 		w, info, err = journal.Resume(opt.Journal, fp, jopt)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 		if info.TornTail {
 			col.CountTornTailTruncated()
@@ -553,15 +617,10 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 	} else {
 		w, err = journal.Create(opt.Journal, fp, jopt)
 		if err != nil {
-			return Report{}, err
+			return nil, err
 		}
 	}
 
-	// Appends run concurrently under Parallelism > 1 (the writer locks
-	// internally); the first append error is kept and surfaced — a race
-	// that could not be made durable must not be silently undurable.
-	// The writer composes with any hook already installed (the
-	// introspection feed): durability first, observation after.
 	prev := opt.onWindowDone
 	var appendMu sync.Mutex
 	var appendErr error
@@ -577,13 +636,15 @@ func detectJournalled(ctx context.Context, tr *trace.Trace, opt Options) (Report
 			prev(out)
 		}
 	}
-	opt.col = col
-
-	rep := DetectContext(ctx, tr, opt)
-	if err := w.Close(); err != nil && appendErr == nil {
-		appendErr = err
-	}
-	return rep, appendErr
+	return func() error {
+		closeErr := w.Close()
+		appendMu.Lock()
+		defer appendMu.Unlock()
+		if appendErr == nil {
+			appendErr = closeErr
+		}
+		return appendErr
+	}, nil
 }
 
 // DetectContext is Detect under a context: cancelling ctx interrupts the

@@ -5,7 +5,7 @@
 # ordinary review diffs. See doc/performance.md.
 #
 # Usage:
-#   scripts/bench.sh [out.json]              # default out: BENCH_8.json
+#   scripts/bench.sh [out.json]              # default out: BENCH_9.json
 #   scripts/bench.sh compare old.json new.json   # diff two snapshots only
 #   COMPARE=BENCH_3.json scripts/bench.sh    # bench, then diff vs a snapshot
 #   BENCHTIME=10x scripts/bench.sh           # more iterations, steadier numbers
@@ -16,7 +16,13 @@
 # turns regressions into a non-zero exit). Solver-query counts are
 # deterministic per row, so `compare --queries-gate old new` fails hard
 # when any row issues more queries than the baseline — the CI guard for
-# the triage ladder.
+# the triage ladder. `compare --heap-gate any.json new.json` checks the
+# new snapshot's BenchmarkChunkedDetect size pair: live heap growing
+# superlinearly in trace size fails — the out-of-core guard.
+#
+# When GNU time is available the whole bench run's peak RSS is recorded
+# in the snapshot as peak_rss_kb, so out-of-core regressions show up in
+# the review diff even before the heap gate runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,15 +31,27 @@ if [[ "${1:-}" == "compare" ]]; then
   exec python3 scripts/bench_compare.py "$@"
 fi
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCHTIME:-3x}"
-bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead|BenchmarkStreamIngest)$}"
+bench="${BENCH:-^(BenchmarkDetect|BenchmarkPairParallelDetect|BenchmarkJournalDetect|BenchmarkTelemetryOverhead|BenchmarkStreamIngest|BenchmarkChunkedDetect)$}"
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+trap 'rm -f "$tmp" "$tmp.rss"' EXIT
 
-go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem -count 1 . | tee "$tmp"
-python3 scripts/bench_to_json.py "$benchtime" < "$tmp" > "$out"
+# Peak RSS of the bench process tree, via getrusage(RUSAGE_CHILDREN)
+# around the child — GNU time's "Maximum resident set size" without
+# depending on GNU time being installed. The number lands in a side
+# file so benchmark stdout stays parseable.
+python3 - "$tmp.rss" go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem -count 1 . <<'PY' | tee "$tmp"
+import resource, subprocess, sys
+rc = subprocess.call(sys.argv[2:])
+kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss  # KiB on Linux
+with open(sys.argv[1], "w") as f:
+    f.write(f"Maximum resident set size (kbytes): {kb}\n")
+sys.exit(rc)
+PY
+rss="$(awk -F': ' '/Maximum resident set size/ {print $2}' "$tmp.rss")"
+python3 scripts/bench_to_json.py "$benchtime" ${rss:+--peak-rss-kb "$rss"} < "$tmp" > "$out"
 echo "wrote $out"
 
 if [[ -n "${COMPARE:-}" ]]; then

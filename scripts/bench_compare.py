@@ -29,10 +29,20 @@ flagged QUERIES-REGRESSION, and with --queries-gate the exit status is
 --strict. This is the triage-ladder regression gate: a query-count
 increase means candidate pairs that a sound tier used to confirm are
 reaching the solver again.
+
+--heap-gate checks the out-of-core invariant, and unlike the other
+gates it looks only at the NEW snapshot: benchmarks that report both
+trace_events and live_heap_mb (the BenchmarkChunkedDetect size pair)
+are grouped by family and sorted by trace size, and peak live heap must
+grow no faster than the square root of the trace growth (above an
+8 MiB noise floor — sub-floor peaks are GC timing, not state). A chunked
+10× size step is allowed ~3.2× the heap; a reader path that quietly
+re-materialises the trace shows ~10× and fails.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -82,6 +92,42 @@ def metric(entry, key):
     return entry.get("metrics", {}).get(key)
 
 
+HEAP_FLOOR_MB = 8.0
+
+
+def heap_gate(new):
+    """Check live-heap growth across benchmark size pairs in one snapshot.
+
+    Returns the number of violations; prints one line per size step.
+    """
+    families = {}
+    for name, entry in new.items():
+        m = entry.get("metrics", {})
+        if "trace_events" in m and "live_heap_mb" in m:
+            families.setdefault(name.split("/")[0], []).append(entry)
+    if not families:
+        print("heap-gate: no benchmarks report trace_events/live_heap_mb",
+              file=sys.stderr)
+        return 1
+    bad = 0
+    for family, entries in sorted(families.items()):
+        entries.sort(key=lambda e: e["metrics"]["trace_events"])
+        for small, big in zip(entries, entries[1:]):
+            ratio = (big["metrics"]["trace_events"]
+                     / small["metrics"]["trace_events"])
+            limit = max(small["metrics"]["live_heap_mb"],
+                        HEAP_FLOOR_MB) * math.sqrt(ratio)
+            heap = big["metrics"]["live_heap_mb"]
+            ok = heap <= limit
+            print(f"heap-gate: {family}: {small['metrics']['trace_events']:g}"
+                  f"→{big['metrics']['trace_events']:g} events, live heap "
+                  f"{small['metrics']['live_heap_mb']:.1f}→{heap:.1f} MiB "
+                  f"(limit {limit:.1f}) {'ok' if ok else 'FAIL'}")
+            if not ok:
+                bad += 1
+    return bad
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -94,6 +140,11 @@ def main() -> int:
                     help="exit 1 when any benchmark issued more solver "
                          "queries than the baseline (deterministic, so "
                          "safe to gate even on noisy runners)")
+    ap.add_argument("--heap-gate", action="store_true",
+                    help="exit 1 when the new snapshot's live heap grows "
+                         "superlinearly across a benchmark size pair "
+                         "(out-of-core guard; only the new snapshot is "
+                         "consulted)")
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
@@ -165,6 +216,12 @@ def main() -> int:
               "pairs a sound triage tier used to confirm are reaching the solver")
     if regressions:
         print(f"{regressions} regression(s) beyond {args.threshold:.0f}%")
+    heap_violations = heap_gate(new) if args.heap_gate else 0
+    if heap_violations:
+        print(f"{heap_violations} live-heap growth violation(s) — "
+              "the out-of-core reader path is holding trace-sized state")
+    if args.heap_gate and heap_violations:
+        return 1
     if args.queries_gate and queries_regressions:
         return 1
     if args.strict and regressions:

@@ -2,9 +2,13 @@
 """Convert `go test -bench` output (stdin) to the BENCH_*.json schema.
 
 The schema is one object: environment header fields (goos/goarch/cpu/...)
-as emitted by the Go benchmark runner, the benchtime the run used, and a
-`results` array with one entry per benchmark line — name, iteration
-count, ns/op, and any extra ReportMetric pairs under `metrics`.
+as emitted by the Go benchmark runner, the benchtime the run used, an
+optional peak_rss_kb (the bench process tree's maximum resident set, as
+measured by GNU time around the whole run), and a `results` array with
+one entry per benchmark line — name, iteration count, ns/op, and any
+extra ReportMetric pairs under `metrics`.
+
+Usage: bench_to_json.py [benchtime] [--peak-rss-kb KB] < bench.out
 """
 
 import json
@@ -13,8 +17,16 @@ import sys
 
 
 def main() -> None:
-    benchtime = sys.argv[1] if len(sys.argv) > 1 else ""
+    argv = sys.argv[1:]
+    peak_rss_kb = None
+    if "--peak-rss-kb" in argv:
+        i = argv.index("--peak-rss-kb")
+        peak_rss_kb = int(argv[i + 1])
+        del argv[i:i + 2]
+    benchtime = argv[0] if argv else ""
     meta = {}
+    if peak_rss_kb is not None:
+        meta["peak_rss_kb"] = peak_rss_kb
     results = []
     for line in sys.stdin:
         line = line.strip()

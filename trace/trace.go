@@ -53,6 +53,26 @@ func New(n int) *Trace {
 	return &Trace{events: make([]Event, 0, n)}
 }
 
+// FromParts assembles a trace around an existing event slice without
+// copying it — the zero-copy window constructor used by out-of-core
+// readers (internal/tracev2), which materialise one window at a time
+// from a chunked file and must not re-own the whole trace. The metadata
+// maps are adopted by reference with the same sharing contract as Slice:
+// volatile and locName may be shared across windows (they are global,
+// read-mostly), while initial must be owned by the window (the windowing
+// driver installs the carried memory state into it). Any map may be nil.
+// The caller must not mutate events while the trace is in use; links are
+// in window-local coordinates.
+func FromParts(events []Event, links []NotifyLink, volatile map[Addr]bool, initial map[Addr]int64, names map[Loc]string) *Trace {
+	return &Trace{
+		events:        events,
+		links:         links,
+		volatileAddrs: volatile,
+		initial:       initial,
+		locNames:      names,
+	}
+}
+
 // Append adds e to the end of the trace and returns its index.
 func (tr *Trace) Append(e Event) int {
 	tr.events = append(tr.events, e)
