@@ -2,12 +2,11 @@ package capture
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/stream"
 	"repro/rvpredict"
 	"repro/trace"
@@ -60,52 +59,31 @@ func StreamTrace(ctx context.Context, tr *trace.Trace, opt StreamOptions) (*rvpr
 	if opt.Token == "" {
 		return nil, fmt.Errorf("capture: StreamOptions.Token is required")
 	}
-	if opt.BackoffMin <= 0 {
-		opt.BackoffMin = 100 * time.Millisecond
-	}
-	if opt.BackoffMax < opt.BackoffMin {
-		opt.BackoffMax = 5 * time.Second
-		if opt.BackoffMax < opt.BackoffMin {
-			opt.BackoffMax = opt.BackoffMin
-		}
-	}
-	if opt.MaxAttempts <= 0 {
-		opt.MaxAttempts = 8
-	}
 	if opt.DialTimeout <= 0 {
 		opt.DialTimeout = 10 * time.Second
 	}
 
-	attempt := 0
-	for {
-		rep, progressed, err := streamOnce(ctx, tr, &opt)
+	// The loop policy lives in internal/retry: a progressed attempt (the
+	// daemon admitted the session, so whatever was streamed before the
+	// failure is mostly durable) resets the consecutive-failure counter,
+	// and a permanent RejectError aborts immediately.
+	var rep *rvpredict.Report
+	err := retry.Do(ctx, retry.Policy{
+		Min:         opt.BackoffMin,
+		Max:         opt.BackoffMax,
+		MaxAttempts: opt.MaxAttempts,
+		OnRetry:     opt.OnRetry,
+	}, func(ctx context.Context) (bool, error) {
+		r, progressed, err := streamOnce(ctx, tr, &opt)
 		if err == nil {
-			return rep, nil
+			rep = r
 		}
-		if progressed {
-			// The daemon admitted the session: whatever was streamed
-			// before the failure is (mostly) durable, so this was not a
-			// wasted attempt.
-			attempt = 0
-		}
-		attempt++
-		var rej *stream.RejectError
-		if errors.As(err, &rej) && rej.Permanent() {
-			return nil, err
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		if attempt >= opt.MaxAttempts {
-			return nil, fmt.Errorf("capture: giving up after %d attempts: %w", attempt, err)
-		}
-		if opt.OnRetry != nil {
-			opt.OnRetry(attempt, err)
-		}
-		if err := sleepCtx(ctx, backoff(opt.BackoffMin, opt.BackoffMax, attempt)); err != nil {
-			return nil, err
-		}
+		return progressed, err
+	})
+	if err != nil {
+		return nil, err
 	}
+	return rep, nil
 }
 
 // streamOnce runs one connection lifecycle: dial, handshake, resume
@@ -151,32 +129,4 @@ func streamOnce(ctx context.Context, tr *trace.Trace, opt *StreamOptions) (rep *
 	}
 	rep, err = cl.End()
 	return rep, true, err
-}
-
-// backoff returns the nth retry delay: exponential from min, capped at
-// max, with ±25% jitter so a herd of reconnecting clients spreads out.
-func backoff(min, max time.Duration, attempt int) time.Duration {
-	d := min
-	for i := 1; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	quarter := int64(d / 4)
-	if quarter > 0 {
-		d += time.Duration(rand.Int63n(2*quarter+1) - quarter)
-	}
-	return d
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }

@@ -36,6 +36,16 @@
 //
 // combines the shard journals into one report identical to a
 // single-process run.
+//
+// The fault-tolerant flavour of the same split is the fleet: one
+// process runs -coordinate addr -journal coord.journal and any number
+// of processes run -worker addr against the same trace file. The
+// coordinator leases window shards to workers, fsyncs every returned
+// outcome to its journal before acknowledging it, reassigns the leases
+// of crashed or stalled workers (speculatively duplicating stragglers),
+// analyses any windows the fleet never covered locally, and renders the
+// same report a single-process run would — even if the coordinator
+// itself is killed and restarted over the same journal.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +67,7 @@ import (
 
 	"repro/capture"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/race"
 	"repro/internal/tracefile"
@@ -120,6 +132,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		shards     = fs.Int("shards", 0, "shard the analysis across this many cooperating processes: this process analyses windows whose index ≡ -shard-id mod N (rv only; >1 requires -journal)")
 		shardID    = fs.Int("shard-id", 0, "this process's shard index in [0, -shards)")
 		mergeList  = fs.String("merge", "", "merge the comma-separated shard journal `files` into one report over the given trace, instead of analysing")
+		coordAddr  = fs.String("coordinate", "", "run a fleet coordinator on `addr`: lease window shards to -worker processes, journal their results (requires -journal) and merge the final report")
+		workerAddr = fs.String("worker", "", "run as a fleet worker against the coordinator at `addr`: lease shards, analyse their windows over the same trace and stream the outcomes back")
+		fleetN     = fs.Int("fleet-shards", 0, "lease partitions for -coordinate (default 4); each lease covers the windows whose index ≡ shard mod N")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "-coordinate: how long a worker's lease survives without a heartbeat before its shard is reassigned (default 10s)")
+		specAfter  = fs.Duration("speculate-after", 0, "-coordinate: lease age past which an idle worker is granted a speculative duplicate of a straggling shard (default -lease-ttl)")
+		idleGrace  = fs.Duration("idle-grace", 0, "-coordinate: how long an empty fleet is tolerated before degrading to local analysis of the uncovered windows (default 2s)")
+		workerName = fs.String("worker-name", "", "-worker: `name` reported to the coordinator's logs (default host:pid)")
 		version    = fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	)
 	fs.Usage = func() {
@@ -365,6 +384,31 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rvpredict: -shards applies to local analysis only")
 		return 2
 	}
+	if *coordAddr != "" || *workerAddr != "" {
+		switch {
+		case *coordAddr != "" && *workerAddr != "":
+			fmt.Fprintln(stderr, "rvpredict: -coordinate and -worker are different roles; pick one per process")
+			return 2
+		case *daemonAddr != "" || *mergeList != "" || *shards != 0:
+			fmt.Fprintln(stderr, "rvpredict: -coordinate/-worker conflict with -daemon/-merge/-shards")
+			return 2
+		case *deadlocks || *atomicity:
+			fmt.Fprintln(stderr, "rvpredict: the fleet runs race detection only")
+			return 2
+		case strings.ToLower(*algoName) != "rv":
+			fmt.Fprintln(stderr, "rvpredict: the fleet runs the rv algorithm; -algo applies to direct analysis")
+			return 2
+		case *coordAddr != "" && *journalTo == "":
+			fmt.Fprintln(stderr, "rvpredict: -coordinate requires -journal (the coordinator's durable result journal)")
+			return 2
+		case *coordAddr != "" && *resume:
+			fmt.Fprintln(stderr, "rvpredict: -coordinate resumes from an existing -journal automatically; drop -resume")
+			return 2
+		case *workerAddr != "" && (*journalTo != "" || *resume || *outPath != ""):
+			fmt.Fprintln(stderr, "rvpredict: -journal/-resume/-out are owned by the coordinator in -worker mode")
+			return 2
+		}
+	}
 
 	if *daemonAddr != "" {
 		switch {
@@ -501,8 +545,81 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Fleet modes: both sides analyse through a trace reader, so the
+	// handshake fingerprint (content hash + result-affecting options) is
+	// comparable across processes whatever the input format.
+	if *coordAddr != "" || *workerAddr != "" {
+		if rd != nil {
+			opt.TraceReader = rd
+		} else if opt.TraceReader, err = tracev2.FromTrace(tr); err != nil {
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+	}
+	logf := func(format string, fargs ...any) {
+		fmt.Fprintf(stderr, "rvpredict: "+format+"\n", fargs...)
+	}
+	if *workerAddr != "" {
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		err := fleet.RunWorker(ctx, fleet.WorkerOptions{
+			Addr:          *workerAddr,
+			Detect:        opt,
+			Name:          name,
+			FaultInjector: inj,
+			AllowCrash:    true,
+			Logf:          logf,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(stderr, "rvpredict: interrupted")
+				return exitInterrupted
+			}
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rvpredict: worker %s done\n", name)
+		return 0
+	}
+
 	var rep rvpredict.Report
-	if *mergeList != "" {
+	if *coordAddr != "" {
+		jpath := *journalTo
+		opt.Journal = "" // the journal belongs to the coordinator, not the detector
+		ln, lerr := net.Listen("tcp", *coordAddr)
+		if lerr != nil {
+			fmt.Fprintln(stderr, "rvpredict:", lerr)
+			return 2
+		}
+		coord, cerr := fleet.NewCoordinator(fleet.CoordinatorOptions{
+			Detect:         opt,
+			Journal:        jpath,
+			Shards:         *fleetN,
+			LeaseTTL:       *leaseTTL,
+			SpeculateAfter: *specAfter,
+			IdleGrace:      *idleGrace,
+			FaultInjector:  inj,
+			Logf:           logf,
+		})
+		if cerr != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "rvpredict:", cerr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rvpredict: coordinating on %s\n", ln.Addr())
+		rep, err = coord.Run(ctx, ln)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(stderr, "rvpredict: interrupted")
+				return exitInterrupted
+			}
+			fmt.Fprintln(stderr, "rvpredict:", err)
+			return 2
+		}
+	} else if *mergeList != "" {
 		if rd != nil {
 			opt.TraceReader = rd
 		} else if opt.TraceReader, err = tracev2.FromTrace(tr); err != nil {

@@ -64,6 +64,30 @@ const (
 	// saturation: the window skips the queue and is analysed in degraded
 	// (sound-tier-only) mode, deterministically.
 	PointQueueSaturate Point = "queue_saturate"
+	// PointWorkerCrash is crossed by a fleet worker once per window
+	// outcome it is about to report (internal/fleet). Crash faults kill
+	// the worker mid-shard — in-process workers abort their connection,
+	// re-exec workers die via CrashNow — exercising lease expiry and
+	// reassignment.
+	PointWorkerCrash Point = "worker_crash"
+	// PointLeaseStall is crossed by a fleet worker once per heartbeat it
+	// is about to send. FaultTimeout suppresses the heartbeat, so a
+	// scripted run of hits makes the coordinator's lease deadline lapse
+	// while the worker is still computing — the straggler/stall path,
+	// without real clock waits beyond the (short, test-chosen) TTL.
+	PointLeaseStall Point = "lease_stall"
+	// PointResultCorrupt is crossed by a fleet worker once per result
+	// frame it is about to send. Any scripted fault flips a byte in the
+	// encoded outcome after its checksum was computed, so the
+	// coordinator's CRC gate must reject the result and the window must
+	// be re-analysed elsewhere.
+	PointResultCorrupt Point = "result_corrupt"
+	// PointCoordCrash is crossed by the fleet coordinator once per
+	// result it has accepted and durably journaled, after the fsync and
+	// before the ack. Crash faults kill the coordinator there — the
+	// SIGKILL-equivalent the resume path must survive: a restarted
+	// coordinator recovers every acked window from its own journal.
+	PointCoordCrash Point = "coord_crash"
 )
 
 // Scoped derives a point tied to one pipeline coordinate, e.g. a window

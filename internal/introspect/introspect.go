@@ -469,6 +469,31 @@ var metricDefs = []metricDef{
 		func(s *Server, _ *telemetry.Metrics) []sample {
 			return one(float64(s.opt.Collector.ShardOutcomesMerged()))
 		}},
+	{"rvpredict_shard_conflicts_total", "counter",
+		"Duplicate window outcomes discarded during a shard merge (first listed journal wins).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.ShardConflicts()))
+		}},
+	{"rvpredict_fleet_leases_granted_total", "counter", "Shard leases granted to fleet workers (including speculative duplicates).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.LeasesGranted()))
+		}},
+	{"rvpredict_fleet_leases_expired_total", "counter", "Fleet leases whose heartbeat deadline lapsed before the shard finished.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.LeasesExpired()))
+		}},
+	{"rvpredict_fleet_leases_reassigned_total", "counter", "Shards re-leased to another worker after an expiry or disconnect.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.LeasesReassigned()))
+		}},
+	{"rvpredict_fleet_speculative_wins_total", "counter", "Window outcomes won by a speculative duplicate lease (straggler hedging paid off).",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.SpeculativeWins()))
+		}},
+	{"rvpredict_fleet_worker_disconnects_total", "counter", "Fleet worker connections that ended without a clean shutdown handshake.",
+		func(s *Server, _ *telemetry.Metrics) []sample {
+			return one(float64(s.opt.Collector.WorkerDisconnects()))
+		}},
 	{"rvpredict_windows_total", "counter", "Analysis windows recorded.",
 		func(_ *Server, m *telemetry.Metrics) []sample { return one(float64(m.WindowCount)) }},
 	{"rvpredict_sessions_active", "gauge", "Streaming sessions currently open on the daemon.",

@@ -314,17 +314,20 @@ func Recover(path string, fp Fingerprint) (RecoverInfo, error) {
 // foreign shard's outcomes would silently poison the combined report.
 // Shards journal disjoint window sets under the deterministic
 // index-mod-N partition, but duplicates (overlapping shard ranges, a
-// shard restarted under a different layout) are tolerated: the
-// earliest-listed journal wins, which is result-identical because a
-// window's outcome depends only on its content, never on which shard
-// analysed it. Torn tails are truncated per journal exactly as Recover
-// reports them; tornTails counts how many journals had one.
-func RecoverShards(paths []string, fp Fingerprint) (outcomes map[int]race.WindowOutcome, tornTails int, err error) {
+// shard restarted under a different layout, a fleet's speculative
+// re-execution) are tolerated: the earliest-listed journal wins, which
+// is result-identical because a window's outcome depends only on its
+// content, never on which shard analysed it. Torn tails are truncated
+// per journal exactly as Recover reports them; tornTails counts how
+// many journals had one; conflicts counts the losing duplicates — the
+// window records discarded because an earlier-listed journal already
+// supplied that window.
+func RecoverShards(paths []string, fp Fingerprint) (outcomes map[int]race.WindowOutcome, tornTails, conflicts int, err error) {
 	outcomes = make(map[int]race.WindowOutcome)
 	for _, path := range paths {
 		info, err := Recover(path, fp)
 		if err != nil {
-			return nil, 0, fmt.Errorf("shard journal %s: %w", path, err)
+			return nil, 0, 0, fmt.Errorf("shard journal %s: %w", path, err)
 		}
 		if info.TornTail {
 			tornTails++
@@ -332,10 +335,12 @@ func RecoverShards(paths []string, fp Fingerprint) (outcomes map[int]race.Window
 		for _, out := range info.Outcomes {
 			if _, ok := outcomes[out.Window]; !ok {
 				outcomes[out.Window] = out
+			} else {
+				conflicts++
 			}
 		}
 	}
-	return outcomes, tornTails, nil
+	return outcomes, tornTails, conflicts, nil
 }
 
 // Inspect reads the journal at path without verifying its fingerprint,
@@ -472,6 +477,20 @@ func (e *encBuf) frame(payload []byte) {
 	crc := crc32.Checksum(e.b[start:], castagnoli)
 	e.b = binary.LittleEndian.AppendUint32(e.b, crc)
 }
+
+// EncodeOutcome returns the canonical journal encoding of one window
+// outcome — exactly the payload Append frames into the file. It exists
+// for the fleet wire protocol (internal/fleet): workers ship outcomes
+// across the wire in this encoding and the coordinator validates them
+// with DecodeOutcome before journaling, so a wire record and the
+// journal record it becomes are byte-identical.
+func EncodeOutcome(out race.WindowOutcome) []byte { return encodeOutcome(out) }
+
+// DecodeOutcome decodes an EncodeOutcome payload with the same
+// hardening as journal recovery: every count and string length is
+// validated before it drives an allocation, and corruption fails with
+// ErrFormat in bounded memory.
+func DecodeOutcome(payload []byte) (race.WindowOutcome, error) { return decodeOutcome(payload) }
 
 // encodeOutcome flattens one window outcome to a frame payload. All
 // integers are varints; counts precede their elements; witness presence

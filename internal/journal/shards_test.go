@@ -1,0 +1,99 @@
+package journal
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestRecoverShardsConflictingDuplicates covers overlapping shard
+// journals whose duplicate windows *disagree* — the fleet's speculative
+// re-execution shape, where two workers analysed the same window and
+// one result reached a journal with (say) different counter values.
+// The rule under test: the earliest-listed journal wins, the order is
+// deterministic, and every losing duplicate is reported in the
+// conflicts count (which MergeShards forwards to the shard_conflicts
+// telemetry counter).
+func TestRecoverShardsConflictingDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	fp := testFingerprint()
+
+	// Window 1 appears in all three journals with three disagreeing
+	// outcomes; window 2 appears twice, agreeing. Windows 0 and 3 are
+	// unique.
+	w1a := race.WindowOutcome{Window: 1, Offset: 10, Events: 10, Candidates: 3, Solved: 2, ElapsedNS: 100,
+		Races: []race.Race{{COP: race.COP{A: 11, B: 14}, Sig: race.Signature{First: 5, Second: 7}}}}
+	w1b := race.WindowOutcome{Window: 1, Offset: 10, Events: 10, Candidates: 3, Solved: 3, ElapsedNS: 999}
+	w1c := race.WindowOutcome{Window: 1, Offset: 10, Events: 10, Candidates: 1, ElapsedNS: 7}
+	w2 := race.WindowOutcome{Window: 2, Offset: 20, Events: 10, Candidates: 0, ElapsedNS: 55}
+
+	pa := filepath.Join(dir, "a.rvpj")
+	pb := filepath.Join(dir, "b.rvpj")
+	pc := filepath.Join(dir, "c.rvpj")
+	writeJournal(t, pa, fp, []race.WindowOutcome{{Window: 0, Events: 10}, w1a}, Options{})
+	writeJournal(t, pb, fp, []race.WindowOutcome{w1b, w2}, Options{})
+	writeJournal(t, pc, fp, []race.WindowOutcome{w1c, w2, {Window: 3, Offset: 30, Events: 4}}, Options{})
+
+	outcomes, tornTails, conflicts, err := RecoverShards([]string{pa, pb, pc}, fp)
+	if err != nil {
+		t.Fatalf("RecoverShards: %v", err)
+	}
+	if tornTails != 0 {
+		t.Errorf("tornTails = %d, want 0", tornTails)
+	}
+	// Losers: w1b, w1c (disagreeing) and the second w2 (agreeing — still
+	// a discarded duplicate).
+	if conflicts != 3 {
+		t.Errorf("conflicts = %d, want 3", conflicts)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes cover %d windows, want 4", len(outcomes))
+	}
+	if !reflect.DeepEqual(outcomes[1], w1a) {
+		t.Errorf("window 1 = %+v, want the first-listed journal's outcome %+v", outcomes[1], w1a)
+	}
+
+	// Determinism: re-running with the same order gives the same winner;
+	// reversing the order flips the winner to the new first-listed
+	// journal — the rule depends only on list order, nothing hidden.
+	again, _, _, err := RecoverShards([]string{pa, pb, pc}, fp)
+	if err != nil {
+		t.Fatalf("RecoverShards (again): %v", err)
+	}
+	if !reflect.DeepEqual(again, outcomes) {
+		t.Error("same journal order produced different outcomes")
+	}
+	rev, _, revConflicts, err := RecoverShards([]string{pc, pb, pa}, fp)
+	if err != nil {
+		t.Fatalf("RecoverShards (reversed): %v", err)
+	}
+	if !reflect.DeepEqual(rev[1], w1c) {
+		t.Errorf("reversed order: window 1 = %+v, want first-listed %+v", rev[1], w1c)
+	}
+	if revConflicts != 3 {
+		t.Errorf("reversed order: conflicts = %d, want 3", revConflicts)
+	}
+}
+
+// TestEncodeDecodeOutcomeRoundTrip pins the exported wire codec the
+// fleet protocol uses to the journal's internal record encoding.
+func TestEncodeDecodeOutcomeRoundTrip(t *testing.T) {
+	for i, out := range testOutcomes() {
+		payload := EncodeOutcome(out)
+		if len(payload) == 0 {
+			t.Fatalf("outcome %d: empty encoding", i)
+		}
+		got, err := DecodeOutcome(payload)
+		if err != nil {
+			t.Fatalf("outcome %d: DecodeOutcome: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, out) {
+			t.Errorf("outcome %d did not round-trip:\n got %+v\nwant %+v", i, got, out)
+		}
+		if !reflect.DeepEqual(payload, encodeOutcome(out)) {
+			t.Errorf("outcome %d: EncodeOutcome diverges from the journal's record encoding", i)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package retry provides the shared exponential-backoff-with-jitter
+// retry schedule used by every reconnecting client in the system: the
+// capture streaming client (capture.StreamTrace) and the fleet worker
+// (internal/fleet). It exists so the backoff shape — doubling from a
+// floor, capped at a ceiling, ±25% jitter to spread a reconnecting herd
+// — is defined once and tested deterministically.
+//
+// The schedule is attempt-indexed, not wall-clock-indexed: Delay(n) is
+// the delay before the nth consecutive failed attempt's retry. Do adds
+// the loop policy the capture client pioneered: a progressed attempt
+// (one that did useful work before failing) resets the consecutive
+// failure counter, permanent errors abort immediately, and context
+// cancellation wins over any sleep.
+//
+// Randomness and sleeping are injectable (Policy.Rand, Policy.Sleep) so
+// tests run instantly and reproducibly; production callers leave both
+// nil.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Defaults applied by Policy.withDefaults, shared with the option docs
+// of every caller.
+const (
+	DefaultMin         = 100 * time.Millisecond
+	DefaultMax         = 5 * time.Second
+	DefaultMaxAttempts = 8
+)
+
+// Policy describes one exponential-backoff retry schedule.
+type Policy struct {
+	// Min is the first retry's delay (default 100ms). Each further
+	// consecutive failure doubles it.
+	Min time.Duration
+	// Max caps the delay (default 5s; raised to Min when smaller).
+	Max time.Duration
+	// MaxAttempts bounds consecutive failed attempts before Do gives
+	// up with an *ExhaustedError (default 8). Attempts that report
+	// progress reset the counter, so a long-lived operation survives
+	// any number of transient failures as long as retries keep
+	// succeeding.
+	MaxAttempts int
+	// OnRetry, when non-nil, observes each retry Do is about to
+	// perform: the consecutive failure count and the error being
+	// retried.
+	OnRetry func(attempt int, err error)
+	// Rand, when non-nil, replaces math/rand's Int63n as the jitter
+	// source — tests inject a deterministic function so Delay is
+	// reproducible. It must return a value in [0, n).
+	Rand func(n int64) int64
+	// Sleep, when non-nil, replaces the timer-based context-aware
+	// sleep — tests inject a recording clock so Do runs without real
+	// waits. It must return ctx.Err() if the context ends first.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Min <= 0 {
+		p.Min = DefaultMin
+	}
+	if p.Max < p.Min {
+		p.Max = DefaultMax
+		if p.Max < p.Min {
+			p.Max = p.Min
+		}
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Int63n
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// Delay returns the delay before retrying the attempt-th consecutive
+// failure (attempt ≥ 1): exponential from Min, capped at Max, with ±25%
+// jitter so a herd of reconnecting clients spreads out.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Min
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	quarter := int64(d / 4)
+	if quarter > 0 {
+		d += time.Duration(p.Rand(2*quarter+1) - quarter)
+	}
+	return d
+}
+
+// Wait sleeps for Delay(attempt), returning early with ctx.Err() if the
+// context ends first.
+func (p Policy) Wait(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	return p.withDefaults().Sleep(ctx, d)
+}
+
+// Op is one attempt of a retryable operation. progressed reports that
+// the attempt did useful durable work before failing (e.g. a streaming
+// session was admitted and events reached stable storage), which resets
+// Do's consecutive-failure counter; a nil error ends the loop.
+type Op func(ctx context.Context) (progressed bool, err error)
+
+// Permanent is the interface matched (via errors.As) to recognise
+// errors that no retry can fix: when Permanent() reports true, Do
+// returns the error immediately instead of retrying.
+// stream.RejectError implements it.
+type Permanent interface {
+	error
+	Permanent() bool
+}
+
+// ExhaustedError reports that Do gave up after MaxAttempts consecutive
+// failures. It wraps the final attempt's error, so errors.Is/As see
+// through it.
+type ExhaustedError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("retry: giving up after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Do runs op until it succeeds, sleeping Delay(n) between consecutive
+// failures. It returns nil on success; the error unchanged when it is
+// permanent (see Permanent) or the context ended; and an
+// *ExhaustedError wrapping the last error after MaxAttempts consecutive
+// non-progressing failures.
+func Do(ctx context.Context, p Policy, op Op) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p = p.withDefaults()
+	attempt := 0
+	for {
+		progressed, err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		if progressed {
+			attempt = 0
+		}
+		attempt++
+		var perm Permanent
+		if errors.As(err, &perm) && perm.Permanent() {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= p.MaxAttempts {
+			return &ExhaustedError{Attempts: attempt, Err: err}
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if werr := p.Wait(ctx, attempt); werr != nil {
+			return werr
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

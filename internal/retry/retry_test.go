@@ -1,0 +1,206 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// midRand returns the midpoint of [0, n), which for Delay's jitter draw
+// of Int63n(2*quarter+1) yields exactly quarter — i.e. zero net jitter —
+// making the schedule fully deterministic.
+func midRand(n int64) int64 { return n / 2 }
+
+// fakeClock records requested sleeps without waiting.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.slept = append(c.slept, d)
+	return nil
+}
+
+func TestDelayExponentialDeterministic(t *testing.T) {
+	p := Policy{Min: 100 * time.Millisecond, Max: 5 * time.Second, Rand: midRand}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // 6400ms capped
+		5 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBounded(t *testing.T) {
+	p := Policy{Min: 1 * time.Second, Max: 1 * time.Second}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < 750*time.Millisecond || d > 1250*time.Millisecond {
+			t.Fatalf("Delay(1) = %v, want within ±25%% of 1s", d)
+		}
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	clock := &fakeClock{}
+	var attempts []int
+	p := Policy{
+		Min: 10 * time.Millisecond, Max: 80 * time.Millisecond, MaxAttempts: 8,
+		Rand:  midRand,
+		Sleep: clock.sleep,
+		OnRetry: func(attempt int, err error) {
+			attempts = append(attempts, attempt)
+		},
+	}
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) (bool, error) {
+		calls++
+		if calls < 4 {
+			return false, fmt.Errorf("transient %d", calls)
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+	wantAttempts := []int{1, 2, 3}
+	if fmt.Sprint(attempts) != fmt.Sprint(wantAttempts) {
+		t.Errorf("OnRetry attempts = %v, want %v", attempts, wantAttempts)
+	}
+	wantSleeps := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if fmt.Sprint(clock.slept) != fmt.Sprint(wantSleeps) {
+		t.Errorf("sleeps = %v, want %v", clock.slept, wantSleeps)
+	}
+}
+
+func TestDoProgressResetsCounter(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Min: time.Millisecond, MaxAttempts: 3, Rand: midRand, Sleep: clock.sleep}
+	var attempts []int
+	p.OnRetry = func(attempt int, err error) { attempts = append(attempts, attempt) }
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) (bool, error) {
+		calls++
+		if calls < 10 {
+			// Every attempt makes progress, so the consecutive-failure
+			// counter never reaches MaxAttempts.
+			return true, errors.New("transient")
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 10 {
+		t.Errorf("calls = %d, want 10", calls)
+	}
+	for _, a := range attempts {
+		if a != 1 {
+			t.Fatalf("OnRetry attempts = %v, want all 1 (progress resets the counter)", attempts)
+		}
+	}
+}
+
+func TestDoExhausts(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Min: time.Millisecond, MaxAttempts: 3, Rand: midRand, Sleep: clock.sleep}
+	sentinel := errors.New("boom")
+	err := Do(context.Background(), p, func(ctx context.Context) (bool, error) {
+		return false, sentinel
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Do = %v, want *ExhaustedError", err)
+	}
+	if ex.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", ex.Attempts)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is(err, sentinel) = false, want the last error wrapped")
+	}
+	if len(clock.slept) != 2 {
+		t.Errorf("slept %d times, want 2 (no sleep after the final attempt)", len(clock.slept))
+	}
+}
+
+type permErr struct{ perm bool }
+
+func (e *permErr) Error() string   { return "perm" }
+func (e *permErr) Permanent() bool { return e.perm }
+
+func TestDoPermanentAborts(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Min: time.Millisecond, MaxAttempts: 8, Rand: midRand, Sleep: clock.sleep}
+	want := &permErr{perm: true}
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) (bool, error) {
+		calls++
+		return false, fmt.Errorf("wrapped: %w", want)
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 || len(clock.slept) != 0 {
+		t.Errorf("calls = %d, sleeps = %d; want 1 call and no sleeps", calls, len(clock.slept))
+	}
+
+	// A Permanent() == false implementer is retried like any error.
+	calls = 0
+	err = Do(context.Background(), p, func(ctx context.Context) (bool, error) {
+		calls++
+		if calls < 2 {
+			return false, &permErr{perm: false}
+		}
+		return false, nil
+	})
+	if err != nil || calls != 2 {
+		t.Errorf("Do = %v after %d calls, want nil after 2", err, calls)
+	}
+}
+
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Min: time.Millisecond, MaxAttempts: 8, Rand: midRand}
+	calls := 0
+	err := Do(ctx, p, func(ctx context.Context) (bool, error) {
+		calls++
+		cancel()
+		return false, errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Min != DefaultMin || p.Max != DefaultMax || p.MaxAttempts != DefaultMaxAttempts {
+		t.Errorf("defaults = {%v %v %d}, want {%v %v %d}",
+			p.Min, p.Max, p.MaxAttempts, DefaultMin, DefaultMax, DefaultMaxAttempts)
+	}
+	// Max below Min is raised to Min.
+	p = Policy{Min: 10 * time.Second, Max: time.Second}.withDefaults()
+	if p.Max != 10*time.Second {
+		t.Errorf("Max = %v, want raised to Min (10s)", p.Max)
+	}
+}

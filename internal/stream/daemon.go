@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -66,6 +67,12 @@ type Options struct {
 	FaultInjector *faultinject.Injector
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// testRecoveryHook, when non-nil, is called at the start of a
+	// suspended session's recovery, while the recovering gauge is held —
+	// in-package tests use it to observe the /readyz window
+	// deterministically.
+	testRecoveryHook func()
 }
 
 // Daemon is the streaming detection service: it accepts client
@@ -83,6 +90,12 @@ type Daemon struct {
 	active    map[string]net.Conn // token → owning connection
 	listeners map[net.Listener]bool
 	draining  bool
+
+	// recovering counts suspended sessions whose journal-lost windows
+	// are still being re-analysed from their ingest logs. While it is
+	// non-zero the daemon reports not-ready: a load balancer must not
+	// route fresh work at a daemon still paying down its recovery spike.
+	recovering atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -143,12 +156,22 @@ func New(opt Options) (*Daemon, error) {
 // introspection server's gauges).
 func (d *Daemon) Collector() *telemetry.Collector { return d.col }
 
-// Ready reports whether the daemon is admitting sessions — the
-// /readyz signal. It turns false permanently once draining starts.
+// Ready reports whether the daemon should receive new work — the
+// /readyz signal. It is false while any suspended session's recovery
+// re-analysis is still draining (live sessions keep running; only the
+// readiness advertisement is withheld) and turns false permanently once
+// draining starts.
 func (d *Daemon) Ready() bool {
+	return !d.drainingNow() && d.recovering.Load() == 0
+}
+
+// drainingNow reports whether shutdown draining has started — the
+// condition under which sessions must suspend. Distinct from Ready:
+// recovery withholds readiness without suspending anyone.
+func (d *Daemon) drainingNow() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return !d.draining
+	return d.draining
 }
 
 func (d *Daemon) logf(format string, args ...any) {
@@ -181,7 +204,7 @@ func (d *Daemon) Serve(ln net.Listener) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) || !d.Ready() {
+			if errors.Is(err, net.ErrClosed) || d.drainingNow() {
 				return nil
 			}
 			return err
@@ -422,7 +445,7 @@ func (d *Daemon) serveConn(c net.Conn) {
 	}
 
 	for {
-		if !d.Ready() {
+		if d.drainingNow() {
 			d.logf("stream: session %s: suspended for drain (%d events, %d windows)", token, sess.total, sess.widx)
 			sess.close()
 			return

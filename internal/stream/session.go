@@ -105,9 +105,17 @@ func (d *Daemon) openSession(ctx context.Context, token string) (*session, error
 
 	var payloads [][]byte
 	if _, err := os.Stat(ip); err == nil {
-		// Suspended session: resume the journal (tolerating its absence
-		// or unusability — the ingest log alone can rebuild everything
-		// by re-analysis), then recover the ingest prefix.
+		// Suspended session: the replay below may re-analyse windows
+		// whose journaled outcome was lost, so withhold readiness until
+		// this recovery (including the replay loop) has drained.
+		d.recovering.Add(1)
+		defer d.recovering.Add(-1)
+		if d.opt.testRecoveryHook != nil {
+			d.opt.testRecoveryHook()
+		}
+		// Resume the journal (tolerating its absence or unusability —
+		// the ingest log alone can rebuild everything by re-analysis),
+		// then recover the ingest prefix.
 		if _, jerr := os.Stat(jp); jerr == nil {
 			jw, info, rerr := journal.Resume(jp, fp, jopt)
 			if rerr != nil {

@@ -141,6 +141,21 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// AppendFrame, WriteFrame and ReadFrame expose the CRC framing for
+// sibling wire protocols — internal/fleet's coordinator/worker channel
+// reuses the exact discipline (and so inherits the torn/corrupt-frame
+// detection) without depending on this package's record vocabulary.
+
+// AppendFrame appends one CRC frame carrying payload to dst.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// WriteFrame writes one framed payload to w.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ReadFrame reads one CRC frame from br and returns its payload; a
+// corrupt or oversized frame yields an error wrapping ErrProtocol.
+func ReadFrame(br *bufio.Reader) ([]byte, error) { return readFrame(br) }
+
 // record is one decoded data frame.
 type record struct {
 	kind   byte

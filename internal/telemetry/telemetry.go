@@ -245,6 +245,18 @@ type Collector struct {
 	shardWindowsOwned   atomic.Int64
 	shardWindowsSkipped atomic.Int64
 	shardOutcomesMerged atomic.Int64
+	shardConflicts      atomic.Int64
+
+	// Fleet tallies (internal/fleet): lease lifecycle and worker-fault
+	// accounting of the distributed shard coordinator. Introspection
+	// only, like the daemon tallies above — fault timing is
+	// non-deterministic, so none of these may reach the Metrics
+	// snapshot the identity tests compare.
+	leasesGranted     atomic.Int64
+	leasesExpired     atomic.Int64
+	leasesReassigned  atomic.Int64
+	speculativeWins   atomic.Int64
+	workerDisconnects atomic.Int64
 
 	// spans is the optionally attached span recorder (spans.go).
 	spans atomic.Pointer[SpanRecorder]
@@ -798,6 +810,109 @@ func (c *Collector) ShardOutcomesMerged() int64 {
 		return 0
 	}
 	return c.shardOutcomesMerged.Load()
+}
+
+// CountShardConflict tallies one duplicate window outcome discarded
+// during a shard-journal merge: two journals both held the window and
+// the first-listed one won (journal.RecoverShards' deterministic rule).
+func (c *Collector) CountShardConflict() {
+	if c == nil {
+		return
+	}
+	c.shardConflicts.Add(1)
+}
+
+// ShardConflicts returns the discarded-duplicate tally of shard merges.
+func (c *Collector) ShardConflicts() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shardConflicts.Load()
+}
+
+// CountLeaseGranted tallies one window-shard lease handed to a fleet
+// worker (speculative re-executions included).
+func (c *Collector) CountLeaseGranted() {
+	if c == nil {
+		return
+	}
+	c.leasesGranted.Add(1)
+}
+
+// LeasesGranted returns the granted-lease tally.
+func (c *Collector) LeasesGranted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.leasesGranted.Load()
+}
+
+// CountLeaseExpired tallies one lease whose deadline lapsed without a
+// renewing heartbeat (worker stalled, crashed or disconnected).
+func (c *Collector) CountLeaseExpired() {
+	if c == nil {
+		return
+	}
+	c.leasesExpired.Add(1)
+}
+
+// LeasesExpired returns the expired-lease tally.
+func (c *Collector) LeasesExpired() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.leasesExpired.Load()
+}
+
+// CountLeaseReassigned tallies one shard put back on the pending queue
+// for another worker after its lease expired or its worker vanished.
+func (c *Collector) CountLeaseReassigned() {
+	if c == nil {
+		return
+	}
+	c.leasesReassigned.Add(1)
+}
+
+// LeasesReassigned returns the reassigned-lease tally.
+func (c *Collector) LeasesReassigned() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.leasesReassigned.Load()
+}
+
+// CountSpeculativeWin tallies one window whose first valid result came
+// from a speculative re-execution lease rather than the original one.
+func (c *Collector) CountSpeculativeWin() {
+	if c == nil {
+		return
+	}
+	c.speculativeWins.Add(1)
+}
+
+// SpeculativeWins returns the speculative-win tally.
+func (c *Collector) SpeculativeWins() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.speculativeWins.Load()
+}
+
+// CountWorkerDisconnect tallies one fleet worker connection lost before
+// the coordinator released it.
+func (c *Collector) CountWorkerDisconnect() {
+	if c == nil {
+		return
+	}
+	c.workerDisconnects.Add(1)
+}
+
+// WorkerDisconnects returns the lost-worker tally.
+func (c *Collector) WorkerDisconnects() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.workerDisconnects.Load()
 }
 
 // CountTornTailTruncated tallies one torn journal tail (truncated or

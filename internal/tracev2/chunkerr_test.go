@@ -1,0 +1,66 @@
+package tracev2_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/tracev2"
+	"repro/trace"
+)
+
+// TestChunkCorruptionTyped corrupts one byte inside a chunk's encoded
+// bytes — a region the footer checksum does not cover — and asserts the
+// failure is a *ChunkError naming the chunk index and file offset,
+// still matching ErrFormat, while untouched chunks keep decoding.
+func TestChunkCorruptionTyped(t *testing.T) {
+	tr := fixtures.Figure1()
+	var buf bytes.Buffer
+	if err := tracev2.WriteTrace(&buf, tr, 4); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	data := buf.Bytes()
+
+	// The header is "RVC2" plus one version byte, so chunk 0's encoding
+	// always starts at offset 5 (see the format doc in format.go).
+	const chunk0Off = 5
+	data[chunk0Off+1] ^= 0xFF
+
+	r, err := tracev2.NewReader(data)
+	if err != nil {
+		t.Fatalf("NewReader: %v (chunk corruption must surface lazily, at decode)", err)
+	}
+	_, err = r.Event(0)
+	if err == nil {
+		t.Fatal("Event(0) decoded a corrupted chunk")
+	}
+	var ce *tracev2.ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChunkError", err)
+	}
+	if ce.Chunk != 0 {
+		t.Errorf("ChunkError.Chunk = %d, want 0", ce.Chunk)
+	}
+	if ce.Offset != chunk0Off {
+		t.Errorf("ChunkError.Offset = %d, want %d", ce.Offset, chunk0Off)
+	}
+	if !errors.Is(err, tracev2.ErrFormat) {
+		t.Errorf("errors.Is(err, ErrFormat) = false, want true")
+	}
+
+	// A later, untouched chunk still decodes: corruption is located, not
+	// contagious.
+	if tr.Len() <= 4 {
+		t.Fatalf("fixture has %d events, need > 4 for a second chunk", tr.Len())
+	}
+	if _, err := r.Event(4); err != nil {
+		t.Errorf("Event(4) in intact chunk 1: %v", err)
+	}
+
+	// The windowed iterator reports the same located failure.
+	err = r.Windows(3, func(_ *trace.Trace, _, _ int) error { return nil })
+	if !errors.As(err, &ce) || ce.Chunk != 0 {
+		t.Errorf("Windows err = %v, want *ChunkError for chunk 0", err)
+	}
+}

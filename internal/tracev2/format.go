@@ -9,7 +9,7 @@
 //
 // # File layout
 //
-//	"RVC2" ‖ uvarint(version=1)
+//	"RVC2" ‖ uvarint(version=2)
 //	chunk*                       event data, fixed capacity per chunk
 //	meta                         links ‖ volatiles ‖ initials ‖ locnames
 //	footer                       directory + stats + content hash
@@ -46,7 +46,8 @@
 //	  uvarint(offset) ‖ uvarint(byteLen) ‖ uvarint(events) ‖
 //	  varint(minTid) ‖ varint(maxTid) ‖
 //	  uvarint(minVar) ‖ uvarint(maxVar) ‖
-//	  uvarint(minLock) ‖ uvarint(maxLock)
+//	  uvarint(minLock) ‖ uvarint(maxLock) ‖
+//	  uvarint(crc32c(chunk bytes))                 (added in version 2)
 //	uvarint(metaOff) ‖ uvarint(metaLen)
 //	stats: uvarint ×7 (threads, events, accesses, syncs, branches,
 //	       locks, shared) — the Table 1 columns, precomputed at write
@@ -72,14 +73,22 @@
 // harden_test.go and FuzzChunkDecode).
 package tracev2
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Magic and Version identify the chunked format. The magic constant is
 // mirrored as tracefile.ChunkedMagic so format sniffing needs only the
-// tracefile package.
+// tracefile package. Version 2 added a crc32c per directory entry,
+// covering the chunk's encoded bytes: chunk data sits outside the
+// footer checksum, so without it a torn or bit-flipped chunk is only
+// caught if it happens to break structural validation. Version 1 files
+// are rejected as ErrFormat (regenerate with Convert — the format is a
+// cache of the canonical legacy encoding, never the source of truth).
 const (
 	Magic   = "RVC2"
-	Version = 1
+	Version = 2
 )
 
 // DefaultChunkSize is the event capacity of a chunk when the writer is
@@ -116,3 +125,27 @@ const (
 
 // ErrFormat reports a malformed chunked trace file.
 var ErrFormat = errors.New("tracev2: malformed input")
+
+// ChunkError locates a chunk-level decode failure: which directory
+// entry failed and where its bytes start in the file. Chunk decoding is
+// lazy, so corruption inside a chunk only surfaces when that chunk is
+// first touched — long after Open succeeded — and the caller that hits
+// it (a fleet worker analysing a shipped trace, say) needs to report
+// *which* chunk of the file was torn, not just that some byte somewhere
+// was. It wraps the underlying cause, so errors.Is(err, ErrFormat)
+// still matches.
+type ChunkError struct {
+	// Chunk is the failing chunk's directory index.
+	Chunk int
+	// Offset is the byte offset of the chunk's encoding in the file.
+	Offset int64
+	// Err is the underlying failure (a CRC mismatch or a structural
+	// validation error, both wrapping ErrFormat).
+	Err error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("tracev2: chunk %d at offset %d: %v", e.Chunk, e.Offset, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }

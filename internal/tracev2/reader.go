@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"repro/internal/telemetry"
 	"repro/trace"
@@ -227,6 +228,14 @@ func (r *Reader) parseFooter(footer []byte, footerOff uint64) error {
 			return err
 		}
 		d.minLock, d.maxLock = trace.Addr(minLock), trace.Addr(maxLock)
+		crc, err := b.uvarint()
+		if err != nil {
+			return err
+		}
+		if crc > math.MaxUint32 {
+			return fmt.Errorf("%w: chunk %d checksum out of range", ErrFormat, i)
+		}
+		d.crc = uint32(crc)
 		// Chunks must tile the region between header and metadata in
 		// order, with no overlap — a lying directory cannot alias chunk
 		// bytes or point into the footer.
@@ -459,13 +468,32 @@ func (r *Reader) chunk(c int) ([]trace.Event, error) {
 }
 
 // decodeChunk decodes chunk c into dst (reusing its capacity) with full
-// validation: dictionary counts are bounded by the chunk's event count,
-// every op byte must name a known op, and every column entry must index
-// inside its dictionary — a lying chunk fails with ErrFormat, never a
-// panic or an unbounded allocation.
+// validation: the chunk's bytes must match the directory's crc32c
+// (chunk data sits outside the footer checksum, so this is the only
+// integrity check it gets), dictionary counts are bounded by the
+// chunk's event count, every op byte must name a known op, and every
+// column entry must index inside its dictionary — a lying chunk fails
+// with ErrFormat, never a panic or an unbounded allocation. Every
+// failure is wrapped in a *ChunkError carrying the chunk index and file
+// offset, so callers far from the file (fleet workers analysing a
+// shipped trace) can report which chunk was torn.
 func (r *Reader) decodeChunk(c int, dst []trace.Event) ([]trace.Event, error) {
 	d := r.dir[c]
-	b := &byteReader{buf: r.data[d.off : d.off+d.length]}
+	raw := r.data[d.off : d.off+d.length]
+	if got := crc32.Checksum(raw, crcTable); got != d.crc {
+		return nil, &ChunkError{Chunk: c, Offset: int64(d.off),
+			Err: fmt.Errorf("%w: checksum mismatch (%#x, directory says %#x)", ErrFormat, got, d.crc)}
+	}
+	events, err := r.decodeChunkBody(c, raw, dst)
+	if err != nil {
+		return nil, &ChunkError{Chunk: c, Offset: int64(d.off), Err: err}
+	}
+	return events, nil
+}
+
+func (r *Reader) decodeChunkBody(c int, raw []byte, dst []trace.Event) ([]trace.Event, error) {
+	d := r.dir[c]
+	b := &byteReader{buf: raw}
 	n, err := b.uvarint()
 	if err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ type chunkDir struct {
 	off    uint64
 	length uint64
 	events int
+	crc    uint32 // crc32c of the chunk's encoded bytes
 
 	minTid, maxTid   trace.TID
 	minVar, maxVar   trace.Addr
@@ -97,6 +98,7 @@ func (w *Writer) flushChunk() {
 	d.off = w.off
 	d.length = uint64(len(w.scratch))
 	d.events = len(w.buf)
+	d.crc = crc32.Checksum(w.scratch, crcTable)
 	w.write(w.scratch)
 	if w.err == nil {
 		w.dir = append(w.dir, d)
@@ -127,6 +129,7 @@ func (w *Writer) Finish(m *tracefile.Meta, stats trace.Stats, contentHash [sha25
 		footer = binary.AppendUvarint(footer, uint64(d.maxVar))
 		footer = binary.AppendUvarint(footer, uint64(d.minLock))
 		footer = binary.AppendUvarint(footer, uint64(d.maxLock))
+		footer = binary.AppendUvarint(footer, uint64(d.crc))
 	}
 	footer = binary.AppendUvarint(footer, metaOff)
 	footer = binary.AppendUvarint(footer, metaLen)

@@ -317,12 +317,15 @@ func MergeShards(ctx context.Context, opt Options, shardJournals []string) (Repo
 		Trace:   opt.TraceReader.ContentHash(),
 		Options: journal.OptionsFingerprint(opt.fingerprintString()),
 	}
-	outcomes, tornTails, err := journal.RecoverShards(shardJournals, fp)
+	outcomes, tornTails, conflicts, err := journal.RecoverShards(shardJournals, fp)
 	if err != nil {
 		return Report{}, err
 	}
 	for i := 0; i < tornTails; i++ {
 		col.CountTornTailTruncated()
+	}
+	for i := 0; i < conflicts; i++ {
+		col.CountShardConflict()
 	}
 	for range outcomes {
 		col.CountShardOutcomeMerged()

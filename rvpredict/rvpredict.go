@@ -273,6 +273,16 @@ type Options struct {
 	// only). Export with SpanRecorder.WriteChromeTrace for
 	// chrome://tracing or Perfetto. Observational only, like DebugAddr.
 	Spans *SpanRecorder
+	// Collector, when non-nil, is the telemetry collector the run
+	// accumulates its counters into, instead of an internal one. It lets
+	// a supervising process — the fleet coordinator, a test harness —
+	// observe counters that never reach the report snapshot (shard and
+	// fleet counters) and aggregate several runs (e.g. repeated merges)
+	// into one set of gauges. Observational only, like DebugAddr: it is
+	// excluded from the journal fingerprint and never changes what is
+	// detected. Telemetry still controls whether the report carries a
+	// snapshot.
+	Collector *telemetry.Collector
 
 	// onWindowDone and resumeWindows are the journal plumbing installed
 	// by Run; col carries Run's pre-created collector so the journal
@@ -793,6 +803,12 @@ func (u uncancellable) DetectContext(ctx context.Context, tr *trace.Trace) race.
 // gauges read the collector) or span recording — or a nil collector,
 // every method of which is a no-op, otherwise.
 func newCollector(opt Options) *telemetry.Collector {
+	if opt.Collector != nil {
+		if opt.Spans != nil {
+			opt.Collector.AttachSpans(opt.Spans)
+		}
+		return opt.Collector
+	}
 	if !opt.Telemetry && opt.DebugAddr == "" && opt.Spans == nil {
 		return nil
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/tracev2"
 	"repro/rvpredict"
 	"repro/trace"
@@ -143,6 +144,58 @@ func TestShardMergeBitIdentical(t *testing.T) {
 		if len(merged.Races) == 0 {
 			t.Fatalf("shards=%d: merged report has no races", shards)
 		}
+	}
+}
+
+// TestMergeShardsCountsConflicts: duplicate windows across the listed
+// journals resolve first-listed-wins and every discarded duplicate is
+// counted in the shard_conflicts telemetry counter, observed through
+// the exported Collector option. Listing the same journal twice makes
+// every one of its outcomes a (agreeing) duplicate, so the merged
+// report must still be byte-identical to the clean merge.
+func TestMergeShardsCountsConflicts(t *testing.T) {
+	tr := shardFixture()
+	const shards = 2
+	dir := t.TempDir()
+	var journals []string
+	for id := 0; id < shards; id++ {
+		opt := shardOpts()
+		opt.TraceReader = chunkedFixtureReader(t, tr)
+		opt.Shards, opt.ShardID = shards, id
+		opt.Journal = filepath.Join(dir, "shard-"+strings.Repeat("i", id+1)+".journal")
+		journals = append(journals, opt.Journal)
+		if _, err := rvpredict.Run(nil, nil, opt); err != nil {
+			t.Fatalf("shard %d: %v", id, err)
+		}
+	}
+	_, info0, err := journal.Inspect(journals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info0.Outcomes) == 0 {
+		t.Fatal("shard 0 journaled no windows")
+	}
+
+	col := telemetry.NewCollector()
+	mopt := shardOpts()
+	mopt.TraceReader = chunkedFixtureReader(t, tr)
+	mopt.Collector = col
+	merged, err := rvpredict.MergeShards(nil, mopt, append([]string{journals[0]}, journals...))
+	if err != nil {
+		t.Fatalf("merge with duplicated journal: %v", err)
+	}
+	if got, want := col.ShardConflicts(), int64(len(info0.Outcomes)); got != want {
+		t.Errorf("shard_conflicts = %d, want %d (one per duplicated outcome)", got, want)
+	}
+
+	copt := shardOpts()
+	copt.TraceReader = chunkedFixtureReader(t, tr)
+	clean, err := rvpredict.MergeShards(nil, copt, journals)
+	if err != nil {
+		t.Fatalf("clean merge: %v", err)
+	}
+	if got, want := normalise(t, merged), normalise(t, clean); got != want {
+		t.Errorf("duplicated-journal merge differs from clean merge:\ndup:   %s\nclean: %s", got, want)
 	}
 }
 

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Black-box e2e check of the fault-tolerant shard fleet.
+
+Usage: fleet_e2e.py <rvpredict-binary> <trace.rvpt>
+
+Exercises the coordinator/worker fleet against real processes under
+scripted chaos:
+
+  * converts the legacy fixture to the chunked format and records a
+    single-process baseline report;
+  * launches a coordinator (RVPREDICT_FAULTS arms coord_crash, so the
+    process dies abruptly — exit 7, SIGKILL-equivalent — right after an
+    accepted result was fsynced to its journal but before the ack) and
+    three workers against it;
+  * SIGKILLs one worker mid-shard while the others are live;
+  * after the coordinator's scripted death, restarts it on the same
+    port over the same journal; the surviving workers' reconnect loops
+    find it on their own and finish the fleet run;
+  * asserts the resumed, merged JSON report is byte-identical to the
+    single-process baseline (elapsed_ns / build_info / telemetry
+    normalised away) — the anchor invariant of the fleet design;
+  * asserts the surviving workers drained cleanly (exit 0) through the
+    shutdown handshake.
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+WINDOW = "2000"
+CRASH_EXIT = 7  # faultinject.CrashExitCode
+
+
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def normalize(report):
+    report = dict(report)
+    for key in ("elapsed_ns", "build_info", "telemetry"):
+        report.pop(key, None)
+    for race in report.get("races") or []:
+        race.get("provenance", {}).pop("replayed", None)
+    return report
+
+
+def start_coordinator(cli, addr, journal, fixture, faults=None):
+    env = dict(os.environ)
+    env.pop("RVPREDICT_FAULTS", None)
+    if faults:
+        env["RVPREDICT_FAULTS"] = faults
+    proc = subprocess.Popen(
+        [cli, "-json", "-coordinate", addr, "-journal", journal,
+         "-window", WINDOW, "-lease-ttl", "2s", fixture],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    # The rendezvous line proves the listener is up before workers start.
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise SystemExit(f"coordinator exited before listening "
+                             f"(rc={proc.poll()})")
+        if re.search(r"coordinating on ", line):
+            return proc
+    proc.kill()
+    raise SystemExit("coordinator never announced its listener")
+
+
+def start_worker(cli, addr, fixture, name):
+    env = dict(os.environ)
+    env.pop("RVPREDICT_FAULTS", None)
+    return subprocess.Popen(
+        [cli, "-worker", addr, "-worker-name", name, "-window", WINDOW,
+         fixture],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    cli, fixture = sys.argv[1:]
+    work = tempfile.mkdtemp(prefix="rvp-fleet-")
+    chunked = os.path.join(work, "fixture.rvc2")
+    journal = os.path.join(work, "coord.journal")
+
+    conv = subprocess.run([cli, "-convert", chunked, fixture],
+                          capture_output=True, text=True, timeout=300)
+    if conv.returncode != 0:
+        raise SystemExit(f"convert failed: {conv.stderr}")
+
+    batch = subprocess.run(
+        [cli, "-json", "-window", WINDOW, chunked],
+        stdout=subprocess.PIPE, text=True, timeout=600)
+    if batch.returncode not in (0, 1):
+        raise SystemExit(f"baseline run exited {batch.returncode}")
+    want = normalize(json.loads(batch.stdout))
+    if not want.get("races"):
+        raise SystemExit("fixture produced no races — diff would be vacuous")
+    print(f"fleet_e2e: baseline has {len(want['races'])} races")
+
+    port = free_port()
+    addr = f"127.0.0.1:{port}"
+
+    # Coordinator #1 dies abruptly after its fourth accepted result: the
+    # append is fsynced, the ack never sent — the strictest crash point.
+    coord = start_coordinator(cli, addr, journal, chunked,
+                              faults="coord_crash:3=crash")
+    workers = [start_worker(cli, addr, chunked, f"w{i}") for i in range(3)]
+
+    rc = coord.wait(timeout=120)
+    if rc != CRASH_EXIT:
+        raise SystemExit(f"coordinator #1 exited {rc}, want scripted "
+                         f"crash exit {CRASH_EXIT}")
+    if os.path.getsize(journal) == 0:
+        raise SystemExit("coordinator died with an empty journal; the "
+                         "crash point fires only after a durable append")
+    print("fleet_e2e: coordinator crashed after 4 durable results")
+
+    # One worker is SIGKILLed mid-shard while the fleet is headless (the
+    # survivors are retrying the dead coordinator with backoff).
+    if workers[0].poll() is not None:
+        raise SystemExit("worker w0 exited before it could be killed")
+    workers[0].send_signal(signal.SIGKILL)
+    workers[0].wait()
+    print("fleet_e2e: worker w0 SIGKILLed mid-shard")
+
+    # Coordinator #2: same port, same journal, no faults. The surviving
+    # workers' reconnect loops find it without any help.
+    coord = start_coordinator(cli, addr, journal, chunked)
+    stdout, stderr = coord.communicate(timeout=300)
+    if coord.returncode not in (0, 1):
+        raise SystemExit(f"coordinator #2 exited {coord.returncode}:\n{stderr}")
+    got = normalize(json.loads(stdout))
+
+    for w in workers[1:]:
+        try:
+            _, werr = w.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            w.kill()
+            raise SystemExit(f"worker {w.args} never exited")
+        if w.returncode != 0:
+            raise SystemExit(f"surviving worker exited {w.returncode}:\n{werr}")
+    print("fleet_e2e: surviving workers drained cleanly")
+
+    if got != want:
+        for key in sorted(set(want) | set(got)):
+            if want.get(key) != got.get(key):
+                print(f"  field {key!r} differs", file=sys.stderr)
+        raise SystemExit("resumed fleet report differs from the "
+                         "single-process baseline")
+    print(f"fleet_e2e: resumed fleet report identical to baseline "
+          f"({len(want['races'])} races)")
+
+
+if __name__ == "__main__":
+    main()
